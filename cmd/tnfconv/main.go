@@ -1,0 +1,105 @@
+// Command tnfconv converts between the critical-instance text format and
+// Tuple Normal Form (TNF), the fixed-schema interoperability encoding of
+// Litwin et al. that TUPELO uses internally (§2.2 of "Data Mapping as
+// Search").
+//
+// Usage:
+//
+//	tnfconv encode -input db.txt      # instance text -> TNF (TSV)
+//	tnfconv decode -input db.tnf      # TNF (TSV)     -> instance text
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tupelo"
+	"tupelo/internal/tnf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tnfconv encode|decode -input FILE")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		err = encode(os.Args[2:])
+	case "decode":
+		err = decode(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown command %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tnfconv: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func encode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	inPath := fs.String("input", "", "instance file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("encode: -input is required")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inst, err := tupelo.ReadInstance(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tnf.Encode(inst.DB))
+	return nil
+}
+
+func decode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	inPath := fs.String("input", "", "TNF file (TSV with TID REL ATT VALUE header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("decode: -input is required")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var table tnf.Table
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if lineNo == 1 && strings.EqualFold(cols[0], "TID") {
+			continue // header
+		}
+		if len(cols) != 4 {
+			return fmt.Errorf("decode: line %d: want 4 tab-separated columns, got %d", lineNo, len(cols))
+		}
+		table.Rows = append(table.Rows, tnf.Row{TID: cols[0], Rel: cols[1], Att: cols[2], Value: cols[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	db, err := tnf.Decode(&table)
+	if err != nil {
+		return err
+	}
+	return tupelo.WriteInstance(os.Stdout, &tupelo.Instance{DB: db})
+}

@@ -1,0 +1,209 @@
+// Command tupelo-bench regenerates the evaluation of "Data Mapping as
+// Search" (EDBT 2006, §5): every figure of the paper's three experiments
+// plus the scaling-constant calibration table.
+//
+//	tupelo-bench -exp 1          # Figs. 5 & 6 (synthetic schema matching)
+//	tupelo-bench -exp 2          # Figs. 7 & 8 (BAMM deep-web matching)
+//	tupelo-bench -exp 3          # Fig. 9      (complex semantic mapping)
+//	tupelo-bench -exp calibrate  # scaling-constant table
+//	tupelo-bench -exp all
+//
+// The performance measure is the number of states examined, as in the
+// paper. Use -tsv for gnuplot-ready series output and -budget to bound
+// each run (censored runs print as >=budget, mirroring the saturated
+// curves in the paper's log-scale plots).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tupelo/internal/experiments"
+	"tupelo/internal/search"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, calibrate, scaling, hybrid, all")
+	algoName := flag.String("algo", "", "restrict exp 1 to one algorithm (ida or rbfs)")
+	domain := flag.String("domain", "Inventory", "exp 3 domain: Inventory or RealEstateII")
+	budget := flag.Int("budget", 50000, "state budget per run")
+	seed := flag.Int64("seed", 2006, "workload generator seed")
+	sample := flag.Int("sample", 1, "exp 2: map every n-th sibling schema only")
+	tsv := flag.Bool("tsv", false, "emit raw measurements as TSV instead of tables")
+	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	flag.Parse()
+
+	cfg := experiments.Config{Budget: *budget, Seed: *seed}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	var err error
+	switch *exp {
+	case "1":
+		err = runExp1(*algoName, cfg, *tsv, os.Stdout)
+	case "2":
+		err = runExp2(cfg, *sample, *tsv, os.Stdout)
+	case "3":
+		err = runExp3(*domain, cfg, *tsv, os.Stdout)
+	case "calibrate":
+		err = runCalibrate(cfg, os.Stdout)
+	case "scaling":
+		err = runScaling(cfg, os.Stdout)
+	case "hybrid":
+		err = runHybrid(cfg, os.Stdout)
+	case "all":
+		for _, step := range []func() error{
+			func() error { return runExp1(*algoName, cfg, *tsv, os.Stdout) },
+			func() error { return runExp2(cfg, *sample, *tsv, os.Stdout) },
+			func() error { return runExp3(*domain, cfg, *tsv, os.Stdout) },
+			func() error { return runCalibrate(cfg, os.Stdout) },
+			func() error { return runScaling(cfg, os.Stdout) },
+			func() error { return runHybrid(cfg, os.Stdout) },
+		} {
+			if err = step(); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func algos(name string) ([]search.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return []search.Algorithm{search.IDA, search.RBFS}, nil
+	case "ida":
+		return []search.Algorithm{search.IDA}, nil
+	case "rbfs":
+		return []search.Algorithm{search.RBFS}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func runExp1(algoName string, cfg experiments.Config, tsv bool, w io.Writer) error {
+	as, err := algos(algoName)
+	if err != nil {
+		return err
+	}
+	for _, algo := range as {
+		fig := "Fig. 5"
+		if algo == search.RBFS {
+			fig = "Fig. 6"
+		}
+		fmt.Fprintf(w, "== Experiment 1 (%s): synthetic schema matching, %s ==\n", fig, algo)
+		ms, err := experiments.RunExp1(experiments.DefaultExp1Options(algo), cfg)
+		if err != nil {
+			return err
+		}
+		if tsv {
+			if err := experiments.WriteSeriesTSV(w, ms); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := experiments.WriteSeriesTable(w, ms, algo); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runExp2(cfg experiments.Config, sample int, tsv bool, w io.Writer) error {
+	fmt.Fprintf(w, "== Experiment 2 (Figs. 7–8): BAMM deep-web schema matching ==\n")
+	ms, err := experiments.RunExp2(experiments.Exp2Options{SampleEvery: sample}, cfg)
+	if err != nil {
+		return err
+	}
+	if tsv {
+		return experiments.WriteSeriesTSV(w, ms)
+	}
+	byDomain := experiments.AverageByDomain(ms)
+	for _, algo := range experiments.BothAlgorithms() {
+		fmt.Fprintf(w, "-- Fig. 7, %s: average states examined per domain --\n", algo)
+		if err := experiments.WriteExp2Table(w, byDomain, algo); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "-- Fig. 8: average states examined across all domains --")
+	if err := experiments.WriteExp2Overall(w, experiments.AverageOverall(ms)); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runExp3(domain string, cfg experiments.Config, tsv bool, w io.Writer) error {
+	fmt.Fprintf(w, "== Experiment 3 (Fig. 9): complex semantic mapping, %s ==\n", domain)
+	opts := experiments.DefaultExp3Options()
+	opts.Domain = domain
+	ms, err := experiments.RunExp3(opts, cfg)
+	if err != nil {
+		return err
+	}
+	if tsv {
+		return experiments.WriteSeriesTSV(w, ms)
+	}
+	for _, algo := range experiments.BothAlgorithms() {
+		sub := "(a)"
+		if algo == search.RBFS {
+			sub = "(b)"
+		}
+		fmt.Fprintf(w, "-- Fig. 9%s, %s: states examined vs number of complex functions --\n", sub, algo)
+		if err := experiments.WriteSeriesTable(w, ms, algo); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func runScaling(cfg experiments.Config, w io.Writer) error {
+	fmt.Fprintln(w, "== Extension: instance-size scaling (branching ∝ |s|+|t|, §2.3) ==")
+	rows, err := experiments.RunScaling(experiments.ScalingOptions{}, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteScalingTable(w, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runHybrid(cfg experiments.Config, w io.Writer) error {
+	fmt.Fprintln(w, "== Extension: content+structure heuristics (§7 open question) ==")
+	rows, err := experiments.RunHeuristicComparison(nil, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteComparisonTable(w, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runCalibrate(cfg experiments.Config, w io.Writer) error {
+	fmt.Fprintln(w, "== Calibration (§5 setup): scaling constants k ==")
+	rs, err := experiments.RunCalibrate(experiments.CalibrateOptions{}, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteCalibrationTable(w, rs); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}

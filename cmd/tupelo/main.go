@@ -1,0 +1,258 @@
+// Command tupelo discovers and applies data mapping expressions between
+// relational schemas from example (critical) instances, implementing the
+// TUPELO system of "Data Mapping as Search" (EDBT 2006).
+//
+// Usage:
+//
+//	tupelo discover -source src.txt -target tgt.txt [flags]
+//	tupelo apply    -mapping map.txt -input db.txt [flags]
+//	tupelo show     -input db.txt [-tnf]
+//
+// Critical instances use the text format of package critio: relation
+// blocks plus optional "map f(In,...) -> Out [on Rel]" directives declaring
+// complex semantic correspondences.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tupelo"
+	"tupelo/internal/search"
+	"tupelo/internal/tnf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
+	case "apply":
+		err = cmdApply(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "sql":
+		err = cmdSQL(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tupelo: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tupelo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tupelo discover -source src.txt -target tgt.txt [-algo ida|rbfs|astar|greedy]
+                  [-heuristic h0|h1|h2|h3|levenshtein|euclid|euclid-norm|cosine]
+                  [-k N] [-max-states N] [-simplify] [-pretty] [-stats]
+  tupelo apply    -mapping map.txt -input db.txt [-where PRED -on REL]
+                  [-conform tgt.txt [-drop-absent]]
+  tupelo show     -input db.txt [-tnf]
+  tupelo sql      -mapping map.txt -sample src.txt [-prefix stage_]`)
+}
+
+func parseAlgo(s string) (tupelo.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "ida":
+		return tupelo.IDA, nil
+	case "rbfs":
+		return tupelo.RBFS, nil
+	case "astar", "a*":
+		return tupelo.AStar, nil
+	case "greedy":
+		return tupelo.Greedy, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func readInstanceFile(path string) (*tupelo.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tupelo.ReadInstance(f)
+}
+
+func cmdDiscover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	srcPath := fs.String("source", "", "source critical instance file")
+	tgtPath := fs.String("target", "", "target critical instance file")
+	algoName := fs.String("algo", "rbfs", "search algorithm (ida, rbfs, astar, greedy)")
+	heurName := fs.String("heuristic", "cosine", "search heuristic")
+	k := fs.Float64("k", 0, "scaling constant (0 = paper default for algo/heuristic)")
+	maxStates := fs.Int("max-states", 0, "state budget (0 = 1,000,000)")
+	simplify := fs.Bool("simplify", false, "simplify the discovered expression")
+	pretty := fs.Bool("pretty", false, "also print paper-style notation")
+	stats := fs.Bool("stats", false, "print search statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *srcPath == "" || *tgtPath == "" {
+		return fmt.Errorf("discover: -source and -target are required")
+	}
+	src, err := readInstanceFile(*srcPath)
+	if err != nil {
+		return err
+	}
+	tgt, err := readInstanceFile(*tgtPath)
+	if err != nil {
+		return err
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+	heur, err := tupelo.ParseHeuristic(*heurName)
+	if err != nil {
+		return err
+	}
+	opts := tupelo.Options{
+		Algorithm: algo,
+		Heuristic: heur,
+		K:         *k,
+		Limits:    search.Limits{MaxStates: *maxStates},
+		// Correspondences may be declared on either instance; the union
+		// is available to the mapper.
+		Correspondences: append(append([]tupelo.Correspondence(nil), src.Corrs...), tgt.Corrs...),
+	}
+	res, err := tupelo.Discover(src.DB, tgt.DB, opts)
+	if err != nil {
+		return err
+	}
+	expr := res.Expr
+	if *simplify {
+		expr = tupelo.Simplify(expr, src.DB, tupelo.Builtins())
+	}
+	fmt.Println(expr)
+	if *pretty {
+		fmt.Println("#", expr.Pretty())
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "algorithm=%s heuristic=%s k=%g states=%d generated=%d depth=%d\n",
+			res.Algorithm, res.Heuristic, res.K, res.Stats.Examined, res.Stats.Generated, res.Stats.Depth)
+	}
+	return nil
+}
+
+func cmdApply(args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	mapPath := fs.String("mapping", "", "mapping expression file")
+	inPath := fs.String("input", "", "database instance file")
+	where := fs.String("where", "", "post-processing σ predicate, e.g. 'Route in (ATL29, ORD17)'")
+	on := fs.String("on", "", "relation the -where predicate filters")
+	conformPath := fs.String("conform", "", "target instance file to conform the result to")
+	dropAbsent := fs.Bool("drop-absent", false, "with -conform: drop rows holding absent values")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mapPath == "" || *inPath == "" {
+		return fmt.Errorf("apply: -mapping and -input are required")
+	}
+	exprText, err := os.ReadFile(*mapPath)
+	if err != nil {
+		return err
+	}
+	expr, err := tupelo.ParseExpr(string(exprText))
+	if err != nil {
+		return err
+	}
+	in, err := readInstanceFile(*inPath)
+	if err != nil {
+		return err
+	}
+	out, err := expr.Eval(in.DB, tupelo.Builtins())
+	if err != nil {
+		return err
+	}
+	if *where != "" {
+		if *on == "" {
+			return fmt.Errorf("apply: -where needs -on RELATION")
+		}
+		pred, err := tupelo.ParsePredicate(*where)
+		if err != nil {
+			return err
+		}
+		out, err = tupelo.Select(out, *on, pred)
+		if err != nil {
+			return err
+		}
+	}
+	if *conformPath != "" {
+		tgt, err := readInstanceFile(*conformPath)
+		if err != nil {
+			return err
+		}
+		out, err = tupelo.Conform(out, tgt.DB, tupelo.ConformOptions{DropAbsentRows: *dropAbsent})
+		if err != nil {
+			return err
+		}
+	}
+	return tupelo.WriteInstance(os.Stdout, &tupelo.Instance{DB: out})
+}
+
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	mapPath := fs.String("mapping", "", "mapping expression file")
+	samplePath := fs.String("sample", "", "sample instance file (typically the source critical instance)")
+	prefix := fs.String("prefix", "", "intermediate table name prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mapPath == "" || *samplePath == "" {
+		return fmt.Errorf("sql: -mapping and -sample are required")
+	}
+	exprText, err := os.ReadFile(*mapPath)
+	if err != nil {
+		return err
+	}
+	expr, err := tupelo.ParseExpr(string(exprText))
+	if err != nil {
+		return err
+	}
+	sample, err := readInstanceFile(*samplePath)
+	if err != nil {
+		return err
+	}
+	script, err := tupelo.GenerateSQL(expr, sample.DB, tupelo.SQLOptions{TempPrefix: *prefix})
+	if err != nil {
+		return err
+	}
+	fmt.Print(script)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	inPath := fs.String("input", "", "database instance file")
+	showTNF := fs.Bool("tnf", false, "print the Tuple Normal Form encoding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("show: -input is required")
+	}
+	in, err := readInstanceFile(*inPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println(in.DB)
+	if *showTNF {
+		fmt.Println(tnf.Encode(in.DB))
+	}
+	return nil
+}

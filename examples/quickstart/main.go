@@ -1,0 +1,61 @@
+// Quickstart: discover a schema matching between two small example
+// instances and apply the resulting mapping expression to a full database.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tupelo"
+)
+
+func main() {
+	// 1. Describe the same example information under both schemas — the
+	// critical instances of the Rosetta Stone principle. The text format
+	// is what the tupelo CLI reads from files.
+	src, err := tupelo.ReadInstanceString(`
+relation Emp
+  nm      dept     hired
+  Alice   Sales    2001
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := tupelo.ReadInstanceString(`
+relation Employee
+  Name    Dept     Hired
+  Alice   Sales    2001
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Discover the mapping: search in the space of transformations of
+	// the source instance until the target instance is contained.
+	res, err := tupelo.Discover(src.DB, tgt.DB, tupelo.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Discovered mapping expression:")
+	fmt.Println(res.Expr)
+	fmt.Printf("\n(%s, %s heuristic, %d states examined)\n\n",
+		res.Algorithm, res.Heuristic, res.Stats.Examined)
+
+	// 3. The expression is executable: apply it to a *full* instance of
+	// the source schema, not just the example.
+	full := tupelo.MustDatabase(
+		tupelo.MustRelation("Emp", []string{"nm", "dept", "hired"},
+			tupelo.Tuple{"Alice", "Sales", "2001"},
+			tupelo.Tuple{"Bob", "Engineering", "1999"},
+			tupelo.Tuple{"Carol", "Marketing", "2003"},
+		),
+	)
+	mapped, err := res.Expr.Eval(full, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Full source instance mapped to the target schema:")
+	fmt.Println(mapped)
+}

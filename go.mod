@@ -1,0 +1,3 @@
+module tupelo
+
+go 1.22

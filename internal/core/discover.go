@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// Result is a successful mapping discovery.
+type Result struct {
+	// Expr is the discovered mapping expression in L: applied to instances
+	// of the source schema it produces (a superset of) the corresponding
+	// target instances.
+	Expr fira.Expr
+	// Stats reports the search effort; Stats.Examined is the paper's
+	// performance measure.
+	Stats search.Stats
+	// Algorithm, Heuristic and K record the configuration used.
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+	K         float64
+}
+
+// Discover searches for a mapping expression from the source critical
+// instance to the target critical instance (§2.3). Search starts at the
+// source instance and ends when a state containing the target instance is
+// reached; the transformation path is returned as a fira.Expr.
+//
+// Discovery is purely syntactic: no domain knowledge is consulted beyond
+// the instances themselves and any λ correspondences in opts (§4).
+func Discover(source, target *relation.Database, opts Options) (*Result, error) {
+	if source == nil || target == nil {
+		return nil, fmt.Errorf("core: nil source or target instance")
+	}
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	var prob search.Problem = newProblem(source, target, opts)
+	if opts.DisableCycleCheck {
+		// Ablation: give every generated state a unique key, defeating the
+		// path-local duplicate pruning in IDA/RBFS and the closed set in
+		// A*. Only sensible together with a small Limits.MaxStates.
+		prob = &uniqueKeyProblem{inner: prob.(*mappingProblem)}
+	}
+	if opts.TraceWriter != nil {
+		prob = traceProblem(prob, opts.TraceWriter)
+	}
+	res, err := search.Run(opts.Algorithm, prob, memoEstimator(opts, target), opts.Limits)
+	return finish(res, err, opts)
+}
+
+// finish converts a search result into a mapping result.
+func finish(res *search.Result, err error, opts Options) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, len(res.Path))
+	for i, m := range res.Path {
+		labels[i] = m.Label
+	}
+	expr, perr := fira.Parse(strings.Join(labels, "\n"))
+	if perr != nil {
+		return nil, fmt.Errorf("core: internal error reconstructing expression: %v", perr)
+	}
+	return &Result{
+		Expr:      expr,
+		Stats:     res.Stats,
+		Algorithm: opts.Algorithm,
+		Heuristic: opts.Heuristic,
+		K:         opts.K,
+	}, nil
+}
+
+// BranchingFactor returns the number of successor moves of the source
+// critical instance under the given options — the quantity the paper
+// states is proportional to |s| + |t| (§2.3). Useful for analyzing and
+// testing the successor generator without running a full search.
+func BranchingFactor(source, target *relation.Database, opts Options) (int, error) {
+	if source == nil || target == nil {
+		return 0, fmt.Errorf("core: nil source or target instance")
+	}
+	opts, err := opts.normalize()
+	if err != nil {
+		return 0, err
+	}
+	prob := newProblem(source, target, opts)
+	moves, err := prob.Successors(prob.Start())
+	if err != nil {
+		return 0, err
+	}
+	return len(moves), nil
+}
+
+// memoEstimator adapts a heuristic.Estimator to search.Heuristic with a
+// per-run memo keyed by state fingerprint: IDA and RBFS re-examine states
+// across iterations and the heuristics re-encode the whole database.
+func memoEstimator(opts Options, target *relation.Database) search.Heuristic {
+	est := heuristic.New(opts.Heuristic, target, opts.K)
+	memo := make(map[string]int)
+	return func(s search.State) int {
+		ds := s.(*dbState)
+		if v, ok := memo[ds.key]; ok {
+			return v
+		}
+		v := est.Estimate(ds.db)
+		memo[ds.key] = v
+		return v
+	}
+}
+
+// uniqueKeyProblem wraps a problem so that every state has a distinct key
+// (ablation of the cycle check).
+type uniqueKeyProblem struct {
+	inner *mappingProblem
+	n     int
+}
+
+func (p *uniqueKeyProblem) Start() search.State { return p.inner.Start() }
+func (p *uniqueKeyProblem) IsGoal(s search.State) bool {
+	return p.inner.IsGoal(s)
+}
+func (p *uniqueKeyProblem) Successors(s search.State) ([]search.Move, error) {
+	moves, err := p.inner.Successors(s)
+	if err != nil {
+		return nil, err
+	}
+	for i := range moves {
+		ds := moves[i].To.(*dbState)
+		p.n++
+		moves[i].To = &dbState{db: ds.db, key: fmt.Sprintf("%s#%d", ds.key, p.n)}
+	}
+	return moves, nil
+}
+
+// Apply executes the discovered expression against a database instance,
+// resolving λ functions through the registry configured in opts.
+func (r *Result) Apply(db *relation.Database, opts Options) (*relation.Database, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return r.Expr.Eval(db, opts.Registry)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tupelo/internal/heuristic"
+	"tupelo/internal/lambda"
+	"tupelo/internal/search"
+)
+
+// Options configures a mapping discovery run. The zero value selects the
+// paper's overall best configuration: RBFS with the cosine similarity
+// heuristic and its published scaling constant.
+type Options struct {
+	// Algorithm selects the search strategy (default RBFS — the paper's
+	// overall better performer; note search.IDA is the zero value, so the
+	// default is applied by Discover only when the whole Options is zero...
+	// use DefaultOptions for clarity).
+	Algorithm search.Algorithm
+	// Heuristic selects the h function of §3 (default: the value of
+	// heuristic.H0 — use DefaultOptions for the paper's best choice).
+	Heuristic heuristic.Kind
+	// K overrides the scaling constant for the normalized heuristics;
+	// 0 means the paper's published constant for (Algorithm, Heuristic).
+	K float64
+	// Limits bounds the search. Zero means unlimited; Discover applies a
+	// defensive default of 1,000,000 states when MaxStates is 0.
+	Limits search.Limits
+	// Registry resolves λ functions. Nil means lambda.Builtins() when
+	// Correspondences are supplied, and no λ moves otherwise.
+	Registry *lambda.Registry
+	// Correspondences are the user-indicated complex semantic mappings
+	// (§4); each enables λ moves during search.
+	Correspondences []lambda.Correspondence
+	// DisablePruning turns off the paper's "obviously inapplicable"
+	// enhancements (§2.3) for ablation studies.
+	DisablePruning bool
+	// DisableCycleCheck turns off path-local duplicate pruning for
+	// ablation studies.
+	DisableCycleCheck bool
+	// TraceWriter, when non-nil, receives a transcript of the search:
+	// every expansion with its candidate moves and every goal test.
+	TraceWriter io.Writer
+}
+
+// DefaultOptions returns the paper's overall best configuration: RBFS with
+// cosine similarity at its published scaling constant.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm: search.RBFS,
+		Heuristic: heuristic.Cosine,
+	}
+}
+
+// defaultMaxStates is the defensive search budget applied when the caller
+// leaves Limits.MaxStates at 0. Mapping discovery on critical instances
+// examines from a handful to tens of thousands of states; a run that hits
+// this bound is lost and should fail loudly rather than spin.
+const defaultMaxStates = 1_000_000
+
+// normalize validates and completes the options.
+func (o Options) normalize() (Options, error) {
+	if o.K < 0 {
+		return o, fmt.Errorf("core: negative scaling constant %g", o.K)
+	}
+	if o.K == 0 {
+		o.K = heuristic.DefaultK(o.Algorithm, o.Heuristic)
+	}
+	if o.Limits.MaxStates == 0 {
+		o.Limits.MaxStates = defaultMaxStates
+	}
+	if len(o.Correspondences) > 0 && o.Registry == nil {
+		o.Registry = lambda.Builtins()
+	}
+	for _, c := range o.Correspondences {
+		if err := c.Validate(o.Registry); err != nil {
+			return o, fmt.Errorf("core: %v", err)
+		}
+	}
+	return o, nil
+}

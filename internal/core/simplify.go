@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// Simplify removes redundant steps from a mapping expression and collapses
+// rename chains, without changing the expression's result on the given
+// source instance. Every rewrite is validated by re-evaluating the
+// candidate expression and comparing the final database with the original
+// result, so Simplify is always safe: if nothing can be proved equivalent,
+// the input expression is returned unchanged.
+//
+// Search paths are already cycle-free, but heuristic search can interleave
+// detours (e.g. a rename that later gets renamed again) that this pass
+// cleans up before the expression is shown to a user or stored.
+func Simplify(expr fira.Expr, source *relation.Database, reg *lambda.Registry) fira.Expr {
+	want, err := expr.Eval(source, reg)
+	if err != nil {
+		return expr // cannot validate rewrites; keep as-is
+	}
+	cur := expr.Then() // copy
+
+	// Pass 1: collapse adjacent rename chains on the same object:
+	// ρ(A→B) ; ρ(B→C) becomes ρ(A→C).
+	for {
+		collapsed, changed := collapseRenames(cur)
+		if !changed {
+			break
+		}
+		if got, err := collapsed.Eval(source, reg); err == nil && got.Equal(want) {
+			cur = collapsed
+			continue
+		}
+		break
+	}
+
+	// Pass 2: drop individually redundant steps, re-checking the final
+	// result after each removal. Repeat until no step can be removed.
+	for {
+		removed := false
+		for i := 0; i < len(cur); i++ {
+			cand := make(fira.Expr, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			got, err := cand.Eval(source, reg)
+			if err == nil && got.Equal(want) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	return cur
+}
+
+// collapseRenames merges the first adjacent pair of chainable renames.
+func collapseRenames(expr fira.Expr) (fira.Expr, bool) {
+	for i := 0; i+1 < len(expr); i++ {
+		switch a := expr[i].(type) {
+		case fira.RenameRel:
+			if b, ok := expr[i+1].(fira.RenameRel); ok && a.To == b.From {
+				out := expr.Then()
+				out[i] = fira.RenameRel{From: a.From, To: b.To}
+				return append(out[:i+1], out[i+2:]...), true
+			}
+		case fira.RenameAtt:
+			if b, ok := expr[i+1].(fira.RenameAtt); ok && a.Rel == b.Rel && a.To == b.From {
+				out := expr.Then()
+				out[i] = fira.RenameAtt{Rel: a.Rel, From: a.From, To: b.To}
+				return append(out[:i+1], out[i+2:]...), true
+			}
+		}
+	}
+	return expr, false
+}
+
+// Verify checks the core contract of a discovered mapping: evaluating the
+// expression on the source instance yields a database containing the
+// target instance.
+func Verify(expr fira.Expr, source, target *relation.Database, reg *lambda.Registry) error {
+	got, err := expr.Eval(source, reg)
+	if err != nil {
+		return err
+	}
+	if !got.Contains(target) {
+		return ErrNotContained
+	}
+	return nil
+}
+
+// ErrNotContained reports that a mapping expression, evaluated on the
+// source instance, fails to contain the target instance.
+var ErrNotContained = errors.New("core: mapped source instance does not contain the target instance")

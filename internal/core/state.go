@@ -1,0 +1,29 @@
+// Package core implements the TUPELO data mapping engine of "Data Mapping
+// as Search" (EDBT 2006): given critical instances s and t of a source and
+// target schema (the Rosetta Stone principle, §2.2), it searches the space
+// of transformations of s under the language L (package fira) until a state
+// containing t is reached (§2.3). The transformation path is the discovered
+// mapping expression.
+package core
+
+import (
+	"tupelo/internal/relation"
+)
+
+// dbState adapts a relational database to the search.State interface.
+// The canonical fingerprint is computed once and cached, since IDA and RBFS
+// revisit states frequently.
+type dbState struct {
+	db  *relation.Database
+	key string
+}
+
+func newState(db *relation.Database) *dbState {
+	return &dbState{db: db, key: db.Fingerprint()}
+}
+
+// Key implements search.State.
+func (s *dbState) Key() string { return s.key }
+
+// Database returns the underlying database.
+func (s *dbState) Database() *relation.Database { return s.db }

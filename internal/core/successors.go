@@ -1,0 +1,539 @@
+package core
+
+import (
+	"sort"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// mappingProblem is the search space of §2.3: states are databases, moves
+// are applications of L operators, the start state is the source critical
+// instance, and goals are states containing the target critical instance.
+type mappingProblem struct {
+	source *relation.Database
+	target *relation.Database
+	reg    *lambda.Registry
+	corrs  []lambda.Correspondence
+	prune  bool // apply the paper's "obviously inapplicable" rules
+
+	// Target-side token sets, computed once.
+	tRels  map[string]bool
+	tAttrs map[string]bool
+	tVals  map[string]bool
+	// tAttrVals maps each target attribute to the set of values the target
+	// holds under it (across relations); tRelVals likewise per relation.
+	// They power the value-evidence pruning of rename candidates.
+	tAttrVals map[string]map[string]bool
+	tRelVals  map[string]map[string]bool
+}
+
+func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
+	p := &mappingProblem{
+		source:    source,
+		target:    target,
+		reg:       opts.Registry,
+		corrs:     opts.Correspondences,
+		prune:     !opts.DisablePruning,
+		tRels:     target.RelationNames(),
+		tAttrs:    target.AttrNames(),
+		tVals:     target.ValueSet(),
+		tAttrVals: make(map[string]map[string]bool),
+		tRelVals:  make(map[string]map[string]bool),
+	}
+	for _, r := range target.Relations() {
+		rv := make(map[string]bool)
+		for _, a := range r.Attrs() {
+			av := p.tAttrVals[a]
+			if av == nil {
+				av = make(map[string]bool)
+				p.tAttrVals[a] = av
+			}
+			vals, err := r.ValuesOf(a)
+			if err != nil {
+				continue
+			}
+			for _, v := range vals {
+				av[v] = true
+				rv[v] = true
+			}
+		}
+		p.tRelVals[r.Name()] = rv
+	}
+	return p
+}
+
+// Start implements search.Problem.
+func (p *mappingProblem) Start() search.State { return newState(p.source) }
+
+// IsGoal implements search.Problem: the state is a structurally identical
+// superset of the target critical instance.
+func (p *mappingProblem) IsGoal(s search.State) bool {
+	return s.(*dbState).db.Contains(p.target)
+}
+
+// Successors implements search.Problem. Operator arguments are instantiated
+// from names and values present in the current state and the target
+// instance, giving the branching factor proportional to |s| + |t| that the
+// paper reports. Moves that fail to apply or that do not change the state
+// are dropped.
+func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
+	db := s.(*dbState).db
+	var ops []fira.Op
+	ops = append(ops, p.renameRelMoves(db)...)
+	ops = append(ops, p.renameAttMoves(db)...)
+	ops = append(ops, p.dropMoves(db)...)
+	ops = append(ops, p.promoteMoves(db)...)
+	ops = append(ops, p.demoteMoves(db)...)
+	ops = append(ops, p.derefMoves(db)...)
+	ops = append(ops, p.partitionMoves(db)...)
+	ops = append(ops, p.productMoves(db)...)
+	ops = append(ops, p.unionMoves(db)...)
+	ops = append(ops, p.mergeMoves(db)...)
+	ops = append(ops, p.applyMoves(db)...)
+
+	moves := make([]search.Move, 0, len(ops))
+	for _, op := range ops {
+		next, err := op.Apply(db, p.reg)
+		if err != nil {
+			// Candidate instantiation is optimistic; operators enforce
+			// their own preconditions. An inapplicable move is not an
+			// error, just not a successor.
+			continue
+		}
+		ns := newState(next)
+		if ns.key == s.Key() {
+			continue // no-op transformation
+		}
+		moves = append(moves, search.Move{Label: op.String(), To: ns, Cost: 1})
+	}
+	return moves, nil
+}
+
+// stateAttrs returns the set of attribute names in the state.
+func stateAttrs(db *relation.Database) map[string]bool { return db.AttrNames() }
+
+// hasAll reports whether every key of want is present in have.
+func hasAll(want, have map[string]bool) bool {
+	for k := range want {
+		if !have[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedMissing returns the keys of want missing from have, sorted.
+func sortedMissing(want, have map[string]bool) []string {
+	var out []string
+	for k := range want {
+		if !have[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renameRelMoves proposes ρ^rel: rename a state relation that the target
+// does not know to a target relation name the state is missing.
+func (p *mappingProblem) renameRelMoves(db *relation.Database) []fira.Op {
+	if p.prune && hasAll(p.tRels, db.RelationNames()) {
+		// Obviously inapplicable: every target relation name is present.
+		return nil
+	}
+	missing := sortedMissing(p.tRels, db.RelationNames())
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		if p.prune && p.tRels[r.Name()] {
+			continue // already a target relation name; renaming it away hurts
+		}
+		for _, to := range missing {
+			if p.prune && !p.relRenameEvidence(r, to) {
+				continue
+			}
+			ops = append(ops, fira.RenameRel{From: r.Name(), To: to})
+		}
+	}
+	return ops
+}
+
+// relRenameEvidence is the relation-level analogue of renameEvidence: a
+// rename R→N is supported when R shares at least one data value with the
+// target relation N, or either side is empty of values.
+func (p *mappingProblem) relRenameEvidence(r *relation.Relation, to string) bool {
+	tv := p.tRelVals[to]
+	if len(tv) == 0 || r.Len() == 0 {
+		return true
+	}
+	for i := 0; i < r.Len(); i++ {
+		for _, v := range r.Row(i) {
+			if tv[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// renameAttMoves proposes ρ^att: rename an attribute the target does not
+// know to a target attribute name missing from the state (schema matching).
+func (p *mappingProblem) renameAttMoves(db *relation.Database) []fira.Op {
+	attrs := stateAttrs(db)
+	if p.prune && hasAll(p.tAttrs, attrs) {
+		// The paper's §2.3 example rule: all target attribute names are
+		// already present, so attribute renaming cannot help.
+		return nil
+	}
+	missing := sortedMissing(p.tAttrs, attrs)
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		for _, a := range r.Attrs() {
+			if p.prune && p.tAttrs[a] {
+				continue // a is already a target attribute name
+			}
+			for _, to := range missing {
+				if p.prune && !p.renameEvidence(r, a, to) {
+					continue
+				}
+				ops = append(ops, fira.RenameAtt{Rel: r.Name(), From: a, To: to})
+			}
+		}
+	}
+	return ops
+}
+
+// renameEvidence reports whether renaming column a of r to target attribute
+// "to" is supported by the critical instances: some value under a also
+// appears under "to" in the target (or either side carries no values at
+// all, leaving the rename unconstrained). Without this rule every missing
+// target attribute pairs with every source column and matching degenerates
+// into exploring all n! assignments — the Rosetta Stone principle (§2.2)
+// says the example values are exactly the evidence that disambiguates.
+func (p *mappingProblem) renameEvidence(r *relation.Relation, a, to string) bool {
+	tv := p.tAttrVals[to]
+	if len(tv) == 0 || r.Len() == 0 {
+		return true
+	}
+	vals, err := r.ValuesOf(a)
+	if err != nil {
+		return false
+	}
+	for _, v := range vals {
+		if tv[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// dropMoves proposes π̄: drop a column the target does not use. Dropping is
+// never needed for containment alone, but it enables merges (Example 2).
+func (p *mappingProblem) dropMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		if r.Arity() <= 1 {
+			continue
+		}
+		for _, a := range r.Attrs() {
+			if p.prune && p.tAttrs[a] {
+				continue // target needs this attribute
+			}
+			ops = append(ops, fira.Drop{Rel: r.Name(), Attr: a})
+		}
+	}
+	return ops
+}
+
+// promoteMoves proposes ↑: promote a column whose values include target
+// attribute names, pairing it with a value column whose values the target
+// knows.
+func (p *mappingProblem) promoteMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		attrs := r.Attrs()
+		for _, nameAttr := range attrs {
+			if p.prune && !p.columnFeedsTargetAttrs(r, nameAttr) {
+				continue
+			}
+			for _, valAttr := range attrs {
+				if valAttr == nameAttr {
+					continue
+				}
+				if p.prune && !p.columnFeedsTargetValues(r, valAttr) {
+					continue
+				}
+				ops = append(ops, fira.Promote{Rel: r.Name(), NameAttr: nameAttr, ValueAttr: valAttr})
+			}
+		}
+	}
+	return ops
+}
+
+// columnFeedsTargetAttrs reports whether some value of the column is a
+// target attribute name not already an attribute of r (so promotion could
+// create a useful column).
+func (p *mappingProblem) columnFeedsTargetAttrs(r *relation.Relation, col string) bool {
+	vals, err := r.ValuesOf(col)
+	if err != nil {
+		return false
+	}
+	for _, v := range vals {
+		if p.tAttrs[v] && !r.HasAttr(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// columnFeedsTargetValues reports whether some value of the column occurs
+// among the target's data values.
+func (p *mappingProblem) columnFeedsTargetValues(r *relation.Relation, col string) bool {
+	vals, err := r.ValuesOf(col)
+	if err != nil {
+		return false
+	}
+	for _, v := range vals {
+		if p.tVals[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// demoteMoves proposes ↓ when the state's metadata (relation or attribute
+// names) appears among the target's data values, i.e. metadata must become
+// data.
+func (p *mappingProblem) demoteMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		if r.HasAttr(fira.DemoteRelCol) || r.HasAttr(fira.DemoteAttCol) {
+			continue
+		}
+		if p.prune {
+			useful := p.tVals[r.Name()]
+			for _, a := range r.Attrs() {
+				if p.tVals[a] {
+					useful = true
+					break
+				}
+			}
+			if !useful {
+				continue
+			}
+		}
+		ops = append(ops, fira.Demote{Rel: r.Name()})
+	}
+	return ops
+}
+
+// derefMoves proposes →: dereference a column whose values all name
+// attributes of the relation into a fresh target attribute.
+func (p *mappingProblem) derefMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		for _, ptr := range r.Attrs() {
+			vals, err := r.ValuesOf(ptr)
+			if err != nil || len(vals) == 0 {
+				continue
+			}
+			allAttrs := true
+			for _, v := range vals {
+				if !r.HasAttr(v) {
+					allAttrs = false
+					break
+				}
+			}
+			if !allAttrs {
+				continue
+			}
+			for _, out := range sortedMissing(p.tAttrs, map[string]bool{}) {
+				if r.HasAttr(out) {
+					continue
+				}
+				ops = append(ops, fira.Deref{Rel: r.Name(), PtrAttr: ptr, NewAttr: out})
+			}
+		}
+	}
+	return ops
+}
+
+// partitionMoves proposes ℘ on columns whose values include target relation
+// names.
+func (p *mappingProblem) partitionMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		for _, a := range r.Attrs() {
+			if p.prune {
+				vals, err := r.ValuesOf(a)
+				if err != nil {
+					continue
+				}
+				useful := false
+				for _, v := range vals {
+					if p.tRels[v] {
+						useful = true
+						break
+					}
+				}
+				if !useful {
+					continue
+				}
+			}
+			ops = append(ops, fira.Partition{Rel: r.Name(), Attr: a})
+		}
+	}
+	return ops
+}
+
+// productMoves proposes × between attribute-disjoint relations when some
+// target relation spans attributes of both operands.
+func (p *mappingProblem) productMoves(db *relation.Database) []fira.Op {
+	rels := db.Relations()
+	var ops []fira.Op
+	for i, l := range rels {
+		for j, r := range rels {
+			if i == j {
+				continue
+			}
+			if !attrDisjoint(l, r) {
+				continue
+			}
+			if p.prune && !p.targetSpans(l, r) {
+				continue
+			}
+			ops = append(ops, fira.Product{Left: l.Name(), Right: r.Name()})
+		}
+	}
+	return ops
+}
+
+func attrDisjoint(l, r *relation.Relation) bool {
+	for _, a := range r.Attrs() {
+		if l.HasAttr(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// targetSpans reports whether some target relation uses at least one
+// attribute from each operand, making their product plausibly useful.
+func (p *mappingProblem) targetSpans(l, r *relation.Relation) bool {
+	for _, t := range p.target.Relations() {
+		hasL, hasR := false, false
+		for _, a := range t.Attrs() {
+			if l.HasAttr(a) {
+				hasL = true
+			}
+			if r.HasAttr(a) {
+				hasR = true
+			}
+		}
+		if hasL && hasR {
+			return true
+		}
+	}
+	return false
+}
+
+// unionMoves proposes ∪ (outer union, the L extension inverse to ℘) when
+// the state has more relations than the target needs: two relations whose
+// names the target does not use, with identical attribute sets, collapse
+// into one. Without pruning, any ordered pair of relations qualifies.
+func (p *mappingProblem) unionMoves(db *relation.Database) []fira.Op {
+	if p.prune && db.Len() <= p.target.Len() {
+		return nil
+	}
+	rels := db.Relations()
+	var ops []fira.Op
+	for i, l := range rels {
+		for j, r := range rels {
+			if i == j {
+				continue
+			}
+			if p.prune {
+				if p.tRels[l.Name()] || p.tRels[r.Name()] {
+					continue // the target still wants these relations
+				}
+				if !sameAttrSet(l, r) {
+					continue
+				}
+			}
+			ops = append(ops, fira.Union{Left: l.Name(), Right: r.Name()})
+		}
+	}
+	return ops
+}
+
+func sameAttrSet(l, r *relation.Relation) bool {
+	if l.Arity() != r.Arity() {
+		return false
+	}
+	for _, a := range r.Attrs() {
+		if !l.HasAttr(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeMoves proposes µ on relations that contain absent (empty) cells —
+// the only situation in which merging changes anything.
+func (p *mappingProblem) mergeMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, r := range db.Relations() {
+		if p.prune && !hasEmptyCell(r) {
+			continue
+		}
+		for _, a := range r.Attrs() {
+			ops = append(ops, fira.Merge{Rel: r.Name(), Attr: a})
+		}
+	}
+	return ops
+}
+
+func hasEmptyCell(r *relation.Relation) bool {
+	for i := 0; i < r.Len(); i++ {
+		for _, v := range r.Row(i) {
+			if v == "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyMoves proposes λ for each user-indicated correspondence applicable
+// to a state relation (§4): the relation covers the input attributes, lacks
+// the output attribute, and the output attribute is one the target wants.
+func (p *mappingProblem) applyMoves(db *relation.Database) []fira.Op {
+	var ops []fira.Op
+	for _, c := range p.corrs {
+		for _, r := range db.Relations() {
+			if c.Rel != "" && c.Rel != r.Name() {
+				continue
+			}
+			if r.HasAttr(c.Out) {
+				continue
+			}
+			if p.prune && !p.tAttrs[c.Out] {
+				continue
+			}
+			ok := true
+			for _, in := range c.In {
+				if !r.HasAttr(in) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ops = append(ops, fira.Apply{Rel: r.Name(), Func: c.Func, In: c.In, Out: c.Out})
+		}
+	}
+	return ops
+}

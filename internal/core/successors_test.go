@@ -1,0 +1,222 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// successorLabels expands the source state of a problem and returns the
+// operator labels, for direct assertions on candidate generation.
+func successorLabels(t *testing.T, src, tgt *relation.Database, opts Options) []string {
+	t.Helper()
+	opts, err := opts.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := newProblem(src, tgt, opts)
+	moves, err := prob.Successors(prob.Start())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(moves))
+	for i, m := range moves {
+		labels[i] = m.Label
+	}
+	return labels
+}
+
+func hasLabel(labels []string, want string) bool {
+	for _, l := range labels {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// The value-evidence rule: renames are only proposed when the column's
+// values overlap the target's values under the new name (§2.2's Rosetta
+// Stone principle applied to candidate generation).
+func TestRenameEvidencePruning(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("R", []string{"A1", "A2"}, relation.Tuple{"a1", "a2"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("R", []string{"B1", "B2"}, relation.Tuple{"a1", "a2"}),
+	)
+	labels := successorLabels(t, src, tgt, DefaultOptions())
+	if !hasLabel(labels, "rename_att[R,A1->B1]") || !hasLabel(labels, "rename_att[R,A2->B2]") {
+		t.Fatalf("evidence-supported renames missing: %v", labels)
+	}
+	if hasLabel(labels, "rename_att[R,A1->B2]") || hasLabel(labels, "rename_att[R,A2->B1]") {
+		t.Fatalf("cross renames should be pruned by value evidence: %v", labels)
+	}
+	// Without pruning, all four renames are candidates.
+	opts := DefaultOptions()
+	opts.DisablePruning = true
+	labels = successorLabels(t, src, tgt, opts)
+	for _, want := range []string{
+		"rename_att[R,A1->B1]", "rename_att[R,A1->B2]",
+		"rename_att[R,A2->B1]", "rename_att[R,A2->B2]",
+	} {
+		if !hasLabel(labels, want) {
+			t.Fatalf("pruning disabled but %s missing: %v", want, labels)
+		}
+	}
+}
+
+func TestRelationRenameEvidence(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("Emp", []string{"A"}, relation.Tuple{"ann"}),
+		relation.MustNew("Dept", []string{"B"}, relation.Tuple{"sales"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("People", []string{"A"}, relation.Tuple{"ann"}),
+		relation.MustNew("Units", []string{"B"}, relation.Tuple{"sales"}),
+	)
+	labels := successorLabels(t, src, tgt, DefaultOptions())
+	if !hasLabel(labels, "rename_rel[Emp->People]") || !hasLabel(labels, "rename_rel[Dept->Units]") {
+		t.Fatalf("supported relation renames missing: %v", labels)
+	}
+	if hasLabel(labels, "rename_rel[Emp->Units]") || hasLabel(labels, "rename_rel[Dept->People]") {
+		t.Fatalf("cross relation renames should be pruned: %v", labels)
+	}
+}
+
+// The "obviously inapplicable" rule from §2.3: when every target attribute
+// name is present, no attribute renames are generated at all.
+func TestRenameSkippedWhenAllAttrsPresent(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("R", []string{"A", "B", "Extra"}, relation.Tuple{"1", "2", "3"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("R", []string{"A", "B"}, relation.Tuple{"9", "9"}),
+	)
+	labels := successorLabels(t, src, tgt, DefaultOptions())
+	for _, l := range labels {
+		if strings.HasPrefix(l, "rename_att") {
+			t.Fatalf("attribute rename generated although all target attributes are present: %v", labels)
+		}
+	}
+}
+
+func TestPromoteCandidatesRequireTargetEvidence(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			relation.Tuple{"AirEast", "ATL29", "100", "15"},
+		),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "ATL29"},
+			relation.Tuple{"AirEast", "100"},
+		),
+	)
+	labels := successorLabels(t, src, tgt, DefaultOptions())
+	if !hasLabel(labels, "promote[Prices,Route,Cost]") {
+		t.Fatalf("evidence-backed promote missing: %v", labels)
+	}
+	for _, l := range labels {
+		if strings.HasPrefix(l, "promote[Prices,Cost") || strings.HasPrefix(l, "promote[Prices,AgentFee") {
+			t.Fatalf("promote without attribute-name evidence generated: %v", labels)
+		}
+	}
+}
+
+func TestUnionCandidatesNeedSurplusRelations(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("P1", []string{"A"}, relation.Tuple{"x"}),
+		relation.MustNew("P2", []string{"A"}, relation.Tuple{"y"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("All", []string{"A"}, relation.Tuple{"x"}, relation.Tuple{"y"}),
+	)
+	labels := successorLabels(t, src, tgt, DefaultOptions())
+	if !hasLabel(labels, "union[P1,P2]") {
+		t.Fatalf("union candidate missing: %v", labels)
+	}
+	// With as many relations as the target wants, no unions are proposed.
+	sameCount := relation.MustDatabase(
+		relation.MustNew("P1", []string{"A"}, relation.Tuple{"x"}),
+	)
+	labels = successorLabels(t, sameCount, tgt, DefaultOptions())
+	for _, l := range labels {
+		if strings.HasPrefix(l, "union") {
+			t.Fatalf("union proposed without surplus relations: %v", labels)
+		}
+	}
+}
+
+// TestDiscoverUnionRoundTrip: partitioned source, single-relation target —
+// discovery must find the ∪-based mapping.
+func TestDiscoverUnionRoundTrip(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("P1", []string{"A", "B"}, relation.Tuple{"x", "1"}),
+		relation.MustNew("P2", []string{"A", "B"}, relation.Tuple{"y", "2"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("All", []string{"A", "B"},
+			relation.Tuple{"x", "1"},
+			relation.Tuple{"y", "2"},
+		),
+	)
+	res, err := Discover(src, tgt, Options{
+		Algorithm: search.RBFS,
+		Heuristic: heuristic.H3,
+		Limits:    search.Limits{MaxStates: 50000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res.Expr, src, tgt, nil); err != nil {
+		t.Fatalf("%v\n%s", err, res.Expr)
+	}
+	foundUnion := false
+	for _, op := range res.Expr {
+		if _, ok := op.(fira.Union); ok {
+			foundUnion = true
+		}
+	}
+	if !foundUnion {
+		t.Fatalf("expected a union step:\n%s", res.Expr)
+	}
+}
+
+// TestApplyEvidence: λ candidates are generated only toward target
+// attributes and only when inputs are present.
+func TestApplyCandidateFiltering(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("R", []string{"A", "B"}, relation.Tuple{"1", "2"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("R", []string{"A", "B", "S"}, relation.Tuple{"1", "2", "3"}),
+	)
+	opts := DefaultOptions()
+	opts.Registry = lambda.Builtins()
+	opts.Correspondences = []lambda.Correspondence{
+		{Func: "sum", In: []string{"A", "B"}, Out: "S"},                // applicable
+		{Func: "sum", In: []string{"A", "Z"}, Out: "S"},                // missing input
+		{Func: "sum", In: []string{"A", "B"}, Out: "Unwanted"},         // not a target attribute
+		{Func: "sum", In: []string{"A", "B"}, Out: "S2", Rel: "Other"}, // wrong relation
+	}
+	// The last correspondence's Out is not in the target either, but the
+	// relation filter already excludes it.
+	labels := successorLabels(t, src, tgt, opts)
+	if !hasLabel(labels, "apply[R,sum:A,B->S]") {
+		t.Fatalf("applicable λ missing: %v", labels)
+	}
+	count := 0
+	for _, l := range labels {
+		if strings.HasPrefix(l, "apply") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("expected exactly 1 λ candidate, got %d: %v", count, labels)
+	}
+}

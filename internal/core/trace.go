@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tupelo/internal/search"
+)
+
+// tracedProblem wraps a mapping problem and logs every expansion and goal
+// test to a writer, producing a human-readable transcript of the search —
+// useful for debugging heuristics and for teaching the search-space view
+// of §2.3.
+type tracedProblem struct {
+	inner search.Problem
+	w     io.Writer
+	n     int
+}
+
+// Trace wraps a problem so that its exploration is logged to w.
+func traceProblem(p search.Problem, w io.Writer) search.Problem {
+	return &tracedProblem{inner: p, w: w}
+}
+
+func (t *tracedProblem) Start() search.State { return t.inner.Start() }
+
+func (t *tracedProblem) IsGoal(s search.State) bool {
+	t.n++
+	ok := t.inner.IsGoal(s)
+	if ok {
+		fmt.Fprintf(t.w, "examine %d: GOAL\n", t.n)
+	} else {
+		fmt.Fprintf(t.w, "examine %d\n", t.n)
+	}
+	return ok
+}
+
+func (t *tracedProblem) Successors(s search.State) ([]search.Move, error) {
+	moves, err := t.inner.Successors(s)
+	if err != nil {
+		fmt.Fprintf(t.w, "expand: error: %v\n", err)
+		return nil, err
+	}
+	fmt.Fprintf(t.w, "expand: %d moves\n", len(moves))
+	for _, m := range moves {
+		fmt.Fprintf(t.w, "  move %s\n", m.Label)
+	}
+	return moves, nil
+}

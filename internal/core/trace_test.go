@@ -1,0 +1,34 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tupelo/internal/relation"
+)
+
+func TestTraceWriterTranscript(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("Emp", []string{"nm"}, relation.Tuple{"ann"}),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("Emp", []string{"Name"}, relation.Tuple{"ann"}),
+	)
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.TraceWriter = &buf
+	res, err := Discover(src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transcript := buf.String()
+	for _, want := range []string{"examine 1", "expand:", "rename_att[Emp,nm->Name]", "GOAL"} {
+		if !strings.Contains(transcript, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, transcript)
+		}
+	}
+	if len(res.Expr) != 1 {
+		t.Fatalf("tracing changed the result: %s", res.Expr)
+	}
+}

@@ -1,0 +1,39 @@
+package critio
+
+import "testing"
+
+// FuzzRead checks that the critical-instance reader never panics and that
+// every accepted instance survives a write → read round trip.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"relation R\n  A B\n  1 2\n",
+		"relation Prices\n  Carrier Route\n  AirEast ATL29\n\nmap sum(Cost, Fee) -> Total\n",
+		"map concat(First, Last) -> Passenger on Pass\n",
+		"# only comments\n\n",
+		"relation R\n  \"quoted attr\" B\n  \"a value\" \"\"\n",
+		"relation R\n  A\n  \"esc\\\"aped\"\n",
+		"relation\n",
+		"stray data\n",
+		"relation R\nrelation S\n",
+		"map bad -> T\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		inst, err := ReadString(src)
+		if err != nil {
+			return
+		}
+		back, err := ReadString(WriteString(inst))
+		if err != nil {
+			t.Fatalf("rewrite of accepted instance failed: %v", err)
+		}
+		if !back.DB.Equal(inst.DB) {
+			t.Fatal("write/read round trip changed the database")
+		}
+		if len(back.Corrs) != len(inst.Corrs) {
+			t.Fatal("write/read round trip changed the correspondences")
+		}
+	})
+}

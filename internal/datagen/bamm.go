@@ -1,0 +1,155 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"tupelo/internal/relation"
+)
+
+// BAMMDomain is one domain of the Books/Automobiles/Music/Movies (BAMM)
+// collection of deep-web query schemas used in Experiment 2 (§5.2). The
+// original dataset (UIUC Web Integration Repository) is no longer
+// distributable, so the generator reconstructs its published shape: four
+// domains with 55, 55, 49, and 52 schemas of 1–8 attributes drawn from
+// per-domain vocabularies with synonym variation. The experiment maps a
+// fixed schema in each domain to every sibling schema, so what matters is
+// schema size and attribute-name overlap — both reproduced here.
+type BAMMDomain struct {
+	// Name is the domain name (Books, Auto, Music, Movies).
+	Name string
+	// Fixed is the critical instance of the fixed source schema, which
+	// covers every domain concept so a mapping to any sibling exists.
+	Fixed *relation.Database
+	// Targets are the critical instances of the sibling schemas.
+	Targets []*relation.Database
+}
+
+// concept is a domain concept with its synonymous attribute names (the
+// first synonym is canonical) and an example value.
+type concept struct {
+	synonyms []string
+	value    string
+}
+
+// domainSpec describes one BAMM domain.
+type domainSpec struct {
+	name     string
+	relName  string
+	count    int // schemas in the domain, per the paper
+	concepts []concept
+}
+
+func bammSpecs() []domainSpec {
+	return []domainSpec{
+		{
+			name: "Books", relName: "BookSearch", count: 55,
+			concepts: []concept{
+				{[]string{"Title", "BookTitle", "Name"}, "The Hobbit"},
+				{[]string{"Author", "Writer", "AuthorName"}, "Tolkien"},
+				{[]string{"ISBN", "ISBNNumber"}, "0618968633"},
+				{[]string{"Publisher", "Press"}, "HMH"},
+				{[]string{"Price", "Cost", "ListPrice"}, "12.99"},
+				{[]string{"Format", "Binding"}, "Paperback"},
+				{[]string{"Subject", "Category", "Genre"}, "Fantasy"},
+				{[]string{"Keyword", "SearchTerm"}, "dragons"},
+			},
+		},
+		{
+			name: "Auto", relName: "CarSearch", count: 55,
+			concepts: []concept{
+				{[]string{"Make", "Brand", "Manufacturer"}, "Honda"},
+				{[]string{"Model", "ModelName"}, "Civic"},
+				{[]string{"Year", "ModelYear"}, "2004"},
+				{[]string{"Price", "AskingPrice", "Cost"}, "8500"},
+				{[]string{"Mileage", "Miles", "Odometer"}, "72000"},
+				{[]string{"Color", "ExteriorColor"}, "Silver"},
+				{[]string{"ZipCode", "Zip", "Location"}, "47401"},
+				{[]string{"BodyStyle", "Type"}, "Sedan"},
+			},
+		},
+		{
+			name: "Music", relName: "MusicSearch", count: 49,
+			concepts: []concept{
+				{[]string{"Artist", "Band", "Performer"}, "Miles Davis"},
+				{[]string{"Album", "AlbumTitle", "Record"}, "Kind of Blue"},
+				{[]string{"Song", "Track", "SongTitle"}, "So What"},
+				{[]string{"Genre", "Style", "Category"}, "Jazz"},
+				{[]string{"Label", "RecordLabel"}, "Columbia"},
+				{[]string{"Year", "ReleaseYear"}, "1959"},
+				{[]string{"Format", "Media"}, "CD"},
+				{[]string{"Price", "Cost"}, "9.99"},
+			},
+		},
+		{
+			name: "Movies", relName: "MovieSearch", count: 52,
+			concepts: []concept{
+				{[]string{"Title", "MovieTitle", "Name"}, "Metropolis"},
+				{[]string{"Director", "DirectedBy"}, "Fritz Lang"},
+				{[]string{"Actor", "Star", "Cast"}, "Brigitte Helm"},
+				{[]string{"Genre", "Category", "Kind"}, "SciFi"},
+				{[]string{"Year", "ReleaseYear"}, "1927"},
+				{[]string{"Rating", "MPAA"}, "NR"},
+				{[]string{"Format", "Media"}, "DVD"},
+				{[]string{"Studio", "Distributor"}, "UFA"},
+			},
+		},
+	}
+}
+
+// BAMM generates the four domains deterministically from the seed.
+func BAMM(seed int64) []BAMMDomain {
+	specs := bammSpecs()
+	out := make([]BAMMDomain, len(specs))
+	for i, spec := range specs {
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		out[i] = genDomain(spec, rng)
+	}
+	return out
+}
+
+func genDomain(spec domainSpec, rng *rand.Rand) BAMMDomain {
+	d := BAMMDomain{Name: spec.name}
+	// The fixed schema covers all concepts with canonical attribute names.
+	d.Fixed = schemaInstance(spec, allConceptIdx(spec), nil)
+	// Sibling schemas: count-1 of them, sizes 1..min(8, #concepts),
+	// synonyms chosen at random.
+	for n := 0; n < spec.count-1; n++ {
+		size := 1 + rng.Intn(8)
+		if size > len(spec.concepts) {
+			size = len(spec.concepts)
+		}
+		idx := rng.Perm(len(spec.concepts))[:size]
+		syn := make(map[int]int, size)
+		for _, ci := range idx {
+			syn[ci] = rng.Intn(len(spec.concepts[ci].synonyms))
+		}
+		d.Targets = append(d.Targets, schemaInstance(spec, idx, syn))
+	}
+	return d
+}
+
+func allConceptIdx(spec domainSpec) []int {
+	idx := make([]int, len(spec.concepts))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// schemaInstance builds the critical instance of one schema: the chosen
+// concepts under the chosen synonyms, with one tuple of the domain's
+// canonical values (the Rosetta Stone principle: every schema illustrates
+// the same information).
+func schemaInstance(spec domainSpec, conceptIdx []int, synonymOf map[int]int) *relation.Database {
+	attrs := make([]string, len(conceptIdx))
+	row := make(relation.Tuple, len(conceptIdx))
+	for i, ci := range conceptIdx {
+		s := 0
+		if synonymOf != nil {
+			s = synonymOf[ci]
+		}
+		attrs[i] = spec.concepts[ci].synonyms[s]
+		row[i] = spec.concepts[ci].value
+	}
+	return relation.MustDatabase(relation.MustNew(spec.relName, attrs, row))
+}

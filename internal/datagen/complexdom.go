@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"fmt"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// ComplexDomain is one of the Experiment 3 domains (§5.3): a source schema
+// with a set of complex (many-to-one) semantic correspondences into a
+// target schema. The Illinois Semantic Integration Archive datasets the
+// paper used (Inventory: 10 complex mappings; Real Estate II: 12) are no
+// longer available, so both domains are reconstructed with the published
+// number and kinds of correspondences (arithmetic, concatenation, unit and
+// format conversions, lookups).
+type ComplexDomain struct {
+	// Name is the domain name.
+	Name string
+	// Source is the source critical instance.
+	Source *relation.Database
+	// Registry resolves the domain's complex functions.
+	Registry *lambda.Registry
+	// Corrs are all available complex correspondences (10 or 12).
+	Corrs []lambda.Correspondence
+
+	srcRel  string
+	keyAttr string
+}
+
+// Inventory reconstructs the Inventory domain with its 10 complex
+// correspondences.
+func Inventory() *ComplexDomain {
+	reg := lambda.Builtins()
+	reg.MustRegister(lambda.LookupTable("category_code", map[string]string{
+		"Tools":       "T01",
+		"Electronics": "E01",
+	}))
+	src := relation.MustDatabase(
+		relation.MustNew("Items",
+			[]string{"ItemID", "Product", "Qty", "Reserved", "UnitPrice", "UnitCost", "Shipping", "WeightLb", "Listed", "SupFirst", "SupLast", "Category"},
+			relation.Tuple{"i1", "Widget", "12", "2", "5", "3", "1", "100", "7/4/2006", "John", "Smith", "Tools"},
+			relation.Tuple{"i2", "Gadget", "8", "1", "10", "6", "2", "50", "1/15/2006", "Jane", "Doe", "Electronics"},
+		),
+	)
+	corrs := []lambda.Correspondence{
+		{Func: "product", In: []string{"UnitPrice", "Qty"}, Out: "TotalPrice"},
+		{Func: "product", In: []string{"UnitCost", "Qty"}, Out: "TotalCost"},
+		{Func: "difference", In: []string{"UnitPrice", "UnitCost"}, Out: "Margin"},
+		{Func: "lb_to_kg", In: []string{"WeightLb"}, Out: "WeightKg"},
+		{Func: "usd_to_eur", In: []string{"UnitPrice"}, Out: "PriceEUR"},
+		{Func: "concat", In: []string{"SupFirst", "SupLast"}, Out: "Supplier"},
+		{Func: "date_us_to_iso", In: []string{"Listed"}, Out: "ListedISO"},
+		{Func: "category_code", In: []string{"Category"}, Out: "CatCode"},
+		{Func: "sum", In: []string{"UnitPrice", "Shipping"}, Out: "Delivered"},
+		{Func: "difference", In: []string{"Qty", "Reserved"}, Out: "Available"},
+	}
+	return &ComplexDomain{
+		Name: "Inventory", Source: src, Registry: reg, Corrs: corrs,
+		srcRel: "Items", keyAttr: "ItemID",
+	}
+}
+
+// RealEstateII reconstructs the Real Estate II domain with its 12 complex
+// correspondences.
+func RealEstateII() *ComplexDomain {
+	reg := lambda.Builtins()
+	reg.MustRegister(lambda.LookupTable("state_code", map[string]string{
+		"Indiana":  "IN",
+		"Illinois": "IL",
+	}))
+	reg.MustRegister(lambda.Scale("sqft_to_acre", 1.0/43560))
+	reg.MustRegister(lambda.Scale("per_month", 1.0/12))
+	reg.MustRegister(lambda.Scale("sqft_to_sqm", 0.09290304))
+	src := relation.MustDatabase(
+		relation.MustNew("Listings",
+			[]string{"MLS", "Street", "City", "State", "Beds", "Baths", "SqFt", "LotSqFt", "PriceUSD", "TaxUSD", "AgentFirst", "AgentLast", "Listed"},
+			relation.Tuple{"m1", "12 Oak St", "Bloomington", "Indiana", "3", "2", "1500", "8000", "250000", "2400", "Ann", "Lee", "3/2/2006"},
+			relation.Tuple{"m2", "9 Elm Ave", "Chicago", "Illinois", "2", "1", "900", "4000", "310000", "3100", "Bob", "Ray", "11/20/2005"},
+		),
+	)
+	corrs := []lambda.Correspondence{
+		{Func: "concat", In: []string{"Street", "City"}, Out: "Address"},
+		{Func: "concat", In: []string{"AgentFirst", "AgentLast"}, Out: "Agent"},
+		{Func: "usd_to_eur", In: []string{"PriceUSD"}, Out: "PriceEUR"},
+		{Func: "sum", In: []string{"Beds", "Baths"}, Out: "TotalRooms"},
+		{Func: "ratio", In: []string{"PriceUSD", "SqFt"}, Out: "PricePerSqFt"},
+		{Func: "sqft_to_acre", In: []string{"LotSqFt"}, Out: "LotAcres"},
+		{Func: "date_us_to_iso", In: []string{"Listed"}, Out: "ListedISO"},
+		{Func: "per_month", In: []string{"TaxUSD"}, Out: "TaxMonthly"},
+		{Func: "sum", In: []string{"PriceUSD", "TaxUSD"}, Out: "FirstYearCost"},
+		{Func: "state_code", In: []string{"State"}, Out: "StateCode"},
+		{Func: "sqft_to_sqm", In: []string{"SqFt"}, Out: "SqM"},
+		{Func: "concat", In: []string{"City", "State"}, Out: "Region"},
+	}
+	return &ComplexDomain{
+		Name: "RealEstateII", Source: src, Registry: reg, Corrs: corrs,
+		srcRel: "Listings", keyAttr: "MLS",
+	}
+}
+
+// Task derives the mapping task with the first n complex functions: the
+// target critical instance holds the key attribute plus the n function
+// outputs (computed by actually running the functions). The relation name
+// is unchanged, so the task isolates λ discovery — exactly the quantity the
+// paper's Fig. 9 varies on its x-axis. It returns the source instance, the
+// target instance, and the n correspondences to hand to the mapper.
+func (d *ComplexDomain) Task(n int) (src, tgt *relation.Database, corrs []lambda.Correspondence, err error) {
+	if n < 1 || n > len(d.Corrs) {
+		return nil, nil, nil, fmt.Errorf("datagen: %s supports 1..%d complex functions, got %d", d.Name, len(d.Corrs), n)
+	}
+	corrs = append([]lambda.Correspondence(nil), d.Corrs[:n]...)
+	expr := fira.Expr{}
+	outs := []string{d.keyAttr}
+	for _, c := range corrs {
+		expr = expr.Then(fira.Apply{Rel: d.srcRel, Func: c.Func, In: c.In, Out: c.Out})
+		outs = append(outs, c.Out)
+	}
+	full, err := expr.Eval(d.Source, d.Registry)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("datagen: computing %s target: %v", d.Name, err)
+	}
+	r, _ := full.Relation(d.srcRel)
+	proj, err := r.Project(outs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tgt, err = relation.NewDatabase(proj)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d.Source, tgt, corrs, nil
+}

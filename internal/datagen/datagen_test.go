@@ -1,0 +1,249 @@
+package datagen
+
+import (
+	"fmt"
+	"testing"
+
+	"tupelo/internal/core"
+	"tupelo/internal/fira"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/lambda"
+	"tupelo/internal/search"
+)
+
+func TestFlightsFixtures(t *testing.T) {
+	a, b, c := FlightsA(), FlightsB(), FlightsC()
+	if a.Len() != 1 || b.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("relation counts: %d %d %d", a.Len(), b.Len(), c.Len())
+	}
+	// Example 2's mapping must carry B to exactly A — the fixtures encode
+	// the same information (Rosetta Stone principle).
+	expr := fira.MustParse(`
+		promote[Prices,Route,Cost]
+		drop[Prices,Route]
+		drop[Prices,Cost]
+		merge[Prices,Carrier]
+		rename_att[Prices,AgentFee->Fee]
+		rename_rel[Prices->Flights]
+	`)
+	got, err := expr.Eval(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatalf("fixtures are inconsistent:\n%s\nvs\n%s", got, a)
+	}
+}
+
+func TestMatchingPairShape(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		src, tgt := MatchingPair(n)
+		s, _ := src.Relation("S")
+		g, _ := tgt.Relation("S")
+		if s.Arity() != n || g.Arity() != n || s.Len() != 1 || g.Len() != 1 {
+			t.Fatalf("n=%d: %dx%d -> %dx%d", n, s.Len(), s.Arity(), g.Len(), g.Arity())
+		}
+		// Same values, disjoint attribute names.
+		for _, a := range s.Attrs() {
+			if g.HasAttr(a) {
+				t.Fatalf("n=%d: attribute %s shared", n, a)
+			}
+		}
+	}
+}
+
+func TestMatchingPairPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatchingPair(0) should panic")
+		}
+	}()
+	MatchingPair(0)
+}
+
+func TestMatchingPairDiscoverable(t *testing.T) {
+	src, tgt := MatchingPair(4)
+	res, err := core.Discover(src, tgt, core.Options{
+		Algorithm: search.RBFS,
+		Heuristic: heuristic.H1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Expr) != 4 {
+		t.Fatalf("mapping has %d steps, want 4:\n%s", len(res.Expr), res.Expr)
+	}
+	if err := core.Verify(res.Expr, src, tgt, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBAMMShape(t *testing.T) {
+	domains := BAMM(1)
+	if len(domains) != 4 {
+		t.Fatalf("got %d domains, want 4", len(domains))
+	}
+	wantCounts := map[string]int{"Books": 55, "Auto": 55, "Music": 49, "Movies": 52}
+	for _, d := range domains {
+		want, ok := wantCounts[d.Name]
+		if !ok {
+			t.Fatalf("unexpected domain %s", d.Name)
+		}
+		// Fixed schema + targets = the paper's published count.
+		if got := len(d.Targets) + 1; got != want {
+			t.Fatalf("%s has %d schemas, want %d", d.Name, got, want)
+		}
+		fixed := d.Fixed.Relations()[0]
+		if fixed.Arity() != 8 {
+			t.Fatalf("%s fixed schema arity = %d, want 8 (all concepts)", d.Name, fixed.Arity())
+		}
+		for i, tgt := range d.Targets {
+			r := tgt.Relations()[0]
+			if r.Arity() < 1 || r.Arity() > 8 {
+				t.Fatalf("%s target %d arity = %d, want 1..8", d.Name, i, r.Arity())
+			}
+			if r.Len() != 1 {
+				t.Fatalf("%s target %d has %d tuples, want 1", d.Name, i, r.Len())
+			}
+			if r.Name() != fixed.Name() {
+				t.Fatalf("%s target %d relation name %q differs from fixed %q", d.Name, i, r.Name(), fixed.Name())
+			}
+		}
+	}
+}
+
+func TestBAMMDeterministic(t *testing.T) {
+	a, b := BAMM(42), BAMM(42)
+	for i := range a {
+		if !a[i].Fixed.Equal(b[i].Fixed) {
+			t.Fatalf("%s fixed not deterministic", a[i].Name)
+		}
+		for j := range a[i].Targets {
+			if !a[i].Targets[j].Equal(b[i].Targets[j]) {
+				t.Fatalf("%s target %d not deterministic", a[i].Name, j)
+			}
+		}
+	}
+	c := BAMM(43)
+	same := true
+	for i := range a {
+		for j := range a[i].Targets {
+			if !a[i].Targets[j].Equal(c[i].Targets[j]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical domains")
+	}
+}
+
+func TestBAMMEveryTargetReachable(t *testing.T) {
+	// Every sibling schema must be reachable from the fixed schema: all its
+	// values appear in the fixed instance, and its attributes are either
+	// shared or renameable. Verify by discovery on a sample.
+	domains := BAMM(7)
+	for _, d := range domains {
+		for i := 0; i < len(d.Targets); i += 10 {
+			tgt := d.Targets[i]
+			res, err := core.Discover(d.Fixed, tgt, core.Options{
+				Algorithm: search.RBFS,
+				Heuristic: heuristic.Cosine,
+				Limits:    search.Limits{MaxStates: 100000},
+			})
+			if err != nil {
+				t.Fatalf("%s target %d: %v", d.Name, i, err)
+			}
+			if err := core.Verify(res.Expr, d.Fixed, tgt, nil); err != nil {
+				t.Fatalf("%s target %d: %v", d.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestComplexDomainCounts(t *testing.T) {
+	if n := len(Inventory().Corrs); n != 10 {
+		t.Fatalf("Inventory has %d correspondences, want 10 (paper §5.3)", n)
+	}
+	if n := len(RealEstateII().Corrs); n != 12 {
+		t.Fatalf("RealEstateII has %d correspondences, want 12 (paper §5.3)", n)
+	}
+}
+
+func TestComplexDomainTaskShape(t *testing.T) {
+	for _, d := range []*ComplexDomain{Inventory(), RealEstateII()} {
+		for n := 1; n <= 8; n++ {
+			src, tgt, corrs, err := d.Task(n)
+			if err != nil {
+				t.Fatalf("%s Task(%d): %v", d.Name, n, err)
+			}
+			if len(corrs) != n {
+				t.Fatalf("%s Task(%d): %d correspondences", d.Name, n, len(corrs))
+			}
+			r := tgt.Relations()[0]
+			if r.Arity() != n+1 { // key + n outputs
+				t.Fatalf("%s Task(%d): target arity %d, want %d", d.Name, n, r.Arity(), n+1)
+			}
+			if src != d.Source {
+				t.Fatalf("%s Task(%d): source changed", d.Name, n)
+			}
+		}
+		if _, _, _, err := d.Task(0); err == nil {
+			t.Fatalf("%s Task(0) should fail", d.Name)
+		}
+		if _, _, _, err := d.Task(len(d.Corrs) + 1); err == nil {
+			t.Fatalf("%s Task(too many) should fail", d.Name)
+		}
+	}
+}
+
+func TestComplexDomainTaskDiscoverable(t *testing.T) {
+	for _, d := range []*ComplexDomain{Inventory(), RealEstateII()} {
+		for _, n := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/%d", d.Name, n), func(t *testing.T) {
+				src, tgt, corrs, err := d.Task(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Discover(src, tgt, core.Options{
+					Algorithm:       search.RBFS,
+					Heuristic:       heuristic.Cosine,
+					Registry:        d.Registry,
+					Correspondences: corrs,
+					Limits:          search.Limits{MaxStates: 100000},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := core.Verify(res.Expr, src, tgt, d.Registry); err != nil {
+					t.Fatalf("%v\n%s", err, res.Expr)
+				}
+				// The mapping needs exactly n λ steps plus the relation
+				// rename; tolerate reorderings but count λs.
+				lambdas := 0
+				for _, op := range res.Expr {
+					if _, ok := op.(fira.Apply); ok {
+						lambdas++
+					}
+				}
+				if lambdas != n {
+					t.Fatalf("expected %d λ steps, got %d:\n%s", n, lambdas, res.Expr)
+				}
+			})
+		}
+	}
+}
+
+func TestComplexDomainRegistriesIndependent(t *testing.T) {
+	// Each call builds fresh registries; registering domain lookups twice
+	// must not collide.
+	a := Inventory()
+	b := Inventory()
+	if a.Registry == b.Registry {
+		t.Fatal("registries shared between instances")
+	}
+	if _, ok := a.Registry.Lookup("category_code"); !ok {
+		t.Fatal("category_code missing")
+	}
+	var _ = lambda.Correspondence{}
+}

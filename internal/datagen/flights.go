@@ -1,0 +1,101 @@
+// Package datagen builds the workloads of the paper's evaluation (§5):
+// the Fig. 1 airline databases, the synthetic schema-matching pairs of
+// Experiment 1, a faithful stand-in for the BAMM deep-web schema collection
+// of Experiment 2, and the Inventory / Real Estate II complex-mapping
+// domains of Experiment 3. All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+
+	"tupelo/internal/relation"
+)
+
+// FlightsA returns the paper's Fig. 1 database FlightsA: routes as
+// attribute names, one row per carrier.
+func FlightsA() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("Flights", []string{"Carrier", "Fee", "ATL29", "ORD17"},
+			relation.Tuple{"AirEast", "15", "100", "110"},
+			relation.Tuple{"JetWest", "16", "200", "220"},
+		),
+	)
+}
+
+// FlightsB returns Fig. 1's FlightsB: fully flat, one row per
+// (carrier, route) pair.
+func FlightsB() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			relation.Tuple{"AirEast", "ATL29", "100", "15"},
+			relation.Tuple{"JetWest", "ATL29", "200", "16"},
+			relation.Tuple{"AirEast", "ORD17", "110", "15"},
+			relation.Tuple{"JetWest", "ORD17", "220", "16"},
+		),
+	)
+}
+
+// FlightsScaled generalizes the Fig. 1 pair to arbitrary size: a FlightsB-
+// style source with carriers × routes rows and a FlightsA-style target with
+// one attribute per route. The mapping is Example 2's regardless of size
+// (promote, two drops, merge, two renames), so the pair isolates how
+// critical-instance *size* — the |s| + |t| of §2.3 — affects branching and
+// states examined. Used by the scaling extension experiment.
+func FlightsScaled(routes, carriers int) (src, tgt *relation.Database) {
+	if routes < 1 || carriers < 1 {
+		panic("datagen: FlightsScaled needs at least one route and carrier")
+	}
+	routeNames := make([]string, routes)
+	for i := range routeNames {
+		routeNames[i] = fmt.Sprintf("RT%02d", i+1)
+	}
+	carrierNames := make([]string, carriers)
+	fees := make([]int, carriers)
+	for i := range carrierNames {
+		carrierNames[i] = fmt.Sprintf("Air%02d", i+1)
+		fees[i] = 10 + i
+	}
+	cost := func(c, r int) int { return 100*(c+1) + 10*r }
+
+	srcRel := relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"})
+	for c := range carrierNames {
+		for r := range routeNames {
+			var err error
+			srcRel, err = srcRel.Insert(relation.Tuple{
+				carrierNames[c], routeNames[r],
+				fmt.Sprintf("%d", cost(c, r)), fmt.Sprintf("%d", fees[c]),
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	tgtRel := relation.MustNew("Flights", append([]string{"Carrier", "Fee"}, routeNames...))
+	for c := range carrierNames {
+		row := relation.Tuple{carrierNames[c], fmt.Sprintf("%d", fees[c])}
+		for r := range routeNames {
+			row = append(row, fmt.Sprintf("%d", cost(c, r)))
+		}
+		var err error
+		tgtRel, err = tgtRel.Insert(row)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return relation.MustDatabase(srcRel), relation.MustDatabase(tgtRel)
+}
+
+// FlightsC returns Fig. 1's FlightsC: carriers as relation names, with the
+// complex TotalCost column (BaseCost + the carrier's fee).
+func FlightsC() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("AirEast", []string{"Route", "BaseCost", "TotalCost"},
+			relation.Tuple{"ATL29", "100", "115"},
+			relation.Tuple{"ORD17", "110", "125"},
+		),
+		relation.MustNew("JetWest", []string{"Route", "BaseCost", "TotalCost"},
+			relation.Tuple{"ATL29", "200", "216"},
+			relation.Tuple{"ORD17", "220", "236"},
+		),
+	)
+}

@@ -1,0 +1,53 @@
+package datagen
+
+import (
+	"testing"
+
+	"tupelo/internal/fira"
+)
+
+// The scaled Fig. 1 pair must stay consistent: Example 2's mapping carries
+// the scaled source exactly onto the scaled target for every grid size.
+func TestFlightsScaledConsistent(t *testing.T) {
+	expr := fira.MustParse(`
+		promote[Prices,Route,Cost]
+		drop[Prices,Route]
+		drop[Prices,Cost]
+		merge[Prices,Carrier]
+		rename_att[Prices,AgentFee->Fee]
+		rename_rel[Prices->Flights]
+	`)
+	for _, g := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {5, 4}, {8, 3}} {
+		src, tgt := FlightsScaled(g[0], g[1])
+		got, err := expr.Eval(src, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if !got.Equal(tgt) {
+			t.Fatalf("grid %v: mapped source does not equal target:\n%s\nvs\n%s", g, got, tgt)
+		}
+	}
+}
+
+func TestFlightsScaledSizes(t *testing.T) {
+	src, tgt := FlightsScaled(7, 5)
+	s, _ := src.Relation("Prices")
+	g, _ := tgt.Relation("Flights")
+	if s.Len() != 35 || g.Len() != 5 || g.Arity() != 9 {
+		t.Fatalf("7×5 shapes: src %d×%d, tgt %d×%d", s.Len(), s.Arity(), g.Len(), g.Arity())
+	}
+	// Distinct costs everywhere (set semantics must not collapse rows).
+	costs, _ := s.ValuesOf("Cost")
+	if len(costs) != 35 {
+		t.Fatalf("expected 35 distinct costs, got %d", len(costs))
+	}
+}
+
+func TestFlightsScaledCarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlightsScaled(1, 0) should panic")
+		}
+	}()
+	FlightsScaled(1, 0)
+}

@@ -1,0 +1,32 @@
+package datagen
+
+import (
+	"fmt"
+
+	"tupelo/internal/relation"
+)
+
+// MatchingPair builds the Experiment 1 workload (§5.1): a pair of schemas
+// with n attributes each, populated with one tuple illustrating the
+// correspondences A_i ↔ B_i:
+//
+//	⟨ A1 … An        B1 … Bn ⟩
+//	  a1 … an   ,    a1 … an
+//
+// The correct mapping is the n attribute renames A_i → B_i.
+func MatchingPair(n int) (src, tgt *relation.Database) {
+	if n < 1 {
+		panic(fmt.Sprintf("datagen: MatchingPair(%d): n must be positive", n))
+	}
+	aAttrs := make([]string, n)
+	bAttrs := make([]string, n)
+	row := make(relation.Tuple, n)
+	for i := 0; i < n; i++ {
+		aAttrs[i] = fmt.Sprintf("A%d", i+1)
+		bAttrs[i] = fmt.Sprintf("B%d", i+1)
+		row[i] = fmt.Sprintf("a%d", i+1)
+	}
+	src = relation.MustDatabase(relation.MustNew("S", aAttrs, row.Clone()))
+	tgt = relation.MustDatabase(relation.MustNew("S", bAttrs, row.Clone()))
+	return src, tgt
+}

@@ -1,0 +1,148 @@
+package datagen
+
+import (
+	"testing"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// The paper's Example 1 claims TUPELO's language can map between all three
+// Fig. 1 databases. These tests write out an L expression for every one of
+// the six directions and execute it; σ-free L yields supersets in the
+// directions that shed structure, which is exactly the containment the
+// goal test (§2.3) asks for. Directions that rebuild all structure land on
+// the target exactly.
+
+func evalTriangle(t *testing.T, src *relation.Database, exprText string) *relation.Database {
+	t.Helper()
+	got, err := fira.MustParse(exprText).Eval(src, lambda.Builtins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// B→A: Example 2 of the paper (promote + drop + merge + renames).
+func TestTriangleBToA(t *testing.T) {
+	got := evalTriangle(t, FlightsB(), `
+		promote[Prices,Route,Cost]
+		drop[Prices,Route]
+		drop[Prices,Cost]
+		merge[Prices,Carrier]
+		rename_att[Prices,AgentFee->Fee]
+		rename_rel[Prices->Flights]
+	`)
+	if !got.Equal(FlightsA()) {
+		t.Fatalf("B→A:\n%s", got)
+	}
+}
+
+// A→B: demote the route attributes back into data; the demoted metadata
+// rows for Carrier and Fee survive (σ is post-processing), so the result
+// strictly contains FlightsB.
+func TestTriangleAToB(t *testing.T) {
+	got := evalTriangle(t, FlightsA(), `
+		demote[Flights]
+		deref[Flights,_ATT->Cost]
+		rename_att[Flights,_ATT->Route]
+		drop[Flights,_REL]
+		rename_att[Flights,Fee->AgentFee]
+		drop[Flights,ATL29]
+		drop[Flights,ORD17]
+		rename_rel[Flights->Prices]
+	`)
+	if !got.Contains(FlightsB()) {
+		t.Fatalf("A→B does not contain FlightsB:\n%s", got)
+	}
+}
+
+// B→C: the complex function f3 (TotalCost = Cost + AgentFee) plus a
+// partition on Carrier; exact.
+func TestTriangleBToC(t *testing.T) {
+	got := evalTriangle(t, FlightsB(), `
+		apply[Prices,sum:Cost,AgentFee->TotalCost]
+		rename_att[Prices,Cost->BaseCost]
+		drop[Prices,AgentFee]
+		partition[Prices,Carrier]
+		drop[AirEast,Carrier]
+		drop[JetWest,Carrier]
+	`)
+	if !got.Equal(FlightsC()) {
+		t.Fatalf("B→C:\n%s", got)
+	}
+}
+
+// C→B: the inverse complex function (AgentFee = TotalCost − BaseCost),
+// relation names demoted into the Carrier column, and the per-carrier
+// relations collapsed with the outer union ∪ (the FIRA operator beyond the
+// paper's Table 1 fragment that these directions need).
+func TestTriangleCToB(t *testing.T) {
+	got := evalTriangle(t, FlightsC(), `
+		apply[AirEast,difference:TotalCost,BaseCost->AgentFee]
+		apply[JetWest,difference:TotalCost,BaseCost->AgentFee]
+		demote[AirEast]
+		demote[JetWest]
+		drop[AirEast,_ATT]
+		drop[JetWest,_ATT]
+		rename_att[AirEast,_REL->Carrier]
+		rename_att[JetWest,_REL->Carrier]
+		union[AirEast,JetWest]
+		rename_att[AirEast,BaseCost->Cost]
+		rename_rel[AirEast->Prices]
+	`)
+	if !got.Contains(FlightsB()) {
+		t.Fatalf("C→B does not contain FlightsB:\n%s", got)
+	}
+}
+
+// A→C: demote the route attributes, dereference their costs, compute
+// TotalCost with f3, and partition by carrier. The λ is undefined on the
+// demoted metadata rows (BaseCost = "AirEast" is not a number) and leaves
+// them absent — the per-tuple identity semantics of §4.
+func TestTriangleAToC(t *testing.T) {
+	got := evalTriangle(t, FlightsA(), `
+		demote[Flights]
+		deref[Flights,_ATT->BaseCost]
+		rename_att[Flights,_ATT->Route]
+		apply[Flights,sum:BaseCost,Fee->TotalCost]
+		partition[Flights,Carrier]
+	`)
+	if !got.Contains(FlightsC()) {
+		t.Fatalf("A→C does not contain FlightsC:\n%s", got)
+	}
+}
+
+// C→A: rebuild the pivoted table per carrier (promote + merge), recover
+// the carrier names from the relation names (demote), and collapse with
+// the outer union; exact.
+func TestTriangleCToA(t *testing.T) {
+	got := evalTriangle(t, FlightsC(), `
+		apply[AirEast,difference:TotalCost,BaseCost->Fee]
+		promote[AirEast,Route,BaseCost]
+		drop[AirEast,Route]
+		drop[AirEast,BaseCost]
+		drop[AirEast,TotalCost]
+		demote[AirEast]
+		drop[AirEast,_ATT]
+		rename_att[AirEast,_REL->Carrier]
+		merge[AirEast,Carrier]
+
+		apply[JetWest,difference:TotalCost,BaseCost->Fee]
+		promote[JetWest,Route,BaseCost]
+		drop[JetWest,Route]
+		drop[JetWest,BaseCost]
+		drop[JetWest,TotalCost]
+		demote[JetWest]
+		drop[JetWest,_ATT]
+		rename_att[JetWest,_REL->Carrier]
+		merge[JetWest,Carrier]
+
+		union[AirEast,JetWest]
+		rename_rel[AirEast->Flights]
+	`)
+	if !got.Equal(FlightsA()) {
+		t.Fatalf("C→A:\n%s", got)
+	}
+}

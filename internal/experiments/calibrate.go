@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"errors"
+
+	"tupelo/internal/core"
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// CalibrationResult is one row of the paper's scaling-constant table
+// (§5, "Experimental Setup"): the k that minimizes total states examined
+// over the calibration suite for one (algorithm, heuristic) pair.
+type CalibrationResult struct {
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+	BestK     int
+	// States maps each candidate k to the total states examined across the
+	// calibration suite (censored runs count the budget).
+	States map[int]int
+}
+
+// CalibrateOptions configures the sweep.
+type CalibrateOptions struct {
+	// Ks are the candidate scaling constants (default 1..30, covering the
+	// paper's published optima 5..24).
+	Ks []int
+	// Heuristics are the scaled heuristics to calibrate (default all
+	// three: normalized Euclidean, cosine, Levenshtein).
+	Heuristics []heuristic.Kind
+}
+
+// calibrationTask is one (source, target) pair of the calibration suite.
+type calibrationTask struct {
+	src, tgt *relation.Database
+}
+
+// calibrationSuite mixes synthetic matching pairs with BAMM samples, the
+// workload families behind the paper's reported constants.
+func calibrationSuite(seed int64) []calibrationTask {
+	var suite []calibrationTask
+	for _, n := range []int{2, 4, 6} {
+		src, tgt := datagen.MatchingPair(n)
+		suite = append(suite, calibrationTask{src, tgt})
+	}
+	for _, d := range datagen.BAMM(seed) {
+		for i := 0; i < len(d.Targets) && i < 3; i++ {
+			suite = append(suite, calibrationTask{d.Fixed, d.Targets[i]})
+		}
+	}
+	return suite
+}
+
+// RunCalibrate re-derives the paper's scaling constants: for each scaled
+// heuristic and each algorithm, sweep k over the candidates and total the
+// states examined across the calibration suite.
+func RunCalibrate(opts CalibrateOptions, cfg Config) ([]CalibrationResult, error) {
+	cfg = cfg.withDefaults()
+	if opts.Ks == nil {
+		for k := 1; k <= 30; k++ {
+			opts.Ks = append(opts.Ks, k)
+		}
+	}
+	if opts.Heuristics == nil {
+		opts.Heuristics = []heuristic.Kind{heuristic.EuclidNorm, heuristic.Cosine, heuristic.Levenshtein}
+	}
+	suite := calibrationSuite(cfg.Seed)
+	var out []CalibrationResult
+	for _, algo := range BothAlgorithms() {
+		for _, kind := range opts.Heuristics {
+			r := CalibrationResult{Algorithm: algo, Heuristic: kind, States: make(map[int]int)}
+			bestStates := -1
+			for _, k := range opts.Ks {
+				total := 0
+				for _, task := range suite {
+					states, err := calibrateOne(algo, kind, float64(k), task, cfg)
+					if err != nil {
+						return nil, err
+					}
+					total += states
+				}
+				r.States[k] = total
+				if bestStates < 0 || total < bestStates {
+					r.BestK, bestStates = k, total
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// calibrateOne runs one discovery with an explicit k and returns the states
+// examined (the budget when censored).
+func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task calibrationTask, cfg Config) (int, error) {
+	res, err := core.Discover(task.src, task.tgt, core.Options{
+		Algorithm: algo,
+		Heuristic: kind,
+		K:         k,
+		Limits:    search.Limits{MaxStates: cfg.Budget},
+	})
+	if err != nil {
+		if errors.Is(err, search.ErrLimit) {
+			return cfg.Budget, nil
+		}
+		return 0, err
+	}
+	return res.Stats.Examined, nil
+}

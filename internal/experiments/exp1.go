@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/search"
+)
+
+// Exp1Options selects the grid of Experiment 1 (§5.1): synthetic schema
+// matching on pairs of n-attribute schemas.
+type Exp1Options struct {
+	// Algorithm is IDA (Fig. 5) or RBFS (Fig. 6).
+	Algorithm search.Algorithm
+	// SetSizes are the schema sizes for the set-based heuristics
+	// (the paper uses 2..32).
+	SetSizes []int
+	// VectorSizes are the schema sizes for the string/vector heuristics
+	// (the paper uses 1..8).
+	VectorSizes []int
+	// BlindSizes optionally restricts h0 and h2 (which explore blindly and
+	// explode combinatorially) to a smaller size range; nil means SetSizes.
+	BlindSizes []int
+}
+
+// DefaultExp1Options mirrors the paper's ranges, with the blind heuristics
+// capped at 10 attributes so a full run completes in CI time; beyond that
+// the blind curves are censored at the budget anyway (compare the 10^6
+// saturation in Fig. 5).
+func DefaultExp1Options(algo search.Algorithm) Exp1Options {
+	return Exp1Options{
+		Algorithm:   algo,
+		SetSizes:    rangeInts(2, 32, 2),
+		VectorSizes: rangeInts(1, 8, 1),
+		BlindSizes:  rangeInts(2, 10, 2),
+	}
+}
+
+func rangeInts(lo, hi, step int) []int {
+	var out []int
+	for n := lo; n <= hi; n += step {
+		out = append(out, n)
+	}
+	return out
+}
+
+// RunExp1 reproduces Fig. 5 (IDA) or Fig. 6 (RBFS): the number of states
+// examined for discovering the attribute matching between two synthetic
+// n-attribute schemas, for each heuristic.
+func RunExp1(opts Exp1Options, cfg Config) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	var out []Measurement
+	for _, kind := range SetHeuristics() {
+		sizes := opts.SetSizes
+		if (kind == heuristic.H0 || kind == heuristic.H2) && opts.BlindSizes != nil {
+			sizes = opts.BlindSizes
+		}
+		ms, err := exp1Series(opts.Algorithm, kind, sizes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	for _, kind := range VectorHeuristics() {
+		ms, err := exp1Series(opts.Algorithm, kind, opts.VectorSizes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+func exp1Series(algo search.Algorithm, kind heuristic.Kind, sizes []int, cfg Config) ([]Measurement, error) {
+	var out []Measurement
+	for _, n := range sizes {
+		src, tgt := datagen.MatchingPair(n)
+		m, err := run("exp1", "synthetic", n, algo, kind, src, tgt, nil, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		if m.Censored {
+			// The curve has saturated the budget; larger sizes only waste
+			// time (the paper's plots saturate at 10^6 the same way).
+			break
+		}
+	}
+	return out, nil
+}

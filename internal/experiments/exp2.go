@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/search"
+)
+
+// Exp2Options selects the grid for Experiment 2.
+type Exp2Options struct {
+	// Heuristics restricts the heuristics (nil = all eight, as in the
+	// paper).
+	Heuristics []heuristic.Kind
+	// SampleEvery maps only every n-th sibling schema (default 1 = all, as
+	// in the paper); larger values trade fidelity for speed.
+	SampleEvery int
+}
+
+// RunExp2 reproduces Experiment 2 (§5.2, Figs. 7–8): schema matching on the
+// BAMM deep-web domains. For every domain, the fixed schema is mapped to
+// each sibling schema under every algorithm × heuristic combination; the
+// figures report the average number of states examined.
+func RunExp2(opts Exp2Options, cfg Config) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 1
+	}
+	kinds := opts.Heuristics
+	if kinds == nil {
+		kinds = heuristic.Kinds()
+	}
+	domains := datagen.BAMM(cfg.Seed)
+	var out []Measurement
+	for _, d := range domains {
+		for _, algo := range BothAlgorithms() {
+			for _, kind := range kinds {
+				for i := 0; i < len(d.Targets); i += opts.SampleEvery {
+					m, err := run("exp2", d.Name, i, algo, kind, d.Fixed, d.Targets[i], nil, nil, cfg)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Exp2Average is one bar of Fig. 7: the average states examined for a
+// (domain, algorithm, heuristic) cell.
+type Exp2Average struct {
+	Domain    string
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+	AvgStates float64
+	Tasks     int
+	Censored  int // tasks that exhausted the budget
+}
+
+// AverageByDomain aggregates exp2 measurements into Fig. 7's per-domain
+// bars. Censored runs contribute the budget value, matching how saturated
+// runs appear in the paper's log-scale plots.
+func AverageByDomain(ms []Measurement) []Exp2Average {
+	type key struct {
+		domain string
+		algo   search.Algorithm
+		kind   heuristic.Kind
+	}
+	sum := make(map[key]*Exp2Average)
+	var order []key
+	for _, m := range ms {
+		if m.Experiment != "exp2" {
+			continue
+		}
+		k := key{m.Label, m.Algorithm, m.Heuristic}
+		a, ok := sum[k]
+		if !ok {
+			a = &Exp2Average{Domain: m.Label, Algorithm: m.Algorithm, Heuristic: m.Heuristic}
+			sum[k] = a
+			order = append(order, k)
+		}
+		a.AvgStates += float64(m.States)
+		a.Tasks++
+		if m.Censored {
+			a.Censored++
+		}
+	}
+	out := make([]Exp2Average, 0, len(order))
+	for _, k := range order {
+		a := sum[k]
+		if a.Tasks > 0 {
+			a.AvgStates /= float64(a.Tasks)
+		}
+		out = append(out, *a)
+	}
+	return out
+}
+
+// AverageOverall aggregates exp2 measurements across all domains into
+// Fig. 8's bars (one per algorithm × heuristic).
+func AverageOverall(ms []Measurement) []Exp2Average {
+	type key struct {
+		algo search.Algorithm
+		kind heuristic.Kind
+	}
+	sum := make(map[key]*Exp2Average)
+	var order []key
+	for _, m := range ms {
+		if m.Experiment != "exp2" {
+			continue
+		}
+		k := key{m.Algorithm, m.Heuristic}
+		a, ok := sum[k]
+		if !ok {
+			a = &Exp2Average{Domain: "all", Algorithm: m.Algorithm, Heuristic: m.Heuristic}
+			sum[k] = a
+			order = append(order, k)
+		}
+		a.AvgStates += float64(m.States)
+		a.Tasks++
+		if m.Censored {
+			a.Censored++
+		}
+	}
+	out := make([]Exp2Average, 0, len(order))
+	for _, k := range order {
+		a := sum[k]
+		if a.Tasks > 0 {
+			a.AvgStates /= float64(a.Tasks)
+		}
+		out = append(out, *a)
+	}
+	return out
+}

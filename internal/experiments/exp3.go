@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+)
+
+// Exp3Options selects the grid for Experiment 3 (§5.3, Fig. 9): complex
+// semantic mapping discovery with an increasing number of complex
+// functions.
+type Exp3Options struct {
+	// Domain is "Inventory" or "RealEstateII". The paper reports that both
+	// behave essentially the same and plots Inventory.
+	Domain string
+	// MaxFunctions is the largest number of complex functions (the paper
+	// plots 1..8).
+	MaxFunctions int
+	// Heuristics restricts the heuristics (nil = all eight).
+	Heuristics []heuristic.Kind
+}
+
+// DefaultExp3Options mirrors Fig. 9's grid for the Inventory domain.
+func DefaultExp3Options() Exp3Options {
+	return Exp3Options{Domain: "Inventory", MaxFunctions: 8}
+}
+
+// RunExp3 reproduces Fig. 9: states examined for complex semantic mapping
+// discovery as the number of complex functions grows from 1 to
+// MaxFunctions, for both algorithms and each heuristic.
+func RunExp3(opts Exp3Options, cfg Config) ([]Measurement, error) {
+	cfg = cfg.withDefaults()
+	var dom *datagen.ComplexDomain
+	switch opts.Domain {
+	case "", "Inventory":
+		dom = datagen.Inventory()
+	case "RealEstateII":
+		dom = datagen.RealEstateII()
+	default:
+		return nil, fmt.Errorf("experiments: unknown complex domain %q", opts.Domain)
+	}
+	if opts.MaxFunctions <= 0 {
+		opts.MaxFunctions = 8
+	}
+	if opts.MaxFunctions > len(dom.Corrs) {
+		opts.MaxFunctions = len(dom.Corrs)
+	}
+	kinds := opts.Heuristics
+	if kinds == nil {
+		kinds = heuristic.Kinds()
+	}
+	var out []Measurement
+	for _, algo := range BothAlgorithms() {
+		for _, kind := range kinds {
+			censored := false
+			for n := 1; n <= opts.MaxFunctions; n++ {
+				if censored {
+					break // the series has saturated the budget
+				}
+				src, tgt, corrs, err := dom.Task(n)
+				if err != nil {
+					return nil, err
+				}
+				m, err := run("exp3", dom.Name, n, algo, kind, src, tgt, corrs, dom.Registry, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+				censored = m.Censored
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+// Package experiments reproduces the evaluation of "Data Mapping as Search"
+// (EDBT 2006, §5): Experiment 1 (schema matching on synthetic data, Figs.
+// 5–6), Experiment 2 (schema matching on BAMM deep-web schemas, Figs. 7–8),
+// Experiment 3 (complex semantic mapping, Fig. 9), and the scaling-constant
+// calibration of the experimental setup. The performance measure throughout
+// is the number of states examined during search, exactly as in the paper.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tupelo/internal/core"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// Measurement is one experimental run: a (task, algorithm, heuristic)
+// triple and its outcome.
+type Measurement struct {
+	// Experiment is the experiment identifier ("exp1", "exp2", "exp3",
+	// "calibrate").
+	Experiment string
+	// Label qualifies the task (domain name, workload family).
+	Label string
+	// Param is the x-axis value: schema size (exp1), target index (exp2),
+	// number of complex functions (exp3), or k (calibrate).
+	Param int
+	// Algorithm and Heuristic identify the configuration.
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+	// States is the number of states examined. When the run exhausted its
+	// budget, States is the budget and Censored is true (matching how the
+	// paper's log-scale plots saturate).
+	States   int
+	Censored bool
+	// PathLen is the discovered expression length (0 when censored).
+	PathLen int
+	// Duration is wall-clock time, reported as secondary information only.
+	Duration time.Duration
+}
+
+// Config configures an experiment run.
+type Config struct {
+	// Budget is the per-run state budget (default 50,000).
+	Budget int
+	// Seed drives the deterministic workload generators.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed measurement.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 50000
+	}
+	return c
+}
+
+// run performs one discovery and records the outcome.
+func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kind,
+	src, tgt *relation.Database, corrs []lambda.Correspondence, reg *lambda.Registry,
+	cfg Config) (Measurement, error) {
+
+	m := Measurement{
+		Experiment: exp,
+		Label:      label,
+		Param:      param,
+		Algorithm:  algo,
+		Heuristic:  kind,
+	}
+	start := time.Now()
+	res, err := core.Discover(src, tgt, core.Options{
+		Algorithm:       algo,
+		Heuristic:       kind,
+		Registry:        reg,
+		Correspondences: corrs,
+		Limits:          search.Limits{MaxStates: cfg.Budget},
+	})
+	m.Duration = time.Since(start)
+	switch {
+	case err == nil:
+		m.States = res.Stats.Examined
+		m.PathLen = len(res.Expr)
+	case errors.Is(err, search.ErrLimit):
+		m.States = cfg.Budget
+		m.Censored = true
+	default:
+		return m, fmt.Errorf("experiments: %s %s/%s param=%d: %w", exp, algo, kind, param, err)
+	}
+	if cfg.Progress != nil {
+		status := fmt.Sprintf("states=%d", m.States)
+		if m.Censored {
+			status = fmt.Sprintf("censored@%d", m.States)
+		}
+		fmt.Fprintf(cfg.Progress, "%s %-10s %-5s %-12s param=%-3d %s (%s)\n",
+			exp, label, algo, kind, param, status, m.Duration.Round(time.Millisecond))
+	}
+	return m, nil
+}
+
+// SetHeuristics are the four set-based heuristics the paper plots on the
+// full n=2..32 range of Experiment 1.
+func SetHeuristics() []heuristic.Kind {
+	return []heuristic.Kind{heuristic.H0, heuristic.H1, heuristic.H2, heuristic.H3}
+}
+
+// VectorHeuristics are the string/vector heuristics the paper plots on the
+// reduced n=1..8 range of Experiment 1.
+func VectorHeuristics() []heuristic.Kind {
+	return []heuristic.Kind{heuristic.Euclid, heuristic.EuclidNorm, heuristic.Cosine, heuristic.Levenshtein}
+}
+
+// BothAlgorithms returns the paper's two search algorithms.
+func BothAlgorithms() []search.Algorithm {
+	return []search.Algorithm{search.IDA, search.RBFS}
+}

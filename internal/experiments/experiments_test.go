@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tupelo/internal/heuristic"
+	"tupelo/internal/search"
+)
+
+func TestRunExp1SmallGrid(t *testing.T) {
+	opts := Exp1Options{
+		Algorithm:   search.RBFS,
+		SetSizes:    []int{2, 4},
+		VectorSizes: []int{1, 2},
+		BlindSizes:  []int{2},
+	}
+	ms, err := RunExp1(opts, Config{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1, h3: 2 sizes; h0, h2: 1 size; vector heuristics: 2 sizes each.
+	want := 2*2 + 2*1 + 4*2
+	if len(ms) != want {
+		t.Fatalf("got %d measurements, want %d", len(ms), want)
+	}
+	for _, m := range ms {
+		if m.Experiment != "exp1" || m.Algorithm != search.RBFS {
+			t.Fatalf("mislabelled measurement: %+v", m)
+		}
+		if !m.Censored && m.PathLen != m.Param {
+			t.Fatalf("matching %d attributes took %d steps: %+v", m.Param, m.PathLen, m)
+		}
+	}
+}
+
+func TestExp1HeuristicsBeatBlind(t *testing.T) {
+	opts := Exp1Options{
+		Algorithm:   search.IDA,
+		SetSizes:    []int{4},
+		VectorSizes: nil,
+		BlindSizes:  []int{4},
+	}
+	ms, err := RunExp1(opts, Config{Budget: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make(map[heuristic.Kind]int)
+	for _, m := range ms {
+		states[m.Heuristic] = m.States
+	}
+	// The paper's headline finding (Fig. 5): h1 collapses the search.
+	if states[heuristic.H1] >= states[heuristic.H0] {
+		t.Fatalf("h1 (%d) should examine fewer states than h0 (%d)", states[heuristic.H1], states[heuristic.H0])
+	}
+	// h2 cannot see renames (no cross-role tokens here): identical to h0.
+	if states[heuristic.H2] != states[heuristic.H0] {
+		t.Fatalf("h2 (%d) should match h0 (%d) on synthetic matching (§5.1)", states[heuristic.H2], states[heuristic.H0])
+	}
+	// h3 = max(h1, h2) behaves like h1 here.
+	if states[heuristic.H3] != states[heuristic.H1] {
+		t.Fatalf("h3 (%d) should match h1 (%d) on synthetic matching (§5.1)", states[heuristic.H3], states[heuristic.H1])
+	}
+}
+
+func TestRunExp2Sampled(t *testing.T) {
+	// Full exp2 is ~3300 runs; test the plumbing on a sampled version
+	// (every 6th sibling, three representative heuristics).
+	opts := Exp2Options{
+		Heuristics:  []heuristic.Kind{heuristic.H0, heuristic.H1, heuristic.Cosine},
+		SampleEvery: 6,
+	}
+	ms, err := RunExp2(opts, Config{Budget: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	byDomain := AverageByDomain(ms)
+	if len(byDomain) != 4*2*3 {
+		t.Fatalf("per-domain aggregate has %d cells, want %d", len(byDomain), 4*2*3)
+	}
+	overall := AverageOverall(ms)
+	if len(overall) != 2*3 {
+		t.Fatalf("overall aggregate has %d cells, want %d", len(overall), 2*3)
+	}
+	// Task counts per cell: ceil(siblings / 6).
+	wantTasks := map[string]int{"Books": 9, "Auto": 9, "Music": 8, "Movies": 9}
+	for _, a := range byDomain {
+		if a.Tasks != wantTasks[a.Domain] {
+			t.Fatalf("%s cell has %d tasks, want %d", a.Domain, a.Tasks, wantTasks[a.Domain])
+		}
+		if a.AvgStates <= 0 {
+			t.Fatalf("non-positive average: %+v", a)
+		}
+	}
+	// Shape check (Fig. 8): informed heuristics beat blind search on
+	// average, per algorithm.
+	h0 := map[search.Algorithm]float64{}
+	h1 := map[search.Algorithm]float64{}
+	cos := map[search.Algorithm]float64{}
+	for _, a := range overall {
+		switch a.Heuristic {
+		case heuristic.H0:
+			h0[a.Algorithm] = a.AvgStates
+		case heuristic.H1:
+			h1[a.Algorithm] = a.AvgStates
+		case heuristic.Cosine:
+			cos[a.Algorithm] = a.AvgStates
+		}
+	}
+	for _, algo := range BothAlgorithms() {
+		if h1[algo] >= h0[algo] {
+			t.Fatalf("%s: h1 average %.1f should beat h0 %.1f", algo, h1[algo], h0[algo])
+		}
+		if cos[algo] >= h0[algo] {
+			t.Fatalf("%s: cosine average %.1f should beat h0 %.1f", algo, cos[algo], h0[algo])
+		}
+	}
+}
+
+func TestRunExp3SmallGrid(t *testing.T) {
+	opts := Exp3Options{
+		Domain:       "Inventory",
+		MaxFunctions: 2,
+		Heuristics:   []heuristic.Kind{heuristic.H1, heuristic.Cosine},
+	}
+	ms, err := RunExp3(opts, Config{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Experiment != "exp3" || m.Label != "Inventory" {
+			t.Fatalf("mislabelled: %+v", m)
+		}
+		if m.Heuristic == heuristic.H1 && !m.Censored && m.PathLen != m.Param {
+			t.Fatalf("n=%d complex functions needed %d steps", m.Param, m.PathLen)
+		}
+	}
+}
+
+func TestRunExp3RealEstate(t *testing.T) {
+	opts := Exp3Options{
+		Domain:       "RealEstateII",
+		MaxFunctions: 2,
+		Heuristics:   []heuristic.Kind{heuristic.H3},
+	}
+	ms, err := RunExp3(opts, Config{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 { // 2 algorithms × 2 sizes
+		t.Fatalf("got %d measurements, want 4", len(ms))
+	}
+}
+
+func TestRunExp3UnknownDomain(t *testing.T) {
+	if _, err := RunExp3(Exp3Options{Domain: "nope"}, Config{}); err == nil {
+		t.Fatal("unknown domain should fail")
+	}
+}
+
+func TestRunCalibrateSmall(t *testing.T) {
+	opts := CalibrateOptions{
+		Ks:         []int{1, 5, 24},
+		Heuristics: []heuristic.Kind{heuristic.Cosine},
+	}
+	rs, err := RunCalibrate(opts, Config{Budget: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 { // IDA + RBFS
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.States) != 3 {
+			t.Fatalf("swept %d ks, want 3", len(r.States))
+		}
+		if r.BestK != 1 && r.BestK != 5 && r.BestK != 24 {
+			t.Fatalf("best k %d not among candidates", r.BestK)
+		}
+		// Best must have the minimum total.
+		for _, total := range r.States {
+			if total < r.States[r.BestK] {
+				t.Fatalf("BestK %d is not minimal: %+v", r.BestK, r.States)
+			}
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	opts := Exp1Options{
+		Algorithm:   search.RBFS,
+		SetSizes:    []int{2},
+		VectorSizes: []int{2},
+		BlindSizes:  []int{2},
+	}
+	ms, err := RunExp1(opts, Config{Budget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesTable(&buf, ms, search.RBFS); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "h1") || !strings.Contains(buf.String(), "cosine") {
+		t.Fatalf("series table missing columns:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteSeriesTable(&buf, ms, search.IDA); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no measurements") {
+		t.Fatalf("empty algo should say so:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteSeriesTSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(ms)+1 {
+		t.Fatalf("TSV has %d lines, want %d", len(lines), len(ms)+1)
+	}
+}
+
+func TestCalibrationTable(t *testing.T) {
+	rs := []CalibrationResult{
+		{Algorithm: search.IDA, Heuristic: heuristic.Cosine, BestK: 5},
+		{Algorithm: search.RBFS, Heuristic: heuristic.Cosine, BestK: 24},
+	}
+	var buf bytes.Buffer
+	if err := WriteCalibrationTable(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "IDA") || !strings.Contains(out, "k = 5") || !strings.Contains(out, "k = 24") {
+		t.Fatalf("calibration table:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tupelo/internal/core"
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// ComparisonRow is the outcome of one heuristic over the mixed comparison
+// suite: total states examined and how many of the suite's tasks were
+// solved within budget.
+type ComparisonRow struct {
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+	Total     int
+	Solved    int
+	Tasks     int
+}
+
+// comparisonTask bundles one suite entry.
+type comparisonTask struct {
+	name  string
+	src   *relation.Database
+	tgt   *relation.Database
+	corrs []lambda.Correspondence
+	reg   *lambda.Registry
+}
+
+// comparisonSuite mixes the three workload families of §5: synthetic
+// matching, BAMM samples, and complex semantic mapping.
+func comparisonSuite(seed int64) []comparisonTask {
+	var suite []comparisonTask
+	for _, n := range []int{4, 8, 16} {
+		src, tgt := datagen.MatchingPair(n)
+		suite = append(suite, comparisonTask{name: fmt.Sprintf("match%d", n), src: src, tgt: tgt})
+	}
+	for _, d := range datagen.BAMM(seed) {
+		for i := 0; i < len(d.Targets); i += 20 {
+			suite = append(suite, comparisonTask{
+				name: fmt.Sprintf("%s%d", d.Name, i), src: d.Fixed, tgt: d.Targets[i],
+			})
+		}
+	}
+	inv := datagen.Inventory()
+	for _, n := range []int{2, 4} {
+		src, tgt, corrs, err := inv.Task(n)
+		if err != nil {
+			panic(err) // static task sizes within range
+		}
+		suite = append(suite, comparisonTask{
+			name: fmt.Sprintf("inventory%d", n), src: src, tgt: tgt, corrs: corrs, reg: inv.Registry,
+		})
+	}
+	return suite
+}
+
+// RunHeuristicComparison evaluates the given heuristics — typically the
+// paper's best (h3, cosine) against the post-paper extensions (hybrid,
+// jaccard; see §7's open question) — over the mixed suite.
+func RunHeuristicComparison(kinds []heuristic.Kind, cfg Config) ([]ComparisonRow, error) {
+	cfg = cfg.withDefaults()
+	if kinds == nil {
+		kinds = []heuristic.Kind{heuristic.H3, heuristic.Cosine, heuristic.Hybrid, heuristic.Jaccard}
+	}
+	suite := comparisonSuite(cfg.Seed)
+	var out []ComparisonRow
+	for _, algo := range BothAlgorithms() {
+		for _, kind := range kinds {
+			row := ComparisonRow{Algorithm: algo, Heuristic: kind, Tasks: len(suite)}
+			for _, task := range suite {
+				res, err := core.Discover(task.src, task.tgt, core.Options{
+					Algorithm:       algo,
+					Heuristic:       kind,
+					Registry:        task.reg,
+					Correspondences: task.corrs,
+					Limits:          search.Limits{MaxStates: cfg.Budget},
+				})
+				switch {
+				case err == nil:
+					row.Total += res.Stats.Examined
+					row.Solved++
+				case errors.Is(err, search.ErrLimit):
+					row.Total += cfg.Budget
+				default:
+					return nil, fmt.Errorf("experiments: comparison %s %s/%s: %w", task.name, algo, kind, err)
+				}
+			}
+			out = append(out, row)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "comparison %-5s %-12s total=%d solved=%d/%d\n",
+					algo, kind, row.Total, row.Solved, row.Tasks)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteComparisonTable renders the comparison rows.
+func WriteComparisonTable(w io.Writer, rows []ComparisonRow) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\theuristic\ttotal states\tsolved")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d/%d\n", r.Algorithm, r.Heuristic, r.Total, r.Solved, r.Tasks)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tupelo/internal/heuristic"
+)
+
+func TestRunHeuristicComparison(t *testing.T) {
+	rows, err := RunHeuristicComparison(
+		[]heuristic.Kind{heuristic.H3, heuristic.Hybrid},
+		Config{Budget: 20000, Seed: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 2 algorithms × 2 heuristics
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tasks == 0 || r.Total <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.Solved > r.Tasks {
+			t.Fatalf("solved > tasks: %+v", r)
+		}
+		// h3 and hybrid both solve the whole suite within budget.
+		if r.Solved != r.Tasks {
+			t.Fatalf("%s/%s solved only %d/%d", r.Algorithm, r.Heuristic, r.Solved, r.Tasks)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteComparisonTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hybrid") {
+		t.Fatalf("table missing hybrid row:\n%s", buf.String())
+	}
+}
+
+func TestRunHeuristicComparisonDefaults(t *testing.T) {
+	rows, err := RunHeuristicComparison(nil, Config{Budget: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 algorithms × 4 default heuristics
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"tupelo/internal/core"
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/search"
+)
+
+// ScalingRow is one measurement of the scaling extension experiment: the
+// Fig. 1 restructuring task at a scaled critical-instance size. It tests
+// the paper's §2.3 claim that the branching factor of the search space is
+// proportional to |s| + |t|.
+type ScalingRow struct {
+	Routes, Carriers int
+	// Size is |s| + |t| measured in cells, the paper's instance size.
+	Size int
+	// RootBranching is the number of successor moves of the source
+	// instance — the branching factor the paper relates to |s| + |t|.
+	RootBranching int
+	// Branching is the effective branching factor over the whole run:
+	// states generated per state expanded.
+	Branching float64
+	// Examined is the number of states examined.
+	Examined int
+	// Depth is the discovered expression length.
+	Depth    int
+	Duration time.Duration
+}
+
+// ScalingOptions configures the experiment.
+type ScalingOptions struct {
+	// Grid lists (routes, carriers) pairs; nil means the default ladder.
+	Grid [][2]int
+	// Algorithm and Heuristic; zero values mean RBFS/h3 (a robust pairing
+	// for the restructuring task).
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+}
+
+// RunScaling runs the Example 2 discovery at increasing critical-instance
+// sizes and reports how branching and states examined grow with |s| + |t|.
+func RunScaling(opts ScalingOptions, cfg Config) ([]ScalingRow, error) {
+	cfg = cfg.withDefaults()
+	if opts.Grid == nil {
+		opts.Grid = [][2]int{{2, 2}, {3, 2}, {4, 2}, {4, 3}, {5, 3}, {6, 3}, {6, 4}}
+	}
+	algo := opts.Algorithm
+	kind := opts.Heuristic
+	if kind == heuristic.H0 {
+		algo, kind = search.RBFS, heuristic.H3
+	}
+	var out []ScalingRow
+	for _, g := range opts.Grid {
+		src, tgt := datagen.FlightsScaled(g[0], g[1])
+		discOpts := core.Options{
+			Algorithm: algo,
+			Heuristic: kind,
+			Limits:    search.Limits{MaxStates: cfg.Budget},
+		}
+		rootB, err := core.BranchingFactor(src, tgt, discOpts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling %dx%d: %w", g[0], g[1], err)
+		}
+		start := time.Now()
+		res, err := core.Discover(src, tgt, discOpts)
+		row := ScalingRow{
+			Routes:        g[0],
+			Carriers:      g[1],
+			Size:          src.Size() + tgt.Size(),
+			RootBranching: rootB,
+			Duration:      time.Since(start),
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling %dx%d: %w", g[0], g[1], err)
+		}
+		row.Examined = res.Stats.Examined
+		row.Depth = len(res.Expr)
+		if res.Stats.Examined > 0 {
+			row.Branching = float64(res.Stats.Generated) / float64(res.Stats.Examined)
+		}
+		out = append(out, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "scaling %dx%d size=%d root-branching=%d states=%d (%s)\n",
+				g[0], g[1], row.Size, row.RootBranching, row.Examined, row.Duration.Round(time.Millisecond))
+		}
+	}
+	return out, nil
+}
+
+// WriteScalingTable renders the scaling rows.
+func WriteScalingTable(w io.Writer, rows []ScalingRow) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "routes\tcarriers\t|s|+|t|\troot-branching\teff-branching\tstates\tdepth")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.1f\t%d\t%d\n",
+			r.Routes, r.Carriers, r.Size, r.RootBranching, r.Branching, r.Examined, r.Depth)
+	}
+	return tw.Flush()
+}

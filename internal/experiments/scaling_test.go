@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tupelo/internal/datagen"
+)
+
+func TestFlightsScaledShape(t *testing.T) {
+	src, tgt := datagen.FlightsScaled(3, 2)
+	s, _ := src.Relation("Prices")
+	g, _ := tgt.Relation("Flights")
+	if s.Len() != 6 || s.Arity() != 4 {
+		t.Fatalf("source is %d×%d, want 6×4", s.Len(), s.Arity())
+	}
+	if g.Len() != 2 || g.Arity() != 5 { // Carrier, Fee, 3 routes
+		t.Fatalf("target is %d×%d, want 2×5", g.Len(), g.Arity())
+	}
+	// The 2×2 instance is exactly Fig. 1 modulo names.
+	src2, tgt2 := datagen.FlightsScaled(2, 2)
+	if src2.Size() != 16 || tgt2.Size() != 8 {
+		t.Fatalf("2×2 sizes: %d, %d", src2.Size(), tgt2.Size())
+	}
+}
+
+func TestFlightsScaledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlightsScaled(0, 1) should panic")
+		}
+	}()
+	datagen.FlightsScaled(0, 1)
+}
+
+func TestRunScalingGrowsLinearlyInBranching(t *testing.T) {
+	rows, err := RunScaling(ScalingOptions{
+		Grid: [][2]int{{2, 2}, {4, 2}, {6, 3}},
+	}, Config{Budget: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The paper's claim (§2.3): branching ∝ |s| + |t|. The root branching
+	// factor must grow monotonically with instance size and stay within a
+	// constant factor of it. (The *effective* branching over a whole run
+	// is noisy — backtracking depends on the heuristic — so the claim is
+	// checked at the root.)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Size <= rows[i-1].Size {
+			t.Fatalf("grid not increasing in size: %+v", rows)
+		}
+		if rows[i].RootBranching < rows[i-1].RootBranching {
+			t.Fatalf("root branching decreased with size: %+v", rows)
+		}
+	}
+	for _, r := range rows {
+		if r.RootBranching <= 0 || r.RootBranching > r.Size {
+			t.Fatalf("root branching %d out of band for size %d", r.RootBranching, r.Size)
+		}
+		if r.Depth != 6 {
+			t.Fatalf("scaled Example 2 should stay 6 steps deep, got %d", r.Depth)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteScalingTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|s|+|t|") {
+		t.Fatalf("table header missing:\n%s", buf.String())
+	}
+}

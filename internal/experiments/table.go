@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"tupelo/internal/heuristic"
+	"tupelo/internal/search"
+)
+
+// WriteSeriesTable renders exp1- or exp3-style measurements for one
+// algorithm as a text table: one row per x-value (schema size or number of
+// complex functions), one column per heuristic — the textual form of the
+// paper's Figs. 5, 6 and 9. Censored cells print as ">=budget".
+func WriteSeriesTable(w io.Writer, ms []Measurement, algo search.Algorithm) error {
+	kinds, params := seriesAxes(ms, algo)
+	if len(params) == 0 {
+		_, err := fmt.Fprintf(w, "(no measurements for %s)\n", algo)
+		return err
+	}
+	cell := make(map[[2]int]string)
+	for _, m := range ms {
+		if m.Algorithm != algo {
+			continue
+		}
+		v := fmt.Sprintf("%d", m.States)
+		if m.Censored {
+			v = fmt.Sprintf(">=%d", m.States)
+		}
+		cell[[2]int{m.Param, int(m.Heuristic)}] = v
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "n")
+	for _, k := range kinds {
+		fmt.Fprintf(tw, "\t%s", k)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range params {
+		fmt.Fprintf(tw, "%d", p)
+		for _, k := range kinds {
+			v, ok := cell[[2]int{p, int(k)}]
+			if !ok {
+				v = "-"
+			}
+			fmt.Fprintf(tw, "\t%s", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// seriesAxes extracts the sorted heuristics and x-values present for algo.
+func seriesAxes(ms []Measurement, algo search.Algorithm) ([]heuristic.Kind, []int) {
+	kindSet := make(map[heuristic.Kind]bool)
+	paramSet := make(map[int]bool)
+	for _, m := range ms {
+		if m.Algorithm != algo {
+			continue
+		}
+		kindSet[m.Heuristic] = true
+		paramSet[m.Param] = true
+	}
+	var kinds []heuristic.Kind
+	for _, k := range heuristic.Kinds() {
+		if kindSet[k] {
+			kinds = append(kinds, k)
+		}
+	}
+	var params []int
+	for p := range paramSet {
+		params = append(params, p)
+	}
+	sort.Ints(params)
+	return kinds, params
+}
+
+// WriteSeriesTSV renders measurements as gnuplot-ready TSV:
+// experiment, label, algorithm, heuristic, param, states, censored.
+func WriteSeriesTSV(w io.Writer, ms []Measurement) error {
+	if _, err := fmt.Fprintln(w, "experiment\tlabel\talgorithm\theuristic\tparam\tstates\tcensored\tpathlen"); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%v\t%d\n",
+			m.Experiment, m.Label, m.Algorithm, m.Heuristic, m.Param, m.States, m.Censored, m.PathLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteExp2Table renders Fig. 7's per-domain averages for one algorithm:
+// one row per heuristic, one column per domain.
+func WriteExp2Table(w io.Writer, avgs []Exp2Average, algo search.Algorithm) error {
+	domains := orderedDomains(avgs)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "heuristic")
+	for _, d := range domains {
+		fmt.Fprintf(tw, "\t%s", d)
+	}
+	fmt.Fprintln(tw)
+	for _, k := range heuristic.Kinds() {
+		row := make([]string, 0, len(domains))
+		found := false
+		for _, d := range domains {
+			v := "-"
+			for _, a := range avgs {
+				if a.Algorithm == algo && a.Heuristic == k && a.Domain == d {
+					v = fmt.Sprintf("%.1f", a.AvgStates)
+					found = true
+				}
+			}
+			row = append(row, v)
+		}
+		if found {
+			fmt.Fprintf(tw, "%s\t%s\n", k, strings.Join(row, "\t"))
+		}
+	}
+	return tw.Flush()
+}
+
+func orderedDomains(avgs []Exp2Average) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range avgs {
+		if !seen[a.Domain] {
+			seen[a.Domain] = true
+			out = append(out, a.Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteExp2Overall renders Fig. 8: one row per heuristic, one column per
+// algorithm, averaged across all BAMM domains.
+func WriteExp2Overall(w io.Writer, avgs []Exp2Average) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "heuristic\tIDA\tRBFS")
+	for _, k := range heuristic.Kinds() {
+		var ida, rbfs string = "-", "-"
+		found := false
+		for _, a := range avgs {
+			if a.Heuristic != k {
+				continue
+			}
+			v := fmt.Sprintf("%.1f", a.AvgStates)
+			switch a.Algorithm {
+			case search.IDA:
+				ida, found = v, true
+			case search.RBFS:
+				rbfs, found = v, true
+			}
+		}
+		if found {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", k, ida, rbfs)
+		}
+	}
+	return tw.Flush()
+}
+
+// WriteCalibrationTable renders the scaling-constant table of §5 in the
+// paper's layout: one row per algorithm, one column per scaled heuristic.
+func WriteCalibrationTable(w io.Writer, results []CalibrationResult) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\tNorm. Euclidean\tCosine Sim.\tLevenshtein")
+	for _, algo := range BothAlgorithms() {
+		fmt.Fprintf(tw, "%s", algo)
+		for _, kind := range []heuristic.Kind{heuristic.EuclidNorm, heuristic.Cosine, heuristic.Levenshtein} {
+			v := "-"
+			for _, r := range results {
+				if r.Algorithm == algo && r.Heuristic == kind {
+					v = fmt.Sprintf("k = %d", r.BestK)
+				}
+			}
+			fmt.Fprintf(tw, "\t%s", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,68 @@
+package fira
+
+import (
+	"fmt"
+	"strings"
+
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// Expr is a mapping expression: a sequence of operators applied left to
+// right. The nil/empty expression is the identity mapping.
+type Expr []Op
+
+// Eval applies the expression to a database, returning the mapped database.
+// The input database is never mutated. The registry resolves λ functions
+// and may be nil for λ-free expressions.
+func (e Expr) Eval(db *relation.Database, reg *lambda.Registry) (*relation.Database, error) {
+	cur := db
+	for i, op := range e {
+		next, err := op.Apply(cur, reg)
+		if err != nil {
+			return nil, fmt.Errorf("step %d (%s): %w", i+1, op, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Then returns a new expression with more operators appended; the receiver
+// is unchanged.
+func (e Expr) Then(ops ...Op) Expr {
+	out := make(Expr, 0, len(e)+len(ops))
+	out = append(out, e...)
+	out = append(out, ops...)
+	return out
+}
+
+// String renders the expression in canonical textual form: one operator per
+// line in application order. Parse reads this form back.
+func (e Expr) String() string {
+	parts := make([]string, len(e))
+	for i, op := range e {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Pretty renders the expression in paper-style notation, innermost
+// (first-applied) operator last, as in the paper's Example 2.
+func (e Expr) Pretty() string {
+	parts := make([]string, len(e))
+	for i, op := range e {
+		parts[i] = op.Pretty()
+	}
+	return strings.Join(parts, " ∘ ")
+}
+
+// Compile returns a standalone mapping function closed over the expression
+// and registry, suitable for repeated application to instances of the
+// source schema — the paper's "final output of TUPELO is an expression for
+// mapping instances of the source schema" (§2.3).
+func (e Expr) Compile(reg *lambda.Registry) func(*relation.Database) (*relation.Database, error) {
+	expr := e.Then() // private copy
+	return func(db *relation.Database) (*relation.Database, error) {
+		return expr.Eval(db, reg)
+	}
+}

@@ -1,0 +1,90 @@
+package fira
+
+import (
+	"testing"
+
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// FuzzParse checks that the expression parser never panics and that every
+// accepted expression survives a print → parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"rename_rel[Prices->Flights]",
+		"rename_att[Prices,AgentFee->Fee]",
+		"drop[Prices,Route]",
+		"promote[Prices,Route,Cost]",
+		"demote[R]",
+		"deref[R,Ptr->New]",
+		"partition[R,A]",
+		"product[L,R]",
+		"union[L,R]",
+		"merge[R,Carrier]",
+		"apply[Prices,sum:Cost,AgentFee->TotalCost]",
+		"# comment\n\ndrop[R,A];merge[R,B]",
+		"drop[R,A]\ndrop[R,A]\ndrop[R,A]",
+		"rename_rel[->]",
+		"apply[R,f:->]",
+		"promote[,,]",
+		"[]",
+		"drop[R,A]]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := expr.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if back.String() != printed {
+			t.Fatalf("print/parse not stable: %q vs %q", back.String(), printed)
+		}
+	})
+}
+
+// FuzzEval checks that evaluating arbitrary parsed expressions against a
+// fixed database either errors cleanly or produces a valid database, and
+// never mutates the input.
+func FuzzEval(f *testing.F) {
+	for _, s := range []string{
+		"promote[Prices,Route,Cost]\ndrop[Prices,Route]\nmerge[Prices,Carrier]",
+		"demote[Prices]\nderef[Prices,_ATT->X]",
+		"partition[Prices,Carrier]\nunion[AirEast,JetWest]",
+		"apply[Prices,sum:Cost,AgentFee->T]",
+		"drop[Prices,Cost]\ndrop[Prices,Route]\ndrop[Prices,AgentFee]",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(expr) > 8 {
+			return // keep the state space small under fuzzing
+		}
+		db := flightsB()
+		before := db.Fingerprint()
+		out, err := expr.Eval(db, lambda.Builtins())
+		if db.Fingerprint() != before {
+			t.Fatal("Eval mutated its input")
+		}
+		if err != nil {
+			return
+		}
+		// The output must be a structurally valid database: re-inserting
+		// every relation must succeed.
+		for _, r := range out.Relations() {
+			if _, err := relation.New(r.Name(), r.Attrs(), r.Rows()...); err != nil {
+				t.Fatalf("invalid output relation: %v", err)
+			}
+		}
+	})
+}

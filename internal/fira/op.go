@@ -1,0 +1,542 @@
+// Package fira implements the transformation language L of "Data Mapping as
+// Search" (EDBT 2006, §2.1, Table 1), a fragment of the Federated
+// Interoperable Relational Algebra (FIRA, Wyss & Robertson 2005) extended
+// with the λ operator for complex semantic functions (§4).
+//
+// The operators perform dynamic data–metadata restructuring:
+//
+//	→B_A   dereference column A into a new column B
+//	↑A_B   promote the values of column A to attribute names carrying B's values
+//	↓      demote metadata (product with the relation's metadata table)
+//	℘A     partition a relation into one relation per value of column A
+//	×      cartesian product
+//	π̄A     drop column A
+//	µA     merge tuples with compatible values on column A
+//	ρ      rename an attribute or a relation (schema matching)
+//	λB_f,Ā apply complex function f to columns Ā, producing column B
+//
+// Absent values that arise during restructuring (e.g. after ↑) are
+// represented by the empty string; µ merges tuples whose non-absent values
+// agree. An Expr is a sequence of operators; evaluating it against a source
+// database yields the mapped database. Expressions print in a stable
+// textual form that Parse reads back.
+package fira
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// Op is a single transformation operator of the language L.
+type Op interface {
+	// Apply evaluates the operator against a database, returning a new
+	// database. The input is never mutated. The registry resolves λ
+	// functions and may be nil for expressions without λ.
+	Apply(db *relation.Database, reg *lambda.Registry) (*relation.Database, error)
+	// String renders the operator in the canonical textual syntax
+	// understood by Parse.
+	String() string
+	// Pretty renders the operator in notation close to the paper's.
+	Pretty() string
+}
+
+// relOf returns the named relation or an error mentioning the operator.
+func relOf(db *relation.Database, name, op string) (*relation.Relation, error) {
+	r, ok := db.Relation(name)
+	if !ok {
+		return nil, fmt.Errorf("fira: %s: no relation %q", op, name)
+	}
+	return r, nil
+}
+
+// RenameRel is ρ^rel_{From→To}: rename relation From to To.
+type RenameRel struct {
+	From, To string
+}
+
+// Apply implements Op.
+func (o RenameRel) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.From, "rename_rel")
+	if err != nil {
+		return nil, err
+	}
+	if o.To == o.From {
+		return nil, fmt.Errorf("fira: rename_rel: %q to itself", o.From)
+	}
+	if _, clash := db.Relation(o.To); clash {
+		return nil, fmt.Errorf("fira: rename_rel: relation %q already exists", o.To)
+	}
+	renamed, err := r.WithName(o.To)
+	if err != nil {
+		return nil, fmt.Errorf("fira: rename_rel: %v", err)
+	}
+	return db.ReplaceRelation(o.From, renamed)
+}
+
+func (o RenameRel) String() string { return fmt.Sprintf("rename_rel[%s->%s]", o.From, o.To) }
+func (o RenameRel) Pretty() string { return fmt.Sprintf("ρ^rel_{%s→%s}", o.From, o.To) }
+
+// RenameAtt is ρ^att_{From→To}(Rel): rename attribute From to To in Rel.
+type RenameAtt struct {
+	Rel, From, To string
+}
+
+// Apply implements Op.
+func (o RenameAtt) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "rename_att")
+	if err != nil {
+		return nil, err
+	}
+	renamed, err := r.WithAttrRenamed(o.From, o.To)
+	if err != nil {
+		return nil, fmt.Errorf("fira: rename_att: %v", err)
+	}
+	return db.WithRelation(renamed), nil
+}
+
+func (o RenameAtt) String() string {
+	return fmt.Sprintf("rename_att[%s,%s->%s]", o.Rel, o.From, o.To)
+}
+func (o RenameAtt) Pretty() string { return fmt.Sprintf("ρ^att_{%s→%s}(%s)", o.From, o.To, o.Rel) }
+
+// Drop is π̄_Attr(Rel): drop column Attr from Rel.
+type Drop struct {
+	Rel, Attr string
+}
+
+// Apply implements Op.
+func (o Drop) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "drop")
+	if err != nil {
+		return nil, err
+	}
+	dropped, err := r.WithoutAttr(o.Attr)
+	if err != nil {
+		return nil, fmt.Errorf("fira: drop: %v", err)
+	}
+	return db.WithRelation(dropped), nil
+}
+
+func (o Drop) String() string { return fmt.Sprintf("drop[%s,%s]", o.Rel, o.Attr) }
+func (o Drop) Pretty() string { return fmt.Sprintf("π̄_{%s}(%s)", o.Attr, o.Rel) }
+
+// Promote is ↑^ValueAttr_NameAttr(Rel), Table 1's "Promote Column A to
+// Metadata": for every tuple t, append a new column named t[NameAttr] with
+// value t[ValueAttr]. Tuples receive the empty string in promoted columns
+// created by other tuples.
+type Promote struct {
+	Rel       string
+	NameAttr  string // the column whose values become attribute names (A)
+	ValueAttr string // the column supplying the values (B)
+}
+
+// Apply implements Op.
+func (o Promote) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "promote")
+	if err != nil {
+		return nil, err
+	}
+	if !r.HasAttr(o.NameAttr) {
+		return nil, fmt.Errorf("fira: promote: %s has no attribute %q", o.Rel, o.NameAttr)
+	}
+	if !r.HasAttr(o.ValueAttr) {
+		return nil, fmt.Errorf("fira: promote: %s has no attribute %q", o.Rel, o.ValueAttr)
+	}
+	names, err := r.ValuesOf(o.NameAttr)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("fira: promote: empty value in name column %q", o.NameAttr)
+		}
+		if r.HasAttr(n) {
+			return nil, fmt.Errorf("fira: promote: value %q collides with an existing attribute of %s", n, o.Rel)
+		}
+	}
+	out := r
+	for _, n := range names {
+		col := make([]string, r.Len())
+		for i := 0; i < r.Len(); i++ {
+			nameV, _ := r.Value(i, o.NameAttr)
+			if nameV == n {
+				col[i], _ = r.Value(i, o.ValueAttr)
+			}
+		}
+		out, err = out.WithColumn(n, col)
+		if err != nil {
+			return nil, fmt.Errorf("fira: promote: %v", err)
+		}
+	}
+	return db.WithRelation(out), nil
+}
+
+func (o Promote) String() string {
+	return fmt.Sprintf("promote[%s,%s,%s]", o.Rel, o.NameAttr, o.ValueAttr)
+}
+func (o Promote) Pretty() string {
+	return fmt.Sprintf("↑^{%s}_{%s}(%s)", o.ValueAttr, o.NameAttr, o.Rel)
+}
+
+// DemoteRelCol and DemoteAttCol are the reserved column names introduced by
+// ↓. They can be renamed afterwards with ρ^att.
+const (
+	DemoteRelCol = "_REL"
+	DemoteAttCol = "_ATT"
+)
+
+// Demote is ↓(Rel), Table 1's "Demote Metadata": the cartesian product of
+// Rel with a binary table containing Rel's metadata — one (relation name,
+// attribute name) row per attribute. The metadata lands in the reserved
+// columns _REL and _ATT; combined with → (dereference) this moves attribute
+// names and their values back into data, the inverse direction of ↑.
+type Demote struct {
+	Rel string
+}
+
+// Apply implements Op.
+func (o Demote) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "demote")
+	if err != nil {
+		return nil, err
+	}
+	if r.HasAttr(DemoteRelCol) || r.HasAttr(DemoteAttCol) {
+		return nil, fmt.Errorf("fira: demote: %s already has a %s or %s column", o.Rel, DemoteRelCol, DemoteAttCol)
+	}
+	if r.Arity() == 0 {
+		return nil, fmt.Errorf("fira: demote: %s has no attributes", o.Rel)
+	}
+	attrs := r.Attrs()
+	out, err := relation.New(o.Rel, append(r.Attrs(), DemoteRelCol, DemoteAttCol))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for _, a := range attrs {
+			ext := make(relation.Tuple, 0, len(row)+2)
+			ext = append(ext, row...)
+			ext = append(ext, o.Rel, a)
+			out, err = out.Insert(ext)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db.WithRelation(out), nil
+}
+
+func (o Demote) String() string { return fmt.Sprintf("demote[%s]", o.Rel) }
+func (o Demote) Pretty() string { return fmt.Sprintf("↓(%s)", o.Rel) }
+
+// Deref is →^NewAttr_PtrAttr(Rel), Table 1's "Dereference Column A on B":
+// for every tuple t, append a new column NewAttr with value t[t[PtrAttr]] —
+// the value of the attribute *named by* t's PtrAttr value.
+type Deref struct {
+	Rel     string
+	PtrAttr string // column A whose values name attributes
+	NewAttr string // new column B receiving the dereferenced values
+}
+
+// Apply implements Op.
+func (o Deref) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "deref")
+	if err != nil {
+		return nil, err
+	}
+	if !r.HasAttr(o.PtrAttr) {
+		return nil, fmt.Errorf("fira: deref: %s has no attribute %q", o.Rel, o.PtrAttr)
+	}
+	col := make([]string, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		ptr, _ := r.Value(i, o.PtrAttr)
+		v, ok := r.Value(i, ptr)
+		if !ok {
+			return nil, fmt.Errorf("fira: deref: tuple %d of %s points at %q, which is not an attribute", i, o.Rel, ptr)
+		}
+		col[i] = v
+	}
+	out, err := r.WithColumn(o.NewAttr, col)
+	if err != nil {
+		return nil, fmt.Errorf("fira: deref: %v", err)
+	}
+	return db.WithRelation(out), nil
+}
+
+func (o Deref) String() string {
+	return fmt.Sprintf("deref[%s,%s->%s]", o.Rel, o.PtrAttr, o.NewAttr)
+}
+func (o Deref) Pretty() string {
+	return fmt.Sprintf("→^{%s}_{%s}(%s)", o.NewAttr, o.PtrAttr, o.Rel)
+}
+
+// Partition is ℘_Attr(Rel): for each value v of column Attr, create a new
+// relation named v holding the tuples with t[Attr] = v. The input relation
+// is consumed (removed from the database), matching FIRA's semantics of
+// restructuring a relation into a set of relations.
+type Partition struct {
+	Rel, Attr string
+}
+
+// Apply implements Op.
+func (o Partition) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "partition")
+	if err != nil {
+		return nil, err
+	}
+	values, err := r.ValuesOf(o.Attr)
+	if err != nil {
+		return nil, fmt.Errorf("fira: partition: %v", err)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("fira: partition: %s is empty", o.Rel)
+	}
+	rest := db.WithoutRelation(o.Rel)
+	for _, v := range values {
+		if v == "" {
+			return nil, fmt.Errorf("fira: partition: empty value in column %q", o.Attr)
+		}
+		if _, clash := rest.Relation(v); clash {
+			return nil, fmt.Errorf("fira: partition: relation %q already exists", v)
+		}
+		part, err := relation.New(v, r.Attrs())
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < r.Len(); i++ {
+			if got, _ := r.Value(i, o.Attr); got == v {
+				part, err = part.Insert(r.Row(i))
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		rest = rest.WithRelation(part)
+	}
+	return rest, nil
+}
+
+func (o Partition) String() string { return fmt.Sprintf("partition[%s,%s]", o.Rel, o.Attr) }
+func (o Partition) Pretty() string { return fmt.Sprintf("℘_{%s}(%s)", o.Attr, o.Rel) }
+
+// Product is ×(Left, Right): the cartesian product of two relations. The
+// result replaces Left (keeping its name); Right is untouched. Attribute
+// sets must be disjoint.
+type Product struct {
+	Left, Right string
+}
+
+// Apply implements Op.
+func (o Product) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	l, err := relOf(db, o.Left, "product")
+	if err != nil {
+		return nil, err
+	}
+	r, err := relOf(db, o.Right, "product")
+	if err != nil {
+		return nil, err
+	}
+	if o.Left == o.Right {
+		return nil, fmt.Errorf("fira: product: %q with itself", o.Left)
+	}
+	for _, a := range r.Attrs() {
+		if l.HasAttr(a) {
+			return nil, fmt.Errorf("fira: product: attribute %q appears in both %s and %s", a, o.Left, o.Right)
+		}
+	}
+	out, err := relation.New(o.Left, append(l.Attrs(), r.Attrs()...))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < l.Len(); i++ {
+		for j := 0; j < r.Len(); j++ {
+			row := make(relation.Tuple, 0, l.Arity()+r.Arity())
+			row = append(row, l.Row(i)...)
+			row = append(row, r.Row(j)...)
+			out, err = out.Insert(row)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db.WithRelation(out), nil
+}
+
+func (o Product) String() string { return fmt.Sprintf("product[%s,%s]", o.Left, o.Right) }
+func (o Product) Pretty() string { return fmt.Sprintf("×(%s,%s)", o.Left, o.Right) }
+
+// Merge is µ_Attr(Rel) (Table 1; Wyss & Robertson's PIVOT/UNPIVOT merge):
+// repeatedly coalesce pairs of tuples that share the value of column Attr
+// and are compatible elsewhere — on every other attribute their values are
+// equal or at least one is absent (empty). The coalesced tuple takes the
+// non-absent value at each position. Merging runs to fixpoint and is
+// deterministic (tuples are processed in canonical order).
+type Merge struct {
+	Rel, Attr string
+}
+
+// Apply implements Op.
+func (o Merge) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "merge")
+	if err != nil {
+		return nil, err
+	}
+	j := r.AttrIndex(o.Attr)
+	if j < 0 {
+		return nil, fmt.Errorf("fira: merge: %s has no attribute %q", o.Rel, o.Attr)
+	}
+	// Group rows by the merge attribute, canonical order within groups.
+	groups := make(map[string][]relation.Tuple)
+	var keys []string
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		k := row[j]
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], row.Clone())
+	}
+	sort.Strings(keys)
+	out, err := relation.New(o.Rel, r.Attrs())
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		rows := groups[k]
+		sortTuples(rows)
+		merged := mergeGroup(rows)
+		for _, row := range merged {
+			out, err = out.Insert(row)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db.WithRelation(out), nil
+}
+
+// sortTuples orders tuples lexicographically for determinism.
+func sortTuples(rows []relation.Tuple) {
+	sort.Slice(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return ra[i] < rb[i]
+			}
+		}
+		return false
+	})
+}
+
+// mergeGroup coalesces compatible tuples within one merge group to fixpoint.
+func mergeGroup(rows []relation.Tuple) []relation.Tuple {
+	changed := true
+	for changed {
+		changed = false
+	outer:
+		for i := 0; i < len(rows); i++ {
+			for k := i + 1; k < len(rows); k++ {
+				if m, ok := coalesce(rows[i], rows[k]); ok {
+					rows[i] = m
+					rows = append(rows[:k], rows[k+1:]...)
+					changed = true
+					break outer
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// coalesce merges two tuples if they are compatible: at every position the
+// values are equal or at least one is empty.
+func coalesce(a, b relation.Tuple) (relation.Tuple, bool) {
+	out := make(relation.Tuple, len(a))
+	for i := range a {
+		switch {
+		case a[i] == b[i]:
+			out[i] = a[i]
+		case a[i] == "":
+			out[i] = b[i]
+		case b[i] == "":
+			out[i] = a[i]
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func (o Merge) String() string { return fmt.Sprintf("merge[%s,%s]", o.Rel, o.Attr) }
+func (o Merge) Pretty() string { return fmt.Sprintf("µ_{%s}(%s)", o.Attr, o.Rel) }
+
+// Apply is λ^Out_{Func,In}(Rel) (§4): for every tuple, apply the registered
+// complex function Func to the values of the In attributes and store the
+// result in the new attribute Out. Following the paper's semantics — "the
+// operator is well defined for any tuple T of appropriate schema (and is
+// the identity mapping on T otherwise)" — a tuple on which the function
+// fails (e.g. a non-numeric value reaching an arithmetic function after
+// metadata demotion) receives the absent value instead of aborting the
+// mapping. Structural errors (missing relation or attributes, unknown
+// function, arity mismatch) still fail the operator.
+type Apply struct {
+	Rel  string
+	Func string
+	In   []string
+	Out  string
+}
+
+// Apply implements Op.
+func (o Apply) Apply(db *relation.Database, reg *lambda.Registry) (*relation.Database, error) {
+	r, err := relOf(db, o.Rel, "apply")
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("fira: apply: no function registry supplied for %s", o.Func)
+	}
+	f, ok := reg.Lookup(o.Func)
+	if !ok {
+		return nil, fmt.Errorf("fira: apply: unknown function %q", o.Func)
+	}
+	if f.Arity != len(o.In) {
+		return nil, fmt.Errorf("fira: apply: %s has arity %d, got %d inputs", o.Func, f.Arity, len(o.In))
+	}
+	for _, a := range o.In {
+		if !r.HasAttr(a) {
+			return nil, fmt.Errorf("fira: apply: %s has no attribute %q", o.Rel, a)
+		}
+	}
+	col := make([]string, r.Len())
+	args := make([]string, len(o.In))
+	for i := 0; i < r.Len(); i++ {
+		for k, a := range o.In {
+			args[k], _ = r.Value(i, a)
+		}
+		v, err := f.Call(args)
+		if err != nil {
+			// Identity on tuples the function is undefined for (§4): the
+			// new column holds the absent value for this tuple.
+			col[i] = ""
+			continue
+		}
+		col[i] = v
+	}
+	out, err := r.WithColumn(o.Out, col)
+	if err != nil {
+		return nil, fmt.Errorf("fira: apply: %v", err)
+	}
+	return db.WithRelation(out), nil
+}
+
+func (o Apply) String() string {
+	return fmt.Sprintf("apply[%s,%s:%s->%s]", o.Rel, o.Func, strings.Join(o.In, ","), o.Out)
+}
+func (o Apply) Pretty() string {
+	return fmt.Sprintf("λ^{%s}_{%s,⟨%s⟩}(%s)", o.Out, o.Func, strings.Join(o.In, ","), o.Rel)
+}

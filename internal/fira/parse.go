@@ -1,0 +1,185 @@
+package fira
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a mapping expression in the canonical textual syntax produced
+// by Expr.String: one operator per line (or ';'-separated), each of the form
+// name[args]. Blank lines and lines starting with '#' are ignored.
+//
+//	rename_rel[Prices->Flights]
+//	rename_att[Prices,AgentFee->Fee]
+//	drop[Prices,Route]
+//	promote[Prices,Route,Cost]
+//	demote[R]
+//	deref[R,Ptr->New]
+//	partition[R,A]
+//	product[L,R]
+//	union[L,R]
+//	merge[R,Carrier]
+//	apply[Prices,sum:Cost,AgentFee->TotalCost]
+func Parse(src string) (Expr, error) {
+	var expr Expr
+	lineNo := 0
+	for _, chunk := range strings.FieldsFunc(src, func(r rune) bool { return r == '\n' || r == ';' }) {
+		lineNo++
+		line := strings.TrimSpace(chunk)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("fira: parse: %v", err)
+		}
+		expr = append(expr, op)
+	}
+	return expr, nil
+}
+
+// MustParse is like Parse but panics on error; for tests and fixed inputs.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func parseOp(line string) (Op, error) {
+	open := strings.IndexByte(line, '[')
+	if open <= 0 || !strings.HasSuffix(line, "]") {
+		return nil, fmt.Errorf("%q is not of the form name[args]", line)
+	}
+	name := line[:open]
+	args := line[open+1 : len(line)-1]
+	switch name {
+	case "rename_rel":
+		from, to, err := splitArrow(args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return RenameRel{From: from, To: to}, nil
+	case "rename_att":
+		rel, rest, err := splitHead(args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		from, to, err := splitArrow(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return RenameAtt{Rel: rel, From: from, To: to}, nil
+	case "drop":
+		parts, err := splitN(args, 2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Drop{Rel: parts[0], Attr: parts[1]}, nil
+	case "promote":
+		parts, err := splitN(args, 3)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Promote{Rel: parts[0], NameAttr: parts[1], ValueAttr: parts[2]}, nil
+	case "demote":
+		if args == "" || strings.ContainsAny(args, ",") {
+			return nil, fmt.Errorf("%s: want one relation, got %q", name, args)
+		}
+		return Demote{Rel: args}, nil
+	case "deref":
+		rel, rest, err := splitHead(args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		ptr, out, err := splitArrow(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Deref{Rel: rel, PtrAttr: ptr, NewAttr: out}, nil
+	case "partition":
+		parts, err := splitN(args, 2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Partition{Rel: parts[0], Attr: parts[1]}, nil
+	case "product":
+		parts, err := splitN(args, 2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Product{Left: parts[0], Right: parts[1]}, nil
+	case "union":
+		parts, err := splitN(args, 2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Union{Left: parts[0], Right: parts[1]}, nil
+	case "merge":
+		parts, err := splitN(args, 2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return Merge{Rel: parts[0], Attr: parts[1]}, nil
+	case "apply":
+		rel, rest, err := splitHead(args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		colon := strings.IndexByte(rest, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("%s: missing function name in %q", name, rest)
+		}
+		fn := rest[:colon]
+		ins, out, err := splitArrow(rest[colon+1:])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		in := strings.Split(ins, ",")
+		for _, a := range in {
+			if a == "" {
+				return nil, fmt.Errorf("%s: empty input attribute in %q", name, args)
+			}
+		}
+		return Apply{Rel: rel, Func: fn, In: in, Out: out}, nil
+	default:
+		return nil, fmt.Errorf("unknown operator %q", name)
+	}
+}
+
+// splitArrow splits "a->b" into non-empty halves.
+func splitArrow(s string) (string, string, error) {
+	i := strings.Index(s, "->")
+	if i < 0 {
+		return "", "", fmt.Errorf("missing -> in %q", s)
+	}
+	a, b := s[:i], s[i+2:]
+	if a == "" || b == "" {
+		return "", "", fmt.Errorf("empty side of -> in %q", s)
+	}
+	return a, b, nil
+}
+
+// splitHead splits "rel,rest" at the first comma.
+func splitHead(s string) (string, string, error) {
+	i := strings.IndexByte(s, ',')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("missing relation prefix in %q", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+// splitN splits on commas into exactly n non-empty fields.
+func splitN(s string, n int) ([]string, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d fields, got %d in %q", n, len(parts), s)
+	}
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("empty field in %q", s)
+		}
+	}
+	return parts, nil
+}

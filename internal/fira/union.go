@@ -1,0 +1,70 @@
+package fira
+
+import (
+	"fmt"
+
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+)
+
+// Union is ∪(Left, Right): the outer union of two relations, collected
+// under Left's name; Right is consumed. Attributes present in only one
+// operand are padded with the absent value (the empty string) in tuples
+// from the other, following FIRA's outer union (Wyss & Robertson 2005,
+// §4.1). The paper's Table 1 omits ∪ from the fragment L, but the full
+// FIRA algebra includes it and the Fig. 1 mappings out of FlightsC (one
+// relation per carrier) need it; this implementation carries it as a
+// language extension, enabled in search whenever a state has more
+// relations than the target wants.
+type Union struct {
+	Left, Right string
+}
+
+// Apply implements Op.
+func (o Union) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Database, error) {
+	l, err := relOf(db, o.Left, "union")
+	if err != nil {
+		return nil, err
+	}
+	r, err := relOf(db, o.Right, "union")
+	if err != nil {
+		return nil, err
+	}
+	if o.Left == o.Right {
+		return nil, fmt.Errorf("fira: union: %q with itself", o.Left)
+	}
+	// Combined schema: Left's attributes, then Right's new ones.
+	attrs := l.Attrs()
+	for _, a := range r.Attrs() {
+		if !l.HasAttr(a) {
+			attrs = append(attrs, a)
+		}
+	}
+	out, err := relation.New(o.Left, attrs)
+	if err != nil {
+		return nil, err
+	}
+	pad := func(src *relation.Relation, i int) relation.Tuple {
+		row := make(relation.Tuple, len(attrs))
+		for j, a := range attrs {
+			if v, ok := src.Value(i, a); ok {
+				row[j] = v
+			}
+		}
+		return row
+	}
+	for i := 0; i < l.Len(); i++ {
+		if out, err = out.Insert(pad(l, i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < r.Len(); i++ {
+		if out, err = out.Insert(pad(r, i)); err != nil {
+			return nil, err
+		}
+	}
+	return db.WithoutRelation(o.Right).WithRelation(out), nil
+}
+
+func (o Union) String() string { return fmt.Sprintf("union[%s,%s]", o.Left, o.Right) }
+func (o Union) Pretty() string { return fmt.Sprintf("∪(%s,%s)", o.Left, o.Right) }

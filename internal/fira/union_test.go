@@ -1,0 +1,103 @@
+package fira
+
+import (
+	"testing"
+
+	"tupelo/internal/relation"
+)
+
+func TestUnionSameSchema(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("L", []string{"A", "B"},
+			relation.Tuple{"1", "x"},
+			relation.Tuple{"2", "y"},
+		),
+		relation.MustNew("R", []string{"B", "A"}, // same attributes, other order
+			relation.Tuple{"y", "2"},
+			relation.Tuple{"z", "3"},
+		),
+	)
+	out, err := Union{Left: "L", Right: "R"}.Apply(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, still := out.Relation("R"); still {
+		t.Fatal("union should consume the right operand")
+	}
+	l, _ := out.Relation("L")
+	if l.Len() != 3 { // (1,x), (2,y) = (y,2), (3,z): duplicate collapses
+		t.Fatalf("union has %d rows, want 3:\n%s", l.Len(), l)
+	}
+	if l.Arity() != 2 {
+		t.Fatalf("union arity = %d, want 2", l.Arity())
+	}
+}
+
+func TestUnionOuterPadsAbsent(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("L", []string{"A"}, relation.Tuple{"1"}),
+		relation.MustNew("R", []string{"A", "B"}, relation.Tuple{"2", "x"}),
+	)
+	out, err := Union{Left: "L", Right: "R"}.Apply(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := out.Relation("L")
+	if !l.HasAttr("B") {
+		t.Fatalf("outer union should widen the schema: %v", l.Attrs())
+	}
+	v, _ := l.Value(0, "B")
+	w, _ := l.Value(1, "B")
+	if !(v == "" && w == "x") && !(v == "x" && w == "") {
+		t.Fatalf("padding wrong: B values %q, %q", v, w)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("L", []string{"A"}, relation.Tuple{"1"}),
+	)
+	for _, op := range []Op{
+		Union{Left: "L", Right: "L"},
+		Union{Left: "L", Right: "NoSuch"},
+		Union{Left: "NoSuch", Right: "L"},
+	} {
+		if _, err := op.Apply(db, nil); err == nil {
+			t.Fatalf("%s should fail", op)
+		}
+	}
+}
+
+func TestUnionParseRoundTrip(t *testing.T) {
+	expr := Expr{Union{Left: "L", Right: "R"}}
+	back, err := Parse(expr.String())
+	if err != nil || back.String() != expr.String() {
+		t.Fatalf("round trip: %v, %q", err, back.String())
+	}
+	if back.Pretty() != "∪(L,R)" {
+		t.Fatalf("Pretty = %q", back.Pretty())
+	}
+	if _, err := Parse("union[L]"); err == nil {
+		t.Fatal("union with one operand should fail to parse")
+	}
+}
+
+// Union is the inverse of partition: ℘ then ∪ (after restoring the name)
+// recovers the original relation.
+func TestUnionInvertsPartition(t *testing.T) {
+	db := flightsB()
+	parts, err := (Partition{Rel: "Prices", Attr: "Carrier"}).Apply(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Expr{
+		Union{Left: "AirEast", Right: "JetWest"},
+		RenameRel{From: "AirEast", To: "Prices"},
+	}.Eval(parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.Equal(db) {
+		t.Fatalf("℘ then ∪ did not round-trip:\n%s", joined)
+	}
+}

@@ -1,0 +1,133 @@
+package heuristic
+
+import (
+	"testing"
+
+	"tupelo/internal/relation"
+)
+
+func TestExtendedKindsSeparateFromPaper(t *testing.T) {
+	paper := map[Kind]bool{}
+	for _, k := range Kinds() {
+		paper[k] = true
+	}
+	for _, k := range ExtendedKinds() {
+		if paper[k] {
+			t.Fatalf("extended kind %s collides with the paper's set", k)
+		}
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Fatalf("extended kind has no name: %q", k.String())
+		}
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), back, err)
+		}
+	}
+}
+
+func TestHybridZeroAtGoal(t *testing.T) {
+	tgt := target()
+	e := New(Hybrid, tgt, 0)
+	if got := e.Estimate(tgt.Clone()); got != 0 {
+		t.Fatalf("hybrid at goal = %d, want 0", got)
+	}
+}
+
+func TestHybridSeesStructuralDeficit(t *testing.T) {
+	// Target: two tuples over the same token pool. State: one tuple using
+	// all the tokens. Every set-based view coincides (h1 = h2 = 0), but
+	// the state is a tuple short — structure only the hybrid's deficit
+	// term can see.
+	tgt := relation.MustDatabase(
+		relation.MustNew("R", []string{"A", "B"},
+			relation.Tuple{"x", "y"},
+			relation.Tuple{"y", "x"},
+		),
+	)
+	x := relation.MustDatabase(
+		relation.MustNew("R", []string{"A", "B"}, relation.Tuple{"x", "y"}),
+	)
+	if h1 := New(H1, tgt, 0).Estimate(x); h1 != 0 {
+		t.Fatalf("h1 should be blind to the missing tuple, got %d", h1)
+	}
+	if hy := New(Hybrid, tgt, 0).Estimate(x); hy == 0 {
+		t.Fatal("hybrid should see the tuple deficit")
+	}
+}
+
+func TestHybridIgnoresSurplus(t *testing.T) {
+	// Containment-goal semantics: surpluses are free, so an extra relation
+	// must not raise the hybrid estimate above zero at a goal superset.
+	tgt := target()
+	x := tgt.WithRelation(relation.MustNew("Extra", []string{"Z"}, relation.Tuple{"zz"}))
+	if !x.Contains(tgt) {
+		t.Fatal("test setup: x should contain the target")
+	}
+	if hy := New(Hybrid, tgt, 0).Estimate(x); hy != 0 {
+		t.Fatalf("hybrid at a goal superset = %d, want 0", hy)
+	}
+}
+
+func TestHybridAtLeastH3(t *testing.T) {
+	tgt := target()
+	x := relation.MustDatabase(
+		relation.MustNew("Flights", []string{"Carrier", "Price"},
+			relation.Tuple{"AirEast", "99"},
+		),
+	)
+	h3 := New(H3, tgt, 0).Estimate(x)
+	hy := New(Hybrid, tgt, 0).Estimate(x)
+	if hy < h3 {
+		t.Fatalf("hybrid (%d) should dominate h3 (%d)", hy, h3)
+	}
+}
+
+func TestJaccardBounds(t *testing.T) {
+	tgt := target()
+	const k = 10
+	e := New(Jaccard, tgt, k)
+	if got := e.Estimate(tgt.Clone()); got != 0 {
+		t.Fatalf("jaccard at goal = %d, want 0", got)
+	}
+	disjoint := relation.MustDatabase(
+		relation.MustNew("Zzz", []string{"Qq"}, relation.Tuple{"ww"}),
+	)
+	if got := e.Estimate(disjoint); got != k {
+		t.Fatalf("jaccard on disjoint = %d, want %d", got, k)
+	}
+	partial := relation.MustDatabase(
+		relation.MustNew("Flights", []string{"Carrier", "Qq"},
+			relation.Tuple{"AirEast", "ww"},
+		),
+	)
+	got := e.Estimate(partial)
+	if got <= 0 || got >= k {
+		t.Fatalf("jaccard on overlap = %d, want in (0, %d)", got, k)
+	}
+}
+
+func TestJaccardRoleTagged(t *testing.T) {
+	// The token "X" is an attribute in the target but a value in the state;
+	// role-tagged Jaccard must not count it as shared.
+	tgt := relation.MustDatabase(
+		relation.MustNew("R", []string{"X"}, relation.Tuple{"v"}),
+	)
+	x := relation.MustDatabase(
+		relation.MustNew("R", []string{"A"}, relation.Tuple{"X"}),
+	)
+	e := New(Jaccard, tgt, 12)
+	same := relation.MustDatabase(
+		relation.MustNew("R", []string{"X"}, relation.Tuple{"w"}),
+	)
+	if e.Estimate(x) <= e.Estimate(same) {
+		t.Fatalf("cross-role token scored as shared: cross=%d, same-role=%d",
+			e.Estimate(x), e.Estimate(same))
+	}
+}
+
+func TestJaccardEmptyBoth(t *testing.T) {
+	empty := relation.MustDatabase()
+	if got := New(Jaccard, empty, 5).Estimate(empty); got != 0 {
+		t.Fatalf("jaccard(∅, ∅) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,280 @@
+// Package heuristic implements the search heuristics of §3 of "Data Mapping
+// as Search" (EDBT 2006). A heuristic h(x) estimates the number of
+// intermediate search states between a database x and the target critical
+// instance t. All heuristics view databases through their Tuple Normal Form
+// (package tnf):
+//
+//	h0    — constant 0: brute-force blind search (the paper's baseline)
+//	h1    — set difference of the REL/ATT/VALUE projections
+//	h2    — minimum promotions/demotions: cross-intersections of projections
+//	h3    — max(h1, h2)
+//	hL    — normalized Levenshtein distance of canonical strings, scaled by k
+//	hE    — Euclidean distance of (REL, ATT, VALUE)-triple term vectors
+//	h|E|  — normalized Euclidean distance, scaled by k
+//	hcos  — cosine distance of term vectors, scaled by k
+//
+// The scaling constants k that the paper found optimal per (algorithm,
+// heuristic) pair live in scale.go.
+package heuristic
+
+import (
+	"fmt"
+	"math"
+
+	"tupelo/internal/relation"
+	"tupelo/internal/tnf"
+)
+
+// Kind identifies one of the paper's heuristics.
+type Kind int
+
+const (
+	// H0 is the constant-zero heuristic inducing blind search.
+	H0 Kind = iota
+	// H1 counts target relation/attribute/value tokens missing from x.
+	H1
+	// H2 counts cross-category overlaps: the minimum number of promotions
+	// (↑) and demotions (↓) needed to move tokens between metadata and data.
+	H2
+	// H3 is max(H1, H2).
+	H3
+	// Levenshtein is the normalized string-edit-distance heuristic hL.
+	Levenshtein
+	// Euclid is the unnormalized term-vector Euclidean distance hE.
+	Euclid
+	// EuclidNorm is the normalized term-vector Euclidean distance h|E|.
+	EuclidNorm
+	// Cosine is the term-vector cosine distance hcos.
+	Cosine
+)
+
+// Kinds lists all heuristics in the paper's presentation order.
+func Kinds() []Kind {
+	return []Kind{H0, H1, H2, H3, Levenshtein, Euclid, EuclidNorm, Cosine}
+}
+
+// String names the heuristic as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case H0:
+		return "h0"
+	case H1:
+		return "h1"
+	case H2:
+		return "h2"
+	case H3:
+		return "h3"
+	case Levenshtein:
+		return "levenshtein"
+	case Euclid:
+		return "euclid"
+	case EuclidNorm:
+		return "euclid-norm"
+	case Cosine:
+		return "cosine"
+	default:
+		if s := extendedString(k); s != "" {
+			return s
+		}
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves the names accepted on command lines and in configs,
+// including the extended (post-paper) heuristics.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	for _, k := range ExtendedKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("heuristic: unknown kind %q", s)
+}
+
+// Scaled reports whether the heuristic uses a scaling constant k (§3 scales
+// only the normalized heuristics).
+func (k Kind) Scaled() bool {
+	switch k {
+	case Levenshtein, EuclidNorm, Cosine, Jaccard:
+		return true
+	}
+	return false
+}
+
+// Estimator is a heuristic bound to a fixed target critical instance, with
+// the target-side structures precomputed once.
+type Estimator struct {
+	kind Kind
+	k    float64
+
+	// Target-side precomputation.
+	tRel, tAtt, tVal map[string]bool
+	tString          string
+	tVec             vector
+	tNorm            float64
+	tShape           shape
+}
+
+// New builds an estimator for the given heuristic kind against the target.
+// k is the scaling constant for the normalized heuristics; pass 0 to use
+// the neutral value 1. Unscaled heuristics ignore k.
+func New(kind Kind, target *relation.Database, k float64) *Estimator {
+	if k <= 0 {
+		k = 1
+	}
+	t := tnf.Encode(target)
+	e := &Estimator{
+		kind: kind,
+		k:    k,
+		tRel: t.RelSet(),
+		tAtt: t.AttSet(),
+		tVal: t.ValueSet(),
+	}
+	switch kind {
+	case Levenshtein:
+		e.tString = t.CanonicalString()
+	case Euclid, EuclidNorm, Cosine:
+		e.tVec = newVector(t)
+		e.tNorm = e.tVec.norm()
+	case Hybrid:
+		e.tShape = shapeOf(target)
+	}
+	return e
+}
+
+// Name returns the heuristic's name.
+func (e *Estimator) Name() string { return e.kind.String() }
+
+// Kind returns the heuristic's kind.
+func (e *Estimator) Kind() Kind { return e.kind }
+
+// K returns the scaling constant in effect.
+func (e *Estimator) K() float64 { return e.k }
+
+// Estimate computes h(x) for a database state.
+func (e *Estimator) Estimate(x *relation.Database) int {
+	switch e.kind {
+	case H0:
+		return 0
+	case H1:
+		return e.h1(tnf.Encode(x))
+	case H2:
+		return e.h2(tnf.Encode(x))
+	case H3:
+		t := tnf.Encode(x)
+		h1, h2 := e.h1(t), e.h2(t)
+		if h1 > h2 {
+			return h1
+		}
+		return h2
+	case Levenshtein:
+		return e.hLev(tnf.Encode(x))
+	case Euclid:
+		return e.hEuclid(tnf.Encode(x), false)
+	case EuclidNorm:
+		return e.hEuclid(tnf.Encode(x), true)
+	case Cosine:
+		return e.hCosine(tnf.Encode(x))
+	default:
+		if e.kind >= 100 {
+			return e.estimateExtended(x)
+		}
+		return 0
+	}
+}
+
+// h1(x) = |πREL(t)−πREL(x)| + |πATT(t)−πATT(x)| + |πVALUE(t)−πVALUE(x)|.
+func (e *Estimator) h1(x *tnf.Table) int {
+	return diffSize(e.tRel, x.RelSet()) +
+		diffSize(e.tAtt, x.AttSet()) +
+		diffSize(e.tVal, x.ValueSet())
+}
+
+// h2(x) = Σ cross-category intersections between t's and x's projections:
+// tokens that must change role via ↑ or ↓.
+func (e *Estimator) h2(x *tnf.Table) int {
+	xRel, xAtt, xVal := x.RelSet(), x.AttSet(), x.ValueSet()
+	return interSize(e.tRel, xAtt) +
+		interSize(e.tRel, xVal) +
+		interSize(e.tAtt, xRel) +
+		interSize(e.tAtt, xVal) +
+		interSize(e.tVal, xRel) +
+		interSize(e.tVal, xAtt)
+}
+
+// hLev(x) = round(k · L(string(x), string(t)) / max(|string(x)|, |string(t)|)).
+func (e *Estimator) hLev(x *tnf.Table) int {
+	s := x.CanonicalString()
+	max := len(s)
+	if len(e.tString) > max {
+		max = len(e.tString)
+	}
+	if max == 0 {
+		return 0
+	}
+	d := LevenshteinDistance(s, e.tString)
+	return int(math.Round(e.k * float64(d) / float64(max)))
+}
+
+// hEuclid computes hE (norm=false) or h|E| (norm=true).
+func (e *Estimator) hEuclid(x *tnf.Table, normalize bool) int {
+	xv := newVector(x)
+	if !normalize {
+		return int(math.Round(xv.euclideanDistance(e.tVec)))
+	}
+	xn := xv.norm()
+	d := xv.normalizedDistance(xn, e.tVec, e.tNorm)
+	return int(math.Round(e.k * d))
+}
+
+// hCosine(x) = round(k · (1 − x·t / (|x||t|))).
+func (e *Estimator) hCosine(x *tnf.Table) int {
+	xv := newVector(x)
+	xn := xv.norm()
+	if xn == 0 || e.tNorm == 0 {
+		if xn == 0 && e.tNorm == 0 {
+			return 0
+		}
+		return int(math.Round(e.k))
+	}
+	cos := xv.dot(e.tVec) / (xn * e.tNorm)
+	// Clamp against floating-point drift.
+	if cos > 1 {
+		cos = 1
+	}
+	if cos < 0 {
+		cos = 0
+	}
+	return int(math.Round(e.k * (1 - cos)))
+}
+
+// diffSize returns |a − b|.
+func diffSize(a, b map[string]bool) int {
+	n := 0
+	for k := range a {
+		if !b[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// interSize returns |a ∩ b|.
+func interSize(a, b map[string]bool) int {
+	// Iterate the smaller set.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for k := range a {
+		if b[k] {
+			n++
+		}
+	}
+	return n
+}

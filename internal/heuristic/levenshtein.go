@@ -1,0 +1,43 @@
+package heuristic
+
+// LevenshteinDistance returns the least number of single-character
+// insertions, deletions, and substitutions transforming a into b
+// (Levenshtein 1965), computed with the classic dynamic program in O(|a|·|b|)
+// time and O(min(|a|,|b|)) space.
+func LevenshteinDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Work on bytes: TNF canonical strings are ASCII-safe for our data, and
+	// byte-level distance is a valid metric regardless.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitution
+			if d := prev[j] + 1; d < m { // deletion
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insertion
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

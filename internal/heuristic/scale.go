@@ -1,0 +1,50 @@
+package heuristic
+
+import "tupelo/internal/search"
+
+// DefaultK returns the scaling constant k the paper found to give overall
+// optimal performance for the given (algorithm, heuristic) pair (§5,
+// "Experimental Setup"):
+//
+//	          Norm. Euclidean   Cosine Sim.   Levenshtein
+//	IDA            k = 7           k = 5         k = 11
+//	RBFS           k = 20          k = 24        k = 15
+//
+// Heuristics without a scaling constant get the neutral value 1.
+// Experiment E0 (cmd/tupelo-bench -exp calibrate) re-derives this table.
+func DefaultK(algo search.Algorithm, kind Kind) float64 {
+	if !kind.Scaled() {
+		return 1
+	}
+	switch algo {
+	case search.IDA:
+		switch kind {
+		case EuclidNorm:
+			return 7
+		case Cosine:
+			return 5
+		case Levenshtein:
+			return 11
+		}
+	case search.RBFS:
+		switch kind {
+		case EuclidNorm:
+			return 20
+		case Cosine:
+			return 24
+		case Levenshtein:
+			return 15
+		}
+	}
+	// A*/greedy are ablation-only; reuse the RBFS constants, which the
+	// paper found best for best-first exploration.
+	switch kind {
+	case EuclidNorm:
+		return 20
+	case Cosine:
+		return 24
+	case Levenshtein:
+		return 15
+	}
+	return 1
+}

@@ -1,0 +1,83 @@
+package heuristic
+
+import (
+	"math"
+
+	"tupelo/internal/tnf"
+)
+
+// vector is a sparse term vector over (REL, ATT, VALUE) token triples
+// (§3, "Databases as Term Vectors"). The paper's vector space has one
+// dimension per triple over the token universe; only dimensions with
+// non-zero counts are stored.
+type vector map[[3]string]float64
+
+// newVector counts the occurrences of each TNF row's triple.
+func newVector(t *tnf.Table) vector {
+	v := make(vector)
+	for _, tr := range t.Triples() {
+		v[tr]++
+	}
+	return v
+}
+
+// dot returns the inner product of two sparse vectors.
+func (v vector) dot(w vector) float64 {
+	if len(w) < len(v) {
+		v, w = w, v
+	}
+	var s float64
+	for k, a := range v {
+		if b, ok := w[k]; ok {
+			s += a * b
+		}
+	}
+	return s
+}
+
+// norm returns the Euclidean length |v|.
+func (v vector) norm() float64 {
+	var s float64
+	for _, a := range v {
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+// euclideanDistance returns |v − w| (the paper's hE before rounding).
+func (v vector) euclideanDistance(w vector) float64 {
+	var s float64
+	for k, a := range v {
+		d := a - w[k]
+		s += d * d
+	}
+	for k, b := range w {
+		if _, seen := v[k]; !seen {
+			s += b * b
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// normalizedDistance returns |v/|v| − w/|w|| (the paper's h|E| before
+// scaling). A zero vector is treated as the origin.
+func (v vector) normalizedDistance(vn float64, w vector, wn float64) float64 {
+	div := func(x, n float64) float64 {
+		if n == 0 {
+			return 0
+		}
+		return x / n
+	}
+	var s float64
+	for k, a := range v {
+		d := div(a, vn) - div(w[k], wn)
+		s += d * d
+	}
+	for k, b := range w {
+		if _, seen := v[k]; !seen {
+			d := div(b, wn)
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,226 @@
+package lambda
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Builtins returns a registry pre-populated with the complex semantic
+// functions used as examples in §4 of the paper (f1: name→ID lookup,
+// f2: name concatenation, f3: arithmetic sum) together with the further
+// function families the paper mentions (date format, weight, and financial
+// conversions). They serve the examples, tests, and Experiment 3 workloads.
+func Builtins() *Registry {
+	r := NewRegistry()
+	r.MustRegister(Sum2())
+	r.MustRegister(Concat2())
+	r.MustRegister(LookupTable("carrier_id", map[string]string{
+		"AirEast": "123",
+		"JetWest": "456",
+	}))
+	r.MustRegister(DateUSToISO())
+	r.MustRegister(PoundsToKilograms())
+	r.MustRegister(Scale("usd_to_eur", 0.85))
+	r.MustRegister(Product2())
+	r.MustRegister(Difference2())
+	r.MustRegister(Ratio2())
+	return r
+}
+
+// Ratio2 divides the first numeric value by the second (e.g. price per
+// square foot). Division by zero is an error.
+func Ratio2() *Func {
+	return &Func{
+		Name:  "ratio",
+		Arity: 2,
+		Doc:   "numeric ratio of two values",
+		Apply: func(args []string) (string, error) {
+			a, err := parseNumber(args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := parseNumber(args[1])
+			if err != nil {
+				return "", err
+			}
+			if b == 0 {
+				return "", fmt.Errorf("lambda: ratio: division by zero")
+			}
+			return formatNumber(a / b), nil
+		},
+	}
+}
+
+// Sum2 is the paper's f3: the integer sum of two values (Cost + AgentFee →
+// TotalCost in Example 5). Decimal inputs are accepted.
+func Sum2() *Func {
+	return &Func{
+		Name:  "sum",
+		Arity: 2,
+		Doc:   "integer/decimal sum of two values (the paper's f3)",
+		Apply: func(args []string) (string, error) {
+			a, err := parseNumber(args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := parseNumber(args[1])
+			if err != nil {
+				return "", err
+			}
+			return formatNumber(a + b), nil
+		},
+	}
+}
+
+// Product2 multiplies two numeric values (e.g. price × quantity in the
+// Inventory domain of Experiment 3).
+func Product2() *Func {
+	return &Func{
+		Name:  "product",
+		Arity: 2,
+		Doc:   "numeric product of two values",
+		Apply: func(args []string) (string, error) {
+			a, err := parseNumber(args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := parseNumber(args[1])
+			if err != nil {
+				return "", err
+			}
+			return formatNumber(a * b), nil
+		},
+	}
+}
+
+// Difference2 subtracts the second numeric value from the first.
+func Difference2() *Func {
+	return &Func{
+		Name:  "difference",
+		Arity: 2,
+		Doc:   "numeric difference of two values",
+		Apply: func(args []string) (string, error) {
+			a, err := parseNumber(args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := parseNumber(args[1])
+			if err != nil {
+				return "", err
+			}
+			return formatNumber(a - b), nil
+		},
+	}
+}
+
+// Concat2 is the paper's f2: concatenation of two values with a separating
+// space (First + Last → Passenger in Example 5).
+func Concat2() *Func {
+	return &Func{
+		Name:  "concat",
+		Arity: 2,
+		Doc:   "space-separated concatenation of two values (the paper's f2)",
+		Apply: func(args []string) (string, error) {
+			return args[0] + " " + args[1], nil
+		},
+	}
+}
+
+// LookupTable builds a unary function backed by a fixed table, modelling
+// semantic functions that "can not be generalized from examples" (§4), such
+// as the paper's f1 (Carrier → CID) or employee name → social security
+// number. Unknown inputs are an error.
+func LookupTable(name string, table map[string]string) *Func {
+	return &Func{
+		Name:  name,
+		Arity: 1,
+		Doc:   "fixed lookup table (the paper's f1 family)",
+		Apply: func(args []string) (string, error) {
+			v, ok := table[args[0]]
+			if !ok {
+				return "", fmt.Errorf("lambda: %s has no entry for %q", name, args[0])
+			}
+			return v, nil
+		},
+	}
+}
+
+// DateUSToISO converts MM/DD/YYYY dates to YYYY-MM-DD, one of the "date
+// format conversions" of §4.
+func DateUSToISO() *Func {
+	return &Func{
+		Name:  "date_us_to_iso",
+		Arity: 1,
+		Doc:   "convert MM/DD/YYYY to YYYY-MM-DD",
+		Apply: func(args []string) (string, error) {
+			parts := strings.Split(args[0], "/")
+			if len(parts) != 3 || len(parts[2]) != 4 {
+				return "", fmt.Errorf("lambda: %q is not a MM/DD/YYYY date", args[0])
+			}
+			mm, dd, yyyy := parts[0], parts[1], parts[2]
+			if len(mm) == 1 {
+				mm = "0" + mm
+			}
+			if len(dd) == 1 {
+				dd = "0" + dd
+			}
+			for _, p := range []string{mm, dd, yyyy} {
+				if _, err := strconv.Atoi(p); err != nil {
+					return "", fmt.Errorf("lambda: %q is not a MM/DD/YYYY date", args[0])
+				}
+			}
+			return yyyy + "-" + mm + "-" + dd, nil
+		},
+	}
+}
+
+// PoundsToKilograms is a weight conversion (§4's "weight conversions").
+func PoundsToKilograms() *Func {
+	return &Func{
+		Name:  "lb_to_kg",
+		Arity: 1,
+		Doc:   "convert pounds to kilograms",
+		Apply: func(args []string) (string, error) {
+			v, err := parseNumber(args[0])
+			if err != nil {
+				return "", err
+			}
+			return formatNumber(v * 0.45359237), nil
+		},
+	}
+}
+
+// Scale builds a unary function multiplying its input by a fixed rate,
+// modelling "international financial conversions" (§4).
+func Scale(name string, rate float64) *Func {
+	return &Func{
+		Name:  name,
+		Arity: 1,
+		Doc:   fmt.Sprintf("multiply by %g", rate),
+		Apply: func(args []string) (string, error) {
+			v, err := parseNumber(args[0])
+			if err != nil {
+				return "", err
+			}
+			return formatNumber(v * rate), nil
+		},
+	}
+}
+
+func parseNumber(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("lambda: %q is not numeric", s)
+	}
+	return v, nil
+}
+
+// formatNumber prints integers without a decimal point and other values
+// with minimal digits, so that "100"+"15" yields "115", not "115.000000".
+func formatNumber(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

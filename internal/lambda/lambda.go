@@ -1,0 +1,199 @@
+// Package lambda implements the complex semantic functions of §4 of
+// "Data Mapping as Search" (EDBT 2006).
+//
+// TUPELO extends its transformation language L with an operator
+//
+//	λ^B_{f,Ā}(R)
+//
+// that applies a named, black-box function f to the values of attributes Ā
+// of every tuple of R and stores the result in a new attribute B. The search
+// layer treats functions purely syntactically: it only checks signatures
+// (arity and attribute names); the "meaning" of f lives in a Registry and is
+// consulted when a mapping expression is executed.
+//
+// Correspondences — the user-supplied illustrations that function f maps
+// source attributes Ā to target attribute B — are carried alongside critical
+// instances and, as in the paper, can be serialized into TNF VALUE strings.
+package lambda
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Func is a complex semantic function: a named, pure, arity-checked
+// transformation of attribute values.
+type Func struct {
+	// Name identifies the function in mapping expressions (the symbol from
+	// the countable set F of §4).
+	Name string
+	// Arity is the number of input values the function consumes.
+	Arity int
+	// Doc is a one-line description, used by tooling.
+	Doc string
+	// Apply computes the output value. It must be deterministic.
+	Apply func(args []string) (string, error)
+}
+
+// Call applies the function after checking arity.
+func (f *Func) Call(args []string) (string, error) {
+	if len(args) != f.Arity {
+		return "", fmt.Errorf("lambda: %s expects %d arguments, got %d", f.Name, f.Arity, len(args))
+	}
+	return f.Apply(args)
+}
+
+// Registry holds the complex functions available to mapping expressions.
+// The zero value is an empty registry ready for use. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]*Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a function. It fails on nil functions, empty names,
+// non-positive arity, or duplicate names.
+func (r *Registry) Register(f *Func) error {
+	if f == nil || f.Apply == nil {
+		return fmt.Errorf("lambda: nil function")
+	}
+	if f.Name == "" {
+		return fmt.Errorf("lambda: empty function name")
+	}
+	if f.Arity <= 0 {
+		return fmt.Errorf("lambda: function %s has non-positive arity %d", f.Name, f.Arity)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.funcs == nil {
+		r.funcs = make(map[string]*Func)
+	}
+	if _, dup := r.funcs[f.Name]; dup {
+		return fmt.Errorf("lambda: function %s already registered", f.Name)
+	}
+	r.funcs[f.Name] = f
+	return nil
+}
+
+// MustRegister is like Register but panics on error.
+func (r *Registry) MustRegister(f *Func) {
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named function, or false if absent.
+func (r *Registry) Lookup(name string) (*Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[name]
+	return f, ok
+}
+
+// Names returns the registered function names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for name := range r.funcs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Correspondence records a user-indicated complex semantic mapping between
+// source attributes and a target attribute (§4): "function Func applied to
+// the values of In yields the value of Out". Rel optionally restricts the
+// correspondence to a named source relation; empty means any relation whose
+// schema covers In.
+type Correspondence struct {
+	Func string   // function name (a symbol of F)
+	Rel  string   // source relation, or "" for any
+	In   []string // source attributes Ā, in application order
+	Out  string   // target attribute B
+}
+
+// Validate checks structural well-formedness against a registry: the
+// function exists and its arity matches len(In).
+func (c Correspondence) Validate(reg *Registry) error {
+	if c.Func == "" {
+		return fmt.Errorf("lambda: correspondence with empty function name")
+	}
+	if len(c.In) == 0 {
+		return fmt.Errorf("lambda: correspondence %s has no input attributes", c.Func)
+	}
+	if c.Out == "" {
+		return fmt.Errorf("lambda: correspondence %s has no output attribute", c.Func)
+	}
+	f, ok := reg.Lookup(c.Func)
+	if !ok {
+		return fmt.Errorf("lambda: unknown function %s", c.Func)
+	}
+	if f.Arity != len(c.In) {
+		return fmt.Errorf("lambda: %s has arity %d but correspondence lists %d inputs", c.Func, f.Arity, len(c.In))
+	}
+	return nil
+}
+
+// String renders the correspondence in the compact annotation form the
+// system stores in TNF VALUE strings (§4), e.g.
+//
+//	λ[f3:Cost,AgentFee->TotalCost]
+//	λ[Prices/f3:Cost,AgentFee->TotalCost]
+func (c Correspondence) String() string {
+	var b strings.Builder
+	b.WriteString("λ[")
+	if c.Rel != "" {
+		b.WriteString(c.Rel)
+		b.WriteByte('/')
+	}
+	b.WriteString(c.Func)
+	b.WriteByte(':')
+	b.WriteString(strings.Join(c.In, ","))
+	b.WriteString("->")
+	b.WriteString(c.Out)
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ParseCorrespondence parses the annotation form produced by String.
+func ParseCorrespondence(s string) (Correspondence, error) {
+	var c Correspondence
+	orig := s
+	if !strings.HasPrefix(s, "λ[") || !strings.HasSuffix(s, "]") {
+		return c, fmt.Errorf("lambda: %q is not a correspondence annotation", orig)
+	}
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "λ["), "]")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		c.Rel = s[:i]
+		s = s[i+1:]
+	}
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return c, fmt.Errorf("lambda: %q missing function name", orig)
+	}
+	c.Func = s[:i]
+	s = s[i+1:]
+	j := strings.Index(s, "->")
+	if j < 0 {
+		return c, fmt.Errorf("lambda: %q missing output attribute", orig)
+	}
+	ins, out := s[:j], s[j+2:]
+	if ins == "" || out == "" {
+		return c, fmt.Errorf("lambda: %q has empty inputs or output", orig)
+	}
+	c.In = strings.Split(ins, ",")
+	for _, a := range c.In {
+		if a == "" {
+			return c, fmt.Errorf("lambda: %q has an empty input attribute", orig)
+		}
+	}
+	c.Out = out
+	return c, nil
+}

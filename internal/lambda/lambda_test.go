@@ -1,0 +1,220 @@
+package lambda
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	f := &Func{Name: "id", Arity: 1, Apply: func(a []string) (string, error) { return a[0], nil }}
+	if err := r.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup("id")
+	if !ok || got.Name != "id" {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("phantom function")
+	}
+	if err := r.Register(f); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+	if err := r.Register(nil); err == nil {
+		t.Fatal("nil function should fail")
+	}
+	if err := r.Register(&Func{Name: "", Arity: 1, Apply: f.Apply}); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := r.Register(&Func{Name: "zero", Arity: 0, Apply: f.Apply}); err == nil {
+		t.Fatal("zero arity should fail")
+	}
+	if err := r.Register(&Func{Name: "noapply", Arity: 1}); err == nil {
+		t.Fatal("missing Apply should fail")
+	}
+}
+
+func TestCallArityCheck(t *testing.T) {
+	f := Sum2()
+	if _, err := f.Call([]string{"1"}); err == nil {
+		t.Fatal("arity violation should fail")
+	}
+	v, err := f.Call([]string{"100", "15"})
+	if err != nil || v != "115" {
+		t.Fatalf("sum(100, 15) = %q, %v; want 115", v, err)
+	}
+}
+
+func TestBuiltinsPaperExamples(t *testing.T) {
+	reg := Builtins()
+
+	// f3 of Example 5: Cost + AgentFee -> TotalCost.
+	sum, _ := reg.Lookup("sum")
+	for _, tc := range [][3]string{
+		{"100", "15", "115"},
+		{"200", "16", "216"},
+		{"110", "15", "125"},
+		{"220", "16", "236"},
+	} {
+		got, err := sum.Call([]string{tc[0], tc[1]})
+		if err != nil || got != tc[2] {
+			t.Fatalf("sum(%s, %s) = %q, %v; want %s", tc[0], tc[1], got, err, tc[2])
+		}
+	}
+	if _, err := sum.Call([]string{"abc", "1"}); err == nil {
+		t.Fatal("non-numeric sum should fail")
+	}
+
+	// f2 of Example 5: First + Last -> Passenger.
+	concat, _ := reg.Lookup("concat")
+	got, err := concat.Call([]string{"John", "Smith"})
+	if err != nil || got != "John Smith" {
+		t.Fatalf("concat = %q, %v", got, err)
+	}
+
+	// f1 of Example 5: Carrier -> CID.
+	cid, _ := reg.Lookup("carrier_id")
+	got, err = cid.Call([]string{"AirEast"})
+	if err != nil || got != "123" {
+		t.Fatalf("carrier_id(AirEast) = %q, %v; want 123", got, err)
+	}
+	if _, err := cid.Call([]string{"NoSuchAir"}); err == nil {
+		t.Fatal("unknown carrier should fail")
+	}
+}
+
+func TestDateConversion(t *testing.T) {
+	reg := Builtins()
+	f, _ := reg.Lookup("date_us_to_iso")
+	got, err := f.Call([]string{"7/4/2006"})
+	if err != nil || got != "2006-07-04" {
+		t.Fatalf("date = %q, %v", got, err)
+	}
+	for _, bad := range []string{"2006-07-04", "7/4/06", "a/b/cdef", "7/4"} {
+		if _, err := f.Call([]string{bad}); err == nil {
+			t.Fatalf("date %q should fail", bad)
+		}
+	}
+}
+
+func TestNumericConversions(t *testing.T) {
+	reg := Builtins()
+	lb, _ := reg.Lookup("lb_to_kg")
+	got, err := lb.Call([]string{"100"})
+	if err != nil || !strings.HasPrefix(got, "45.35") {
+		t.Fatalf("lb_to_kg(100) = %q, %v", got, err)
+	}
+	eur, _ := reg.Lookup("usd_to_eur")
+	got, err = eur.Call([]string{"200"})
+	if err != nil || got != "170" {
+		t.Fatalf("usd_to_eur(200) = %q, %v", got, err)
+	}
+	prod, _ := reg.Lookup("product")
+	got, err = prod.Call([]string{"12", "3"})
+	if err != nil || got != "36" {
+		t.Fatalf("product = %q, %v", got, err)
+	}
+	diff, _ := reg.Lookup("difference")
+	got, err = diff.Call([]string{"12", "3"})
+	if err != nil || got != "9" {
+		t.Fatalf("difference = %q, %v", got, err)
+	}
+}
+
+func TestCorrespondenceValidate(t *testing.T) {
+	reg := Builtins()
+	good := Correspondence{Func: "sum", In: []string{"Cost", "AgentFee"}, Out: "TotalCost"}
+	if err := good.Validate(reg); err != nil {
+		t.Fatal(err)
+	}
+	tests := []Correspondence{
+		{Func: "", In: []string{"A"}, Out: "B"},
+		{Func: "sum", In: nil, Out: "B"},
+		{Func: "sum", In: []string{"A", "B"}, Out: ""},
+		{Func: "nosuch", In: []string{"A"}, Out: "B"},
+		{Func: "sum", In: []string{"A"}, Out: "B"}, // arity mismatch
+	}
+	for i, c := range tests {
+		if err := c.Validate(reg); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestCorrespondenceStringParseRoundTrip(t *testing.T) {
+	cases := []Correspondence{
+		{Func: "sum", In: []string{"Cost", "AgentFee"}, Out: "TotalCost"},
+		{Func: "f3", Rel: "Prices", In: []string{"Cost", "AgentFee"}, Out: "TotalCost"},
+		{Func: "concat", In: []string{"First", "Last"}, Out: "Passenger"},
+	}
+	for _, c := range cases {
+		s := c.String()
+		back, err := ParseCorrespondence(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if !reflect.DeepEqual(back, c) {
+			t.Fatalf("round trip %q: got %+v, want %+v", s, back, c)
+		}
+	}
+}
+
+func TestParseCorrespondenceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"sum:Cost->Total",
+		"λ[sum:Cost->Total",
+		"λ[sumCostTotal]",
+		"λ[sum:->Total]",
+		"λ[sum:Cost->]",
+		"λ[:Cost->Total]",
+		"λ[sum:Cost,,Fee->Total]",
+	} {
+		if _, err := ParseCorrespondence(bad); err == nil {
+			t.Fatalf("ParseCorrespondence(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPropertyCorrespondenceRoundTrip(t *testing.T) {
+	alpha := func(n uint8) string {
+		const letters = "abcdefghijklmnop"
+		return string(letters[int(n)%len(letters)]) + "x"
+	}
+	f := func(fn, rel, in1, in2, out uint8) bool {
+		c := Correspondence{
+			Func: "f" + alpha(fn),
+			Rel:  alpha(rel),
+			In:   []string{alpha(in1), alpha(in2)},
+			Out:  alpha(out),
+		}
+		back, err := ParseCorrespondence(c.String())
+		return err == nil && reflect.DeepEqual(back, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinsNames(t *testing.T) {
+	reg := Builtins()
+	names := reg.Names()
+	if len(names) < 7 {
+		t.Fatalf("expected at least 7 builtins, got %v", names)
+	}
+	if !sortedStrings(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,38 @@
+package nested_test
+
+import (
+	"fmt"
+
+	"tupelo/internal/nested"
+	"tupelo/internal/search"
+)
+
+// ExampleDiscover shows nested-model mapping discovery: two XML feeds that
+// disagree on names, reconciled by the same search architecture as the
+// relational system.
+func ExampleDiscover() {
+	src := nested.MustParse(`<books><book title="Dune"/></books>`)
+	tgt := nested.MustParse(`<library><item name="Dune"/></library>`)
+	res, err := nested.Discover(src, tgt, nested.XOptions{Algorithm: search.RBFS})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Expr)
+	// Output:
+	// rename_tag[book->item]
+	// rename_tag[books->library]
+	// rename_attr[item,title->name]
+}
+
+// ExampleXExpr_Eval shows executing an LX expression directly.
+func ExampleXExpr_Eval() {
+	doc := nested.MustParse(`<flight carrier="AirEast"/>`)
+	expr := nested.XExpr{nested.AttrToChild{Tag: "flight", Attr: "carrier"}}
+	out, _ := expr.Eval(doc)
+	fmt.Print(out)
+	// Output:
+	// <flight>
+	//   <carrier>AirEast</carrier>
+	// </flight>
+}

@@ -1,0 +1,296 @@
+// Package nested instantiates TUPELO's architecture for a second data
+// model, realizing the paper's concluding claim (§7): "the architecture of
+// the TUPELO system can be applied to the generation of mapping expressions
+// in other mapping languages and for other data models."
+//
+// The model is ordered labelled trees — the XML-shaped documents of the
+// deep-web sources §5.2 draws its schemas from. A document is a tree of
+// elements with string attributes and text; the mapping language LX
+// provides tag/attribute renaming and structural moves between attributes
+// and child elements. Discovery reuses the *same* generic search core
+// (package search) and the same Rosetta Stone setup: a source and a target
+// critical document, goal = containment, moves instantiated from the two
+// documents' tokens.
+package nested
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Node is one element of a document tree. The zero value is not useful;
+// build nodes with NewNode or Parse. Nodes are treated as immutable: all
+// operators copy.
+type Node struct {
+	// Tag is the element name.
+	Tag string
+	// Attrs are the element's attributes.
+	Attrs map[string]string
+	// Text is the element's (trimmed, concatenated) character data.
+	Text string
+	// Children are the child elements, in document order.
+	Children []*Node
+}
+
+// NewNode builds an element.
+func NewNode(tag string, attrs map[string]string, text string, children ...*Node) *Node {
+	n := &Node{Tag: tag, Text: text, Attrs: map[string]string{}}
+	for k, v := range attrs {
+		n.Attrs[k] = v
+	}
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Clone deep-copies the subtree.
+func (n *Node) Clone() *Node {
+	out := &Node{Tag: n.Tag, Text: n.Text, Attrs: make(map[string]string, len(n.Attrs))}
+	for k, v := range n.Attrs {
+		out.Attrs[k] = v
+	}
+	out.Children = make([]*Node, len(n.Children))
+	for i, c := range n.Children {
+		out.Children[i] = c.Clone()
+	}
+	return out
+}
+
+// Fingerprint returns a canonical string identifying the subtree up to
+// attribute order and sibling order (documents are compared as unordered
+// trees, matching the relational model's set semantics).
+func (n *Node) Fingerprint() string {
+	var b strings.Builder
+	n.fingerprint(&b)
+	return b.String()
+}
+
+func (n *Node) fingerprint(b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(n.Tag)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(n.Attrs[k])
+	}
+	b.WriteByte('|')
+	b.WriteString(n.Text)
+	kids := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = c.Fingerprint()
+	}
+	sort.Strings(kids)
+	for _, k := range kids {
+		b.WriteString(k)
+	}
+	b.WriteByte('>')
+}
+
+// Equal reports unordered-tree equality.
+func (n *Node) Equal(m *Node) bool { return n.Fingerprint() == m.Fingerprint() }
+
+// Contains reports whether n's subtree contains m as a structural subset:
+// same tag, m's attributes present with the same values, m's text equal or
+// empty, and every child of m embedded into a *distinct* child of n.
+func (n *Node) Contains(m *Node) bool {
+	if n.Tag != m.Tag {
+		return false
+	}
+	for k, v := range m.Attrs {
+		if n.Attrs[k] != v {
+			return false
+		}
+	}
+	if m.Text != "" && n.Text != m.Text {
+		return false
+	}
+	used := make([]bool, len(n.Children))
+	return matchChildren(n.Children, m.Children, used, 0)
+}
+
+// matchChildren finds an injective embedding of want into have.
+func matchChildren(have []*Node, want []*Node, used []bool, i int) bool {
+	if i == len(want) {
+		return true
+	}
+	for j, h := range have {
+		if used[j] || !h.Contains(want[i]) {
+			continue
+		}
+		used[j] = true
+		if matchChildren(have, want, used, i+1) {
+			return true
+		}
+		used[j] = false
+	}
+	return false
+}
+
+// Walk visits every node of the subtree in pre-order.
+func (n *Node) Walk(visit func(*Node)) {
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Tags returns the set of element tags in the subtree.
+func (n *Node) Tags() map[string]bool {
+	out := map[string]bool{}
+	n.Walk(func(m *Node) { out[m.Tag] = true })
+	return out
+}
+
+// AttrNames returns the set of attribute names in the subtree.
+func (n *Node) AttrNames() map[string]bool {
+	out := map[string]bool{}
+	n.Walk(func(m *Node) {
+		for k := range m.Attrs {
+			out[k] = true
+		}
+	})
+	return out
+}
+
+// Values returns the set of attribute values and texts in the subtree.
+func (n *Node) Values() map[string]bool {
+	out := map[string]bool{}
+	n.Walk(func(m *Node) {
+		for _, v := range m.Attrs {
+			out[v] = true
+		}
+		if m.Text != "" {
+			out[m.Text] = true
+		}
+	})
+	return out
+}
+
+// Size returns the number of nodes plus attributes — the |s| measure for
+// the nested model.
+func (n *Node) Size() int {
+	total := 0
+	n.Walk(func(m *Node) { total += 1 + len(m.Attrs) })
+	return total
+}
+
+// Parse reads a document from XML. Only elements, attributes, and
+// character data are modelled; comments and processing instructions are
+// skipped.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nested: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Tag: t.Name.Local, Attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			} else if root != nil {
+				return nil, fmt.Errorf("nested: multiple root elements")
+			} else {
+				root = n
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("nested: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(t))
+				if text != "" {
+					cur := stack[len(stack)-1]
+					if cur.Text != "" {
+						cur.Text += " "
+					}
+					cur.Text += text
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("nested: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("nested: unclosed elements")
+	}
+	return root, nil
+}
+
+// ParseString parses a document from a string.
+func ParseString(s string) (*Node, error) { return Parse(strings.NewReader(s)) }
+
+// MustParse is ParseString panicking on error, for fixtures.
+func MustParse(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String renders the document as indented XML.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b, 0)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteByte('<')
+	b.WriteString(n.Tag)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%q", k, n.Attrs[k])
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteByte('>')
+	if n.Text != "" {
+		b.WriteString(escapeText(n.Text))
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			c.write(b, depth+1)
+		}
+		b.WriteString(indent)
+	}
+	fmt.Fprintf(b, "</%s>\n", n.Tag)
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}

@@ -1,0 +1,247 @@
+package nested
+
+import (
+	"fmt"
+	"strings"
+)
+
+// XOp is one operator of LX, the mapping language for the nested model.
+// Operators apply to every matching element of the document and copy the
+// input tree (states stay immutable, as in the relational core).
+type XOp interface {
+	Apply(doc *Node) (*Node, error)
+	String() string
+}
+
+// XExpr is a sequence of LX operators.
+type XExpr []XOp
+
+// Eval applies the expression left to right.
+func (e XExpr) Eval(doc *Node) (*Node, error) {
+	cur := doc
+	for i, op := range e {
+		next, err := op.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("step %d (%s): %w", i+1, op, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// String renders the expression one operator per line.
+func (e XExpr) String() string {
+	parts := make([]string, len(e))
+	for i, op := range e {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// RenameTag renames every element tagged From to To (the element-level ρ).
+type RenameTag struct {
+	From, To string
+}
+
+// Apply implements XOp.
+func (o RenameTag) Apply(doc *Node) (*Node, error) {
+	if o.From == "" || o.To == "" {
+		return nil, fmt.Errorf("nested: rename_tag: empty tag")
+	}
+	out := doc.Clone()
+	out.Walk(func(n *Node) {
+		if n.Tag == o.From {
+			n.Tag = o.To
+		}
+	})
+	return out, nil
+}
+
+func (o RenameTag) String() string { return fmt.Sprintf("rename_tag[%s->%s]", o.From, o.To) }
+
+// RenameAttr renames attribute From to To on every element tagged Tag
+// (the attribute-level ρ).
+type RenameAttr struct {
+	Tag, From, To string
+}
+
+// Apply implements XOp.
+func (o RenameAttr) Apply(doc *Node) (*Node, error) {
+	if o.To == "" {
+		return nil, fmt.Errorf("nested: rename_attr: empty attribute")
+	}
+	out := doc.Clone()
+	var conflict error
+	out.Walk(func(n *Node) {
+		if n.Tag != o.Tag {
+			return
+		}
+		v, ok := n.Attrs[o.From]
+		if !ok {
+			return
+		}
+		if _, clash := n.Attrs[o.To]; clash {
+			conflict = fmt.Errorf("nested: rename_attr: %s already has @%s", o.Tag, o.To)
+			return
+		}
+		delete(n.Attrs, o.From)
+		n.Attrs[o.To] = v
+	})
+	if conflict != nil {
+		return nil, conflict
+	}
+	return out, nil
+}
+
+func (o RenameAttr) String() string {
+	return fmt.Sprintf("rename_attr[%s,%s->%s]", o.Tag, o.From, o.To)
+}
+
+// AttrToChild demotes an attribute into a child element: every element
+// tagged Tag with attribute Attr loses the attribute and gains a child
+// <Attr>value</Attr>. This is the nested analogue of ↓ (metadata becomes
+// structure).
+type AttrToChild struct {
+	Tag, Attr string
+}
+
+// Apply implements XOp.
+func (o AttrToChild) Apply(doc *Node) (*Node, error) {
+	out := doc.Clone()
+	out.Walk(func(n *Node) {
+		if n.Tag != o.Tag {
+			return
+		}
+		v, ok := n.Attrs[o.Attr]
+		if !ok {
+			return
+		}
+		delete(n.Attrs, o.Attr)
+		n.Children = append(n.Children, NewNode(o.Attr, nil, v))
+	})
+	return out, nil
+}
+
+func (o AttrToChild) String() string { return fmt.Sprintf("attr_to_child[%s,%s]", o.Tag, o.Attr) }
+
+// ChildToAttr promotes a leaf child into an attribute: every element
+// tagged Tag with exactly one child tagged ChildTag — a leaf carrying only
+// text — loses that child and gains the attribute ChildTag="text". The
+// nested analogue of ↑ (structure becomes metadata).
+type ChildToAttr struct {
+	Tag, ChildTag string
+}
+
+// Apply implements XOp.
+func (o ChildToAttr) Apply(doc *Node) (*Node, error) {
+	out := doc.Clone()
+	var conflict error
+	out.Walk(func(n *Node) {
+		if n.Tag != o.Tag || conflict != nil {
+			return
+		}
+		idx := -1
+		for i, c := range n.Children {
+			if c.Tag != o.ChildTag {
+				continue
+			}
+			if idx >= 0 {
+				conflict = fmt.Errorf("nested: child_to_attr: %s has several <%s> children", o.Tag, o.ChildTag)
+				return
+			}
+			if len(c.Children) > 0 || len(c.Attrs) > 0 {
+				conflict = fmt.Errorf("nested: child_to_attr: <%s> is not a text leaf", o.ChildTag)
+				return
+			}
+			idx = i
+		}
+		if idx < 0 {
+			return
+		}
+		if _, clash := n.Attrs[o.ChildTag]; clash {
+			conflict = fmt.Errorf("nested: child_to_attr: %s already has @%s", o.Tag, o.ChildTag)
+			return
+		}
+		n.Attrs[o.ChildTag] = n.Children[idx].Text
+		n.Children = append(n.Children[:idx], n.Children[idx+1:]...)
+	})
+	if conflict != nil {
+		return nil, conflict
+	}
+	return out, nil
+}
+
+func (o ChildToAttr) String() string {
+	return fmt.Sprintf("child_to_attr[%s,%s]", o.Tag, o.ChildTag)
+}
+
+// Hoist splices out an intermediate level: every child tagged ChildTag of
+// an element tagged Tag is replaced by its own children. The child must
+// carry no attributes or text of its own (nothing would survive the
+// splice). The nested analogue of flattening/π̄.
+type Hoist struct {
+	Tag, ChildTag string
+}
+
+// Apply implements XOp.
+func (o Hoist) Apply(doc *Node) (*Node, error) {
+	out := doc.Clone()
+	var conflict error
+	out.Walk(func(n *Node) {
+		if n.Tag != o.Tag || conflict != nil {
+			return
+		}
+		var kids []*Node
+		for _, c := range n.Children {
+			if c.Tag != o.ChildTag {
+				kids = append(kids, c)
+				continue
+			}
+			if len(c.Attrs) > 0 || c.Text != "" {
+				conflict = fmt.Errorf("nested: hoist: <%s> carries attributes or text", o.ChildTag)
+				return
+			}
+			kids = append(kids, c.Children...)
+		}
+		n.Children = kids
+	})
+	if conflict != nil {
+		return nil, conflict
+	}
+	return out, nil
+}
+
+func (o Hoist) String() string { return fmt.Sprintf("hoist[%s,%s]", o.Tag, o.ChildTag) }
+
+// TextToAttr moves an element's text into an attribute: every element
+// tagged Tag with non-empty text and no Attr attribute gains
+// Attr="text" and loses the text.
+type TextToAttr struct {
+	Tag, Attr string
+}
+
+// Apply implements XOp.
+func (o TextToAttr) Apply(doc *Node) (*Node, error) {
+	if o.Attr == "" {
+		return nil, fmt.Errorf("nested: text_to_attr: empty attribute")
+	}
+	out := doc.Clone()
+	var conflict error
+	out.Walk(func(n *Node) {
+		if n.Tag != o.Tag || n.Text == "" || conflict != nil {
+			return
+		}
+		if _, clash := n.Attrs[o.Attr]; clash {
+			conflict = fmt.Errorf("nested: text_to_attr: %s already has @%s", o.Tag, o.Attr)
+			return
+		}
+		n.Attrs[o.Attr] = n.Text
+		n.Text = ""
+	})
+	if conflict != nil {
+		return nil, conflict
+	}
+	return out, nil
+}
+
+func (o TextToAttr) String() string { return fmt.Sprintf("text_to_attr[%s,%s]", o.Tag, o.Attr) }

@@ -1,0 +1,25 @@
+package postproc_test
+
+import (
+	"fmt"
+
+	"tupelo/internal/postproc"
+	"tupelo/internal/relation"
+)
+
+// ExampleSelect shows σ post-processing with a parsed predicate — the
+// filtering step the paper's mapping language deliberately leaves to
+// external criteria (§2.1).
+func ExampleSelect() {
+	db := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route"},
+			relation.Tuple{"AirEast", "ATL29"},
+			relation.Tuple{"AirEast", "Carrier"}, // demoted-metadata residue
+		),
+	)
+	pred := postproc.MustParse("Route in (ATL29, ORD17)")
+	out, _ := postproc.Select(db, "Prices", pred)
+	r, _ := out.Relation("Prices")
+	fmt.Println(r.Len())
+	// Output: 1
+}

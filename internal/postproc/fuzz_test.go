@@ -1,0 +1,39 @@
+package postproc
+
+import "testing"
+
+// FuzzParse checks that the predicate parser never panics and that every
+// accepted predicate survives a print → parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Carrier = AirEast",
+		"Cost != \"\"",
+		"Route in (ATL29, ORD17)",
+		"absent(TotalCost)",
+		"not absent(X) and A = 1",
+		"(a = 1 or b = 2) and not c = 3",
+		`"quoted attr" = "quoted value"`,
+		"a = ",
+		"in in (in)",
+		"not not not x = y",
+		"absent(absent)",
+		"a in ()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pred, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := pred.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if back.String() != printed {
+			t.Fatalf("print/parse not stable: %q vs %q", back.String(), printed)
+		}
+	})
+}

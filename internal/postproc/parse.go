@@ -1,0 +1,267 @@
+package postproc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a predicate in the textual syntax produced by
+// Predicate.String:
+//
+//	Route = ATL29
+//	Cost != ""
+//	Carrier in (AirEast, JetWest)
+//	absent(TotalCost)
+//	not absent(TotalCost) and Route = ATL29
+//	(a = 1 or b = 2) and not c = 3
+//
+// "and" binds tighter than "or"; "not" binds tightest. Bare tokens may not
+// contain whitespace or syntax characters; quote them with double quotes
+// and backslash escapes otherwise.
+func Parse(src string) (Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("postproc: unexpected %q after predicate", p.peek().text)
+	}
+	return pred, nil
+}
+
+// MustParse is Parse panicking on error, for fixed predicates.
+func MustParse(src string) Predicate {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota // bare or quoted token
+	tokEq                  // =
+	tokNeq                 // !=
+	tokLParen
+	tokRParen
+	tokComma
+	tokEOF
+)
+
+type token struct {
+	kind   tokKind
+	text   string
+	quoted bool
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ","})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEq, text: "="})
+			i++
+		case c == '!':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, fmt.Errorf("postproc: stray '!' at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokNeq, text: "!="})
+			i += 2
+		case c == '"':
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				switch src[i] {
+				case '\\':
+					if i+1 >= len(src) {
+						return nil, fmt.Errorf("postproc: dangling escape")
+					}
+					b.WriteByte(src[i+1])
+					i += 2
+				case '"':
+					i++
+					closed = true
+				default:
+					b.WriteByte(src[i])
+					i++
+				}
+				if closed {
+					break
+				}
+			}
+			if !closed {
+				return nil, fmt.Errorf("postproc: unterminated quote")
+			}
+			toks = append(toks, token{kind: tokWord, text: b.String(), quoted: true})
+		default:
+			start := i
+			for i < len(src) && !strings.ContainsRune(" \t\n\r()=!,\"", rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokWord, text: src[start:i]})
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{kind: tokEOF, text: "<eof>"}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// keyword reports whether the next token is the given unquoted keyword.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	return !p.eof() && t.kind == tokWord && !t.quoted && t.text == kw
+}
+
+func (p *parser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Predicate, error) {
+	if p.keyword("not") {
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("postproc: missing ')'")
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Predicate, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("postproc: expected attribute or keyword, got %q", t.text)
+	}
+	if t.text == "absent" && !t.quoted && p.peek().kind == tokLParen {
+		p.next()
+		attr := p.next()
+		if attr.kind != tokWord {
+			return nil, fmt.Errorf("postproc: absent() needs an attribute")
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("postproc: absent(%s missing ')'", attr.text)
+		}
+		p.next()
+		return Absent{Attr: attr.text}, nil
+	}
+	switch op := p.next(); op.kind {
+	case tokEq:
+		v := p.next()
+		if v.kind != tokWord {
+			return nil, fmt.Errorf("postproc: %s = needs a value", t.text)
+		}
+		return Eq{Attr: t.text, Value: v.text}, nil
+	case tokNeq:
+		v := p.next()
+		if v.kind != tokWord {
+			return nil, fmt.Errorf("postproc: %s != needs a value", t.text)
+		}
+		return Neq{Attr: t.text, Value: v.text}, nil
+	case tokWord:
+		if op.text != "in" || op.quoted {
+			return nil, fmt.Errorf("postproc: expected =, != or in after %q", t.text)
+		}
+		if p.peek().kind != tokLParen {
+			return nil, fmt.Errorf("postproc: %s in needs '('", t.text)
+		}
+		p.next()
+		var values []string
+		for {
+			v := p.next()
+			if v.kind != tokWord {
+				return nil, fmt.Errorf("postproc: bad value in %s in (...)", t.text)
+			}
+			values = append(values, v.text)
+			sep := p.next()
+			if sep.kind == tokRParen {
+				break
+			}
+			if sep.kind != tokComma {
+				return nil, fmt.Errorf("postproc: expected ',' or ')' in %s in (...)", t.text)
+			}
+		}
+		return In{Attr: t.text, Values: values}, nil
+	default:
+		return nil, fmt.Errorf("postproc: expected operator after %q, got %q", t.text, op.text)
+	}
+}

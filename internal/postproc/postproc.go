@@ -1,0 +1,263 @@
+// Package postproc implements the post-processing stage of TUPELO mappings.
+// The language L deliberately omits relational selection: "We view
+// application of selections (σ) as a post-processing step to filter mapping
+// results according to external criteria" (§2.1 of "Data Mapping as
+// Search"). A σ-free mapping therefore lands on a superset of the target —
+// this package supplies the σ: boolean predicates over tuples, a small
+// textual predicate language, and Conform, which shapes a mapped database
+// onto a target schema (projection + relation trimming).
+package postproc
+
+import (
+	"fmt"
+
+	"tupelo/internal/relation"
+)
+
+// Predicate decides whether a tuple of a relation satisfies an external
+// criterion.
+type Predicate interface {
+	// Eval evaluates the predicate on row i of r.
+	Eval(r *relation.Relation, i int) (bool, error)
+	// String renders the predicate in the syntax Parse understands.
+	String() string
+}
+
+// Eq is "attr = value".
+type Eq struct {
+	Attr, Value string
+}
+
+// Eval implements Predicate.
+func (p Eq) Eval(r *relation.Relation, i int) (bool, error) {
+	v, ok := r.Value(i, p.Attr)
+	if !ok {
+		return false, fmt.Errorf("postproc: %s has no attribute %q", r.Name(), p.Attr)
+	}
+	return v == p.Value, nil
+}
+
+func (p Eq) String() string { return fmt.Sprintf("%s = %s", quote(p.Attr), quote(p.Value)) }
+
+// Neq is "attr != value".
+type Neq struct {
+	Attr, Value string
+}
+
+// Eval implements Predicate.
+func (p Neq) Eval(r *relation.Relation, i int) (bool, error) {
+	v, ok := r.Value(i, p.Attr)
+	if !ok {
+		return false, fmt.Errorf("postproc: %s has no attribute %q", r.Name(), p.Attr)
+	}
+	return v != p.Value, nil
+}
+
+func (p Neq) String() string { return fmt.Sprintf("%s != %s", quote(p.Attr), quote(p.Value)) }
+
+// In is "attr in (v1, v2, ...)".
+type In struct {
+	Attr   string
+	Values []string
+}
+
+// Eval implements Predicate.
+func (p In) Eval(r *relation.Relation, i int) (bool, error) {
+	v, ok := r.Value(i, p.Attr)
+	if !ok {
+		return false, fmt.Errorf("postproc: %s has no attribute %q", r.Name(), p.Attr)
+	}
+	for _, cand := range p.Values {
+		if v == cand {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (p In) String() string {
+	out := quote(p.Attr) + " in ("
+	for i, v := range p.Values {
+		if i > 0 {
+			out += ", "
+		}
+		out += quote(v)
+	}
+	return out + ")"
+}
+
+// Absent is "absent(attr)": true when the tuple holds the absent value.
+type Absent struct {
+	Attr string
+}
+
+// Eval implements Predicate.
+func (p Absent) Eval(r *relation.Relation, i int) (bool, error) {
+	v, ok := r.Value(i, p.Attr)
+	if !ok {
+		return false, fmt.Errorf("postproc: %s has no attribute %q", r.Name(), p.Attr)
+	}
+	return v == "", nil
+}
+
+func (p Absent) String() string { return fmt.Sprintf("absent(%s)", quote(p.Attr)) }
+
+// Not negates a predicate.
+type Not struct {
+	P Predicate
+}
+
+// Eval implements Predicate.
+func (p Not) Eval(r *relation.Relation, i int) (bool, error) {
+	v, err := p.P.Eval(r, i)
+	return !v, err
+}
+
+func (p Not) String() string { return fmt.Sprintf("not (%s)", p.P) }
+
+// And conjoins predicates.
+type And struct {
+	L, R Predicate
+}
+
+// Eval implements Predicate.
+func (p And) Eval(r *relation.Relation, i int) (bool, error) {
+	l, err := p.L.Eval(r, i)
+	if err != nil || !l {
+		return false, err
+	}
+	return p.R.Eval(r, i)
+}
+
+func (p And) String() string { return fmt.Sprintf("(%s and %s)", p.L, p.R) }
+
+// Or disjoins predicates.
+type Or struct {
+	L, R Predicate
+}
+
+// Eval implements Predicate.
+func (p Or) Eval(r *relation.Relation, i int) (bool, error) {
+	l, err := p.L.Eval(r, i)
+	if err != nil || l {
+		return l, err
+	}
+	return p.R.Eval(r, i)
+}
+
+func (p Or) String() string { return fmt.Sprintf("(%s or %s)", p.L, p.R) }
+
+// Select applies σ_pred to the named relation, keeping satisfying tuples.
+func Select(db *relation.Database, rel string, pred Predicate) (*relation.Database, error) {
+	r, ok := db.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("postproc: no relation %q", rel)
+	}
+	out, err := relation.New(rel, r.Attrs())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < r.Len(); i++ {
+		keep, err := pred.Eval(r, i)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out, err = out.Insert(r.Row(i))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db.WithRelation(out), nil
+}
+
+// ConformOptions tunes Conform.
+type ConformOptions struct {
+	// DropAbsentRows removes tuples holding the absent value in any
+	// retained column (the typical residue of ↑ and λ-undefined tuples).
+	DropAbsentRows bool
+}
+
+// Conform shapes a mapped database onto a target schema: relations the
+// target does not name are removed, each remaining relation is projected
+// onto the target's attributes (failing if one is missing), and absent-rows
+// are optionally dropped. Conform implements the mechanical part of the
+// paper's post-processing; content-based filtering needs Select with an
+// external criterion.
+func Conform(db, target *relation.Database, opts ConformOptions) (*relation.Database, error) {
+	var rels []*relation.Relation
+	for _, t := range target.Relations() {
+		r, ok := db.Relation(t.Name())
+		if !ok {
+			return nil, fmt.Errorf("postproc: mapped database lacks relation %q", t.Name())
+		}
+		proj, err := r.Project(t.Attrs())
+		if err != nil {
+			return nil, fmt.Errorf("postproc: conforming %s: %v", t.Name(), err)
+		}
+		if opts.DropAbsentRows {
+			trimmed, err := relation.New(proj.Name(), proj.Attrs())
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < proj.Len(); i++ {
+				row := proj.Row(i)
+				hasAbsent := false
+				for _, v := range row {
+					if v == "" {
+						hasAbsent = true
+						break
+					}
+				}
+				if !hasAbsent {
+					trimmed, err = trimmed.Insert(row)
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			proj = trimmed
+		}
+		rels = append(rels, proj)
+	}
+	return relation.NewDatabase(rels...)
+}
+
+// quote renders a token, quoting when it contains syntax characters.
+func quote(s string) string {
+	if s == "" || containsAny(s, " \t\n\r()=!,\"\\") || isKeyword(s) {
+		var b []byte
+		b = append(b, '"')
+		for i := 0; i < len(s); i++ {
+			if s[i] == '"' || s[i] == '\\' {
+				b = append(b, '\\')
+			}
+			// Append the raw byte: string(s[i]) would re-encode bytes
+			// ≥ 0x80 as two-byte runes and corrupt non-ASCII values.
+			b = append(b, s[i])
+		}
+		b = append(b, '"')
+		return string(b)
+	}
+	return s
+}
+
+func containsAny(s, chars string) bool {
+	for i := 0; i < len(s); i++ {
+		for j := 0; j < len(chars); j++ {
+			if s[i] == chars[j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "and", "or", "not", "in", "absent":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,307 @@
+package postproc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/relation"
+)
+
+func prices() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost"},
+			relation.Tuple{"AirEast", "ATL29", "100"},
+			relation.Tuple{"JetWest", "ATL29", "200"},
+			relation.Tuple{"AirEast", "ORD17", "110"},
+			relation.Tuple{"Ghost", "XXX", ""},
+		),
+	)
+}
+
+func TestSelectEq(t *testing.T) {
+	out, err := Select(prices(), "Prices", Eq{Attr: "Carrier", Value: "AirEast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := out.Relation("Prices")
+	if r.Len() != 2 {
+		t.Fatalf("σ_{Carrier=AirEast} kept %d rows, want 2", r.Len())
+	}
+}
+
+func TestSelectComposite(t *testing.T) {
+	pred := And{
+		L: Eq{Attr: "Carrier", Value: "AirEast"},
+		R: Not{P: Eq{Attr: "Route", Value: "ORD17"}},
+	}
+	out, err := Select(prices(), "Prices", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := out.Relation("Prices")
+	if r.Len() != 1 {
+		t.Fatalf("kept %d rows, want 1", r.Len())
+	}
+	v, _ := r.Value(0, "Route")
+	if v != "ATL29" {
+		t.Fatalf("kept wrong row: %v", r.Row(0))
+	}
+}
+
+func TestSelectInOrAbsent(t *testing.T) {
+	pred := Or{
+		L: In{Attr: "Route", Values: []string{"ORD17"}},
+		R: Absent{Attr: "Cost"},
+	}
+	out, err := Select(prices(), "Prices", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := out.Relation("Prices")
+	if r.Len() != 2 { // the ORD17 row and the absent-cost row
+		t.Fatalf("kept %d rows, want 2:\n%s", r.Len(), r)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(prices(), "NoSuch", Eq{Attr: "A", Value: "x"}); err == nil {
+		t.Fatal("missing relation should fail")
+	}
+	if _, err := Select(prices(), "Prices", Eq{Attr: "NoSuch", Value: "x"}); err == nil {
+		t.Fatal("missing attribute should fail")
+	}
+	for _, p := range []Predicate{
+		Neq{Attr: "NoSuch", Value: "x"},
+		In{Attr: "NoSuch"},
+		Absent{Attr: "NoSuch"},
+		Not{P: Eq{Attr: "NoSuch", Value: "x"}},
+		And{L: Eq{Attr: "Carrier", Value: "AirEast"}, R: Absent{Attr: "NoSuch"}},
+		Or{L: Eq{Attr: "Carrier", Value: "zzz"}, R: Absent{Attr: "NoSuch"}},
+	} {
+		if _, err := Select(prices(), "Prices", p); err == nil {
+			t.Fatalf("%s on missing attribute should fail", p)
+		}
+	}
+}
+
+func TestConform(t *testing.T) {
+	// A mapped superset: extra relation, extra column, an absent-valued row.
+	mapped := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "Junk"},
+			relation.Tuple{"AirEast", "ATL29", "100", "j"},
+			relation.Tuple{"AirEast", "Fee", "", "j"},
+		),
+		relation.MustNew("Leftover", []string{"X"}, relation.Tuple{"1"}),
+	)
+	target := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost"}),
+	)
+	out, err := Conform(mapped, target, ConformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Relation("Leftover"); ok {
+		t.Fatal("Conform should drop relations the target lacks")
+	}
+	r, _ := out.Relation("Prices")
+	if r.Arity() != 3 || r.Len() != 2 {
+		t.Fatalf("Conform kept %d×%d", r.Len(), r.Arity())
+	}
+	out, err = Conform(mapped, target, ConformOptions{DropAbsentRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ = out.Relation("Prices")
+	if r.Len() != 1 {
+		t.Fatalf("DropAbsentRows kept %d rows, want 1", r.Len())
+	}
+}
+
+func TestConformErrors(t *testing.T) {
+	mapped := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier"}),
+	)
+	missingRel := relation.MustDatabase(relation.MustNew("Other", []string{"A"}))
+	if _, err := Conform(mapped, missingRel, ConformOptions{}); err == nil {
+		t.Fatal("missing relation should fail")
+	}
+	missingAttr := relation.MustDatabase(relation.MustNew("Prices", []string{"Cost"}))
+	if _, err := Conform(mapped, missingAttr, ConformOptions{}); err == nil {
+		t.Fatal("missing attribute should fail")
+	}
+}
+
+// TestConformAfterMapping closes the paper's loop: a σ-free mapping lands
+// on a superset (A→B of Fig. 1); Conform plus a Select recover the exact
+// target.
+func TestConformAfterMapping(t *testing.T) {
+	flightsA := relation.MustDatabase(
+		relation.MustNew("Flights", []string{"Carrier", "Fee", "ATL29", "ORD17"},
+			relation.Tuple{"AirEast", "15", "100", "110"},
+			relation.Tuple{"JetWest", "16", "200", "220"},
+		),
+	)
+	flightsB := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			relation.Tuple{"AirEast", "ATL29", "100", "15"},
+			relation.Tuple{"JetWest", "ATL29", "200", "16"},
+			relation.Tuple{"AirEast", "ORD17", "110", "15"},
+			relation.Tuple{"JetWest", "ORD17", "220", "16"},
+		),
+	)
+	mapped, err := fira.MustParse(`
+		demote[Flights]
+		deref[Flights,_ATT->Cost]
+		rename_att[Flights,_ATT->Route]
+		drop[Flights,_REL]
+		rename_att[Flights,Fee->AgentFee]
+		drop[Flights,ATL29]
+		drop[Flights,ORD17]
+		rename_rel[Flights->Prices]
+	`).Eval(flightsA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// External criterion: routes are the demoted attribute names ATL29 and
+	// ORD17 — exactly the σ the paper leaves to post-processing.
+	filtered, err := Select(mapped, "Prices", MustParse("Route in (ATL29, ORD17)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Conform(filtered, flightsB, ConformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Equal(flightsB) {
+		t.Fatalf("σ + conform did not recover FlightsB exactly:\n%s", exact)
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		keep int // rows of prices() kept
+	}{
+		{"Carrier = AirEast", 2},
+		{"Carrier != AirEast", 2},
+		{"Route in (ATL29, ORD17)", 3},
+		{"absent(Cost)", 1},
+		{"not absent(Cost)", 3},
+		{"Carrier = AirEast and Route = ATL29", 1},
+		{"Carrier = AirEast or Carrier = JetWest", 3},
+		{"(Carrier = AirEast or Carrier = JetWest) and Route = ATL29", 2},
+		{"not (Carrier = AirEast or Carrier = JetWest)", 1},
+		{`Carrier = "AirEast"`, 2},
+		{"Carrier = AirEast and Route = ATL29 or Carrier = Ghost", 2}, // and binds tighter
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			pred, err := Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Select(prices(), "Prices", pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, _ := out.Relation("Prices")
+			if r.Len() != tc.keep {
+				t.Fatalf("kept %d rows, want %d", r.Len(), tc.keep)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"Carrier",
+		"Carrier =",
+		"= AirEast",
+		"Carrier ! AirEast",
+		"Carrier in ATL29",
+		"Carrier in (",
+		"Carrier in ()",
+		"Carrier in (a b)",
+		"absent(",
+		"absent(Cost",
+		"(Carrier = x",
+		"Carrier = x extra",
+		"not",
+		`Carrier = "unterminated`,
+		`Carrier = "dangling\`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// Parse(pred.String()) must reproduce the predicate's behaviour.
+func TestPropertyParsePrintRoundTrip(t *testing.T) {
+	db := prices()
+	genPred := func(rng *rand.Rand) Predicate {
+		attrs := []string{"Carrier", "Route", "Cost"}
+		vals := []string{"AirEast", "ATL29", "100", "", "weird value", `qu"ote`}
+		var gen func(depth int) Predicate
+		gen = func(depth int) Predicate {
+			if depth <= 0 || rng.Intn(3) == 0 {
+				switch rng.Intn(4) {
+				case 0:
+					return Eq{Attr: attrs[rng.Intn(len(attrs))], Value: vals[rng.Intn(len(vals))]}
+				case 1:
+					return Neq{Attr: attrs[rng.Intn(len(attrs))], Value: vals[rng.Intn(len(vals))]}
+				case 2:
+					return In{Attr: attrs[rng.Intn(len(attrs))], Values: []string{vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]}}
+				default:
+					return Absent{Attr: attrs[rng.Intn(len(attrs))]}
+				}
+			}
+			switch rng.Intn(3) {
+			case 0:
+				return Not{P: gen(depth - 1)}
+			case 1:
+				return And{L: gen(depth - 1), R: gen(depth - 1)}
+			default:
+				return Or{L: gen(depth - 1), R: gen(depth - 1)}
+			}
+		}
+		return gen(3)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pred := genPred(rng)
+		back, err := Parse(pred.String())
+		if err != nil {
+			return false
+		}
+		r, _ := db.Relation("Prices")
+		for i := 0; i < r.Len(); i++ {
+			want, err1 := pred.Eval(r, i)
+			got, err2 := back.Eval(r, i)
+			if (err1 == nil) != (err2 == nil) || want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	pred := And{
+		L: Or{L: Eq{Attr: "a b", Value: `x"y`}, R: In{Attr: "in", Values: []string{"v"}}},
+		R: Not{P: Absent{Attr: "c"}},
+	}
+	s := pred.String()
+	for _, want := range []string{`"a b"`, `"x\"y"`, `"in"`, "absent(c)", "not"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q: %s", want, s)
+		}
+	}
+}

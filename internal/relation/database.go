@@ -1,0 +1,197 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of relations with unique names.
+// Like Relation, it is used copy-on-write: mutating methods return new
+// databases, which makes Database values safe to share as search states.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates a database from the given relations. Relation names
+// must be unique.
+func NewDatabase(rels ...*Relation) (*Database, error) {
+	db := &Database{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if r == nil {
+			return nil, fmt.Errorf("database: nil relation")
+		}
+		if _, dup := db.rels[r.Name()]; dup {
+			return nil, fmt.Errorf("database: duplicate relation name %q", r.Name())
+		}
+		db.rels[r.Name()] = r
+	}
+	return db, nil
+}
+
+// MustDatabase is like NewDatabase but panics on error.
+func MustDatabase(rels ...*Relation) *Database {
+	db, err := NewDatabase(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Len returns the number of relations.
+func (db *Database) Len() int { return len(db.rels) }
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for name := range db.rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relations returns the relations in sorted-name order.
+func (db *Database) Relations() []*Relation {
+	names := db.Names()
+	out := make([]*Relation, len(names))
+	for i, name := range names {
+		out[i] = db.rels[name]
+	}
+	return out
+}
+
+// Relation returns the relation with the given name, or false if absent.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	out := &Database{rels: make(map[string]*Relation, len(db.rels))}
+	for name, r := range db.rels {
+		out.rels[name] = r.Clone()
+	}
+	return out
+}
+
+// WithRelation returns a copy of the database in which the relation named
+// r.Name() is replaced by (or extended with) r.
+func (db *Database) WithRelation(r *Relation) *Database {
+	out := &Database{rels: make(map[string]*Relation, len(db.rels)+1)}
+	for name, existing := range db.rels {
+		out.rels[name] = existing
+	}
+	out.rels[r.Name()] = r
+	return out
+}
+
+// WithoutRelation returns a copy of the database lacking the named relation.
+// It is a no-op copy if the relation does not exist.
+func (db *Database) WithoutRelation(name string) *Database {
+	out := &Database{rels: make(map[string]*Relation, len(db.rels))}
+	for n, existing := range db.rels {
+		if n != name {
+			out.rels[n] = existing
+		}
+	}
+	return out
+}
+
+// ReplaceRelation returns a copy in which the relation named old is removed
+// and r is added. It fails if old is absent or r's name collides with a
+// different existing relation.
+func (db *Database) ReplaceRelation(old string, r *Relation) (*Database, error) {
+	if _, ok := db.rels[old]; !ok {
+		return nil, fmt.Errorf("database: no relation %q", old)
+	}
+	if r.Name() != old {
+		if _, clash := db.rels[r.Name()]; clash {
+			return nil, fmt.Errorf("database: relation %q already exists", r.Name())
+		}
+	}
+	return db.WithoutRelation(old).WithRelation(r), nil
+}
+
+// Equal reports whether two databases contain semantically equal relations
+// under the same names.
+func (db *Database) Equal(other *Database) bool {
+	if len(db.rels) != len(other.rels) {
+		return false
+	}
+	for name, r := range db.rels {
+		o, ok := other.rels[name]
+		if !ok || !r.Equal(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains implements the paper's goal test (§2.3): db is a structurally
+// identical superset of target when every target relation exists in db under
+// the same name and each is contained per Relation.Contains.
+func (db *Database) Contains(target *Database) bool {
+	for name, t := range target.rels {
+		r, ok := db.rels[name]
+		if !ok || !r.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a canonical string identifying the database up to
+// relation, attribute, and tuple ordering. Two databases have equal
+// fingerprints iff they are Equal.
+func (db *Database) Fingerprint() string {
+	parts := make([]string, 0, len(db.rels))
+	for _, r := range db.Relations() {
+		parts = append(parts, r.Fingerprint())
+	}
+	return strings.Join(parts, "\x1b")
+}
+
+// RelationNames returns the set of relation names.
+func (db *Database) RelationNames() map[string]bool {
+	out := make(map[string]bool, len(db.rels))
+	for name := range db.rels {
+		out[name] = true
+	}
+	return out
+}
+
+// AttrNames returns the set of attribute names across all relations.
+func (db *Database) AttrNames() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range db.rels {
+		for _, a := range r.attrs {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// ValueSet returns the set of data values across all relations.
+func (db *Database) ValueSet() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range db.rels {
+		for _, row := range r.rows {
+			for _, v := range row {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// Size returns the total number of cells (tuples × arity summed over
+// relations); the paper's branching factor is proportional to |s| + |t|.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len() * r.Arity()
+	}
+	return n
+}

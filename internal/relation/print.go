@@ -1,0 +1,56 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the relation as an ASCII table, in the style of the
+// paper's Fig. 1.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", r.name)
+	widths := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		widths[i] = len(a)
+	}
+	for _, row := range r.rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.attrs)
+	rule := make([]string, len(r.attrs))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range r.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// String renders all relations of the database in sorted-name order.
+func (db *Database) String() string {
+	var b strings.Builder
+	for i, r := range db.Relations() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,402 @@
+// Package relation implements the relational data model that underlies the
+// TUPELO data mapping system ("Data Mapping as Search", EDBT 2006).
+//
+// The model is deliberately syntactic, matching the paper: every value is a
+// string, relations are named sets of tuples over an ordered list of
+// attribute names, and a database is a named collection of relations.
+// All operations are copy-on-write so that values of these types can be used
+// as immutable search states.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a single row of a relation. Its length always equals the number
+// of attributes of the relation that holds it.
+type Tuple []string
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples have identical values position-wise.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a named set of tuples over an ordered attribute list.
+// The zero value is not useful; construct relations with New or MustNew.
+// Tuples are held with set semantics: exact duplicates are removed on
+// construction and insertion.
+type Relation struct {
+	name  string
+	attrs []string
+	index map[string]int // attribute name -> position in attrs
+	rows  []Tuple
+}
+
+// New creates a relation. It fails if the name or any attribute is empty,
+// attributes are duplicated, or a row's arity differs from the schema.
+// Duplicate rows are silently dropped (set semantics).
+func New(name string, attrs []string, rows ...Tuple) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	r := &Relation{
+		name:  name,
+		attrs: append([]string(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+	}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation %s: empty attribute name at position %d", name, i)
+		}
+		if _, dup := r.index[a]; dup {
+			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+		}
+		r.index[a] = i
+	}
+	for _, row := range rows {
+		if err := r.insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustNew is like New but panics on error. It is intended for tests,
+// examples, and statically known inputs.
+func MustNew(name string, attrs []string, rows ...Tuple) *Relation {
+	r, err := New(name, attrs, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// insert adds a row, enforcing arity and set semantics.
+func (r *Relation) insert(row Tuple) error {
+	if len(row) != len(r.attrs) {
+		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), len(r.attrs))
+	}
+	for _, existing := range r.rows {
+		if existing.Equal(row) {
+			return nil
+		}
+	}
+	r.rows = append(r.rows, row.Clone())
+	return nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Attrs returns a copy of the ordered attribute list.
+func (r *Relation) Attrs() []string { return append([]string(nil), r.attrs...) }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// HasAttr reports whether the relation has an attribute with the given name.
+func (r *Relation) HasAttr(a string) bool {
+	_, ok := r.index[a]
+	return ok
+}
+
+// AttrIndex returns the position of attribute a, or -1 if absent.
+func (r *Relation) AttrIndex(a string) int {
+	if i, ok := r.index[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Row returns the i-th tuple. The returned tuple must not be modified.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns a deep copy of all tuples.
+func (r *Relation) Rows() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	for i, row := range r.rows {
+		out[i] = row.Clone()
+	}
+	return out
+}
+
+// Value returns the value of attribute a in the i-th tuple.
+// It returns false if the attribute does not exist.
+func (r *Relation) Value(i int, a string) (string, bool) {
+	j, ok := r.index[a]
+	if !ok {
+		return "", false
+	}
+	return r.rows[i][j], true
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{
+		name:  r.name,
+		attrs: append([]string(nil), r.attrs...),
+		index: make(map[string]int, len(r.index)),
+		rows:  make([]Tuple, len(r.rows)),
+	}
+	for k, v := range r.index {
+		out.index[k] = v
+	}
+	for i, row := range r.rows {
+		out.rows[i] = row.Clone()
+	}
+	return out
+}
+
+// WithName returns a copy of the relation under a new name.
+func (r *Relation) WithName(name string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: empty relation name")
+	}
+	out := r.Clone()
+	out.name = name
+	return out, nil
+}
+
+// WithAttrRenamed returns a copy with attribute old renamed to new.
+func (r *Relation) WithAttrRenamed(old, new string) (*Relation, error) {
+	i, ok := r.index[old]
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, old)
+	}
+	if new == "" {
+		return nil, fmt.Errorf("relation %s: empty attribute name", r.name)
+	}
+	if _, clash := r.index[new]; clash && new != old {
+		return nil, fmt.Errorf("relation %s: attribute %q already exists", r.name, new)
+	}
+	out := r.Clone()
+	out.attrs[i] = new
+	delete(out.index, old)
+	out.index[new] = i
+	return out, nil
+}
+
+// WithColumn returns a copy with a new attribute appended. values[i] becomes
+// the value of the new attribute in row i; len(values) must equal Len().
+func (r *Relation) WithColumn(attr string, values []string) (*Relation, error) {
+	if attr == "" {
+		return nil, fmt.Errorf("relation %s: empty attribute name", r.name)
+	}
+	if _, clash := r.index[attr]; clash {
+		return nil, fmt.Errorf("relation %s: attribute %q already exists", r.name, attr)
+	}
+	if len(values) != len(r.rows) {
+		return nil, fmt.Errorf("relation %s: %d column values for %d rows", r.name, len(values), len(r.rows))
+	}
+	out, err := New(r.name, append(r.Attrs(), attr))
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range r.rows {
+		if err := out.insert(append(row.Clone(), values[i])); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WithoutAttr returns a copy with attribute a dropped (the paper's π̄
+// operator at the relation level). Duplicate rows that arise from the drop
+// collapse, per set semantics.
+func (r *Relation) WithoutAttr(a string) (*Relation, error) {
+	j, ok := r.index[a]
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
+	}
+	attrs := make([]string, 0, len(r.attrs)-1)
+	for i, name := range r.attrs {
+		if i != j {
+			attrs = append(attrs, name)
+		}
+	}
+	out, err := New(r.name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.rows {
+		nr := make(Tuple, 0, len(row)-1)
+		for i, v := range row {
+			if i != j {
+				nr = append(nr, v)
+			}
+		}
+		if err := out.insert(nr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Project returns a copy containing only the named attributes, in the given
+// order. Duplicate rows collapse.
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := r.index[a]
+		if !ok {
+			return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
+		}
+		idx[i] = j
+	}
+	out, err := New(r.name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.rows {
+		nr := make(Tuple, len(idx))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		if err := out.insert(nr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ValuesOf returns the distinct values of attribute a in sorted order.
+func (r *Relation) ValuesOf(a string) ([]string, error) {
+	j, ok := r.index[a]
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, row := range r.rows {
+		if !seen[row[j]] {
+			seen[row[j]] = true
+			out = append(out, row[j])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Insert returns a copy of the relation with the row added.
+func (r *Relation) Insert(row Tuple) (*Relation, error) {
+	out := r.Clone()
+	if err := out.insert(row); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// canonicalRows returns the rows rendered as strings with attributes in
+// sorted-name order, then sorted; used for order-insensitive comparison.
+func (r *Relation) canonicalRows() []string {
+	order := make([]int, len(r.attrs))
+	names := r.Attrs()
+	sort.Strings(names)
+	for i, a := range names {
+		order[i] = r.index[a]
+	}
+	out := make([]string, len(r.rows))
+	for i, row := range r.rows {
+		var b strings.Builder
+		for k, j := range order {
+			if k > 0 {
+				b.WriteByte('\x1f')
+			}
+			b.WriteString(names[k])
+			b.WriteByte('\x1e')
+			b.WriteString(row[j])
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports semantic equality: same name, same attribute set (order
+// insensitive), same set of tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.name != s.name || len(r.attrs) != len(s.attrs) || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for a := range r.index {
+		if !s.HasAttr(a) {
+			return false
+		}
+	}
+	rc, sc := r.canonicalRows(), s.canonicalRows()
+	for i := range rc {
+		if rc[i] != sc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether r is a structurally identical superset of s
+// restricted to s's attributes: r has every attribute of s, and every tuple
+// of s agrees with some tuple of r on s's attributes. This is the
+// per-relation half of the paper's goal test (§2.3).
+func (r *Relation) Contains(s *Relation) bool {
+	idx := make([]int, len(s.attrs))
+	for i, a := range s.attrs {
+		j, ok := r.index[a]
+		if !ok {
+			return false
+		}
+		idx[i] = j
+	}
+	for _, srow := range s.rows {
+		found := false
+		for _, rrow := range r.rows {
+			match := true
+			for i, j := range idx {
+				if rrow[j] != srow[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a canonical string identifying the relation up to
+// attribute order and tuple order.
+func (r *Relation) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(r.name)
+	b.WriteByte('\x1d')
+	names := r.Attrs()
+	sort.Strings(names)
+	b.WriteString(strings.Join(names, "\x1f"))
+	b.WriteByte('\x1d')
+	b.WriteString(strings.Join(r.canonicalRows(), "\x1c"))
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package search
+
+import (
+	"container/heap"
+)
+
+// node is an A*/greedy frontier entry carrying its path.
+type node struct {
+	state State
+	g     int
+	f     int
+	path  []Move
+	seq   int // insertion order, for deterministic tie-breaking
+}
+
+type frontier []*node
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].f != f[j].f {
+		return f[i].f < f[j].f
+	}
+	return f[i].seq < f[j].seq
+}
+func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)   { *f = append(*f, x.(*node)) }
+func (f *frontier) Pop() any {
+	old := *f
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*f = old[:n-1]
+	return x
+}
+
+// AStarSearch is textbook best-first A* with a closed set. It is included
+// for ablation: the paper reports that A*'s exponential memory made early
+// TUPELO implementations ineffective, motivating IDA and RBFS.
+func AStarSearch(p Problem, h Heuristic, lim Limits) (*Result, error) {
+	return bestFirst(p, h, lim, false)
+}
+
+// GreedySearch is greedy best-first search ordering the frontier by h
+// alone. Fast but not optimal; included for ablation.
+func GreedySearch(p Problem, h Heuristic, lim Limits) (*Result, error) {
+	return bestFirst(p, h, lim, true)
+}
+
+func bestFirst(p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error) {
+	c := &counter{lim: lim}
+	start := p.Start()
+	seq := 0
+	f := h(start)
+	open := &frontier{{state: start, g: 0, f: f, seq: seq}}
+	heap.Init(open)
+	bestG := map[string]int{start.Key(): 0}
+	for open.Len() > 0 {
+		if open.Len() > c.stats.MaxFrontier {
+			c.stats.MaxFrontier = open.Len()
+		}
+		n := heap.Pop(open).(*node)
+		if g, ok := bestG[n.state.Key()]; ok && n.g > g {
+			continue // stale entry
+		}
+		if err := c.examine(); err != nil {
+			return nil, err
+		}
+		if p.IsGoal(n.state) {
+			c.stats.Depth = len(n.path)
+			return &Result{Path: n.path, Goal: n.state, Stats: c.stats}, nil
+		}
+		if !c.depthOK(n.g + 1) {
+			continue
+		}
+		moves, err := p.Successors(n.state)
+		if err != nil {
+			return nil, err
+		}
+		c.stats.Generated += len(moves)
+		for _, m := range moves {
+			g := n.g + m.Cost
+			k := m.To.Key()
+			if prev, seen := bestG[k]; seen && g >= prev {
+				continue
+			}
+			bestG[k] = g
+			seq++
+			f := g + h(m.To)
+			if greedy {
+				f = h(m.To)
+			}
+			path := make([]Move, 0, len(n.path)+1)
+			path = append(path, n.path...)
+			path = append(path, m)
+			heap.Push(open, &node{state: m.To, g: g, f: f, path: path, seq: seq})
+		}
+	}
+	return nil, ErrNotFound
+}

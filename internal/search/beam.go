@@ -1,0 +1,150 @@
+package search
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// BeamSearch explores level by level, keeping only the width best states
+// (by f = g + h) at each depth. Memory is O(width · branching); the search
+// is incomplete — pruned beams can cut off every path to a goal, in which
+// case ErrNotFound is returned even though a solution exists. It is
+// included as an ablation point against the paper's linear-memory but
+// complete IDA/RBFS.
+func BeamSearch(p Problem, h Heuristic, lim Limits, width int) (*Result, error) {
+	if width <= 0 {
+		width = 8
+	}
+	c := &counter{lim: lim}
+	type beamNode struct {
+		state State
+		g     int
+		path  []Move
+	}
+	frontier := []beamNode{{state: p.Start()}}
+	seen := map[string]bool{p.Start().Key(): true}
+	for len(frontier) > 0 {
+		// Examine the current beam.
+		for _, n := range frontier {
+			if err := c.examine(); err != nil {
+				return nil, err
+			}
+			if p.IsGoal(n.state) {
+				c.stats.Depth = len(n.path)
+				return &Result{Path: n.path, Goal: n.state, Stats: c.stats}, nil
+			}
+		}
+		// Expand it.
+		type scored struct {
+			node beamNode
+			f    int
+			seq  int
+		}
+		var next []scored
+		seq := 0
+		for _, n := range frontier {
+			if !c.depthOK(n.g + 1) {
+				continue
+			}
+			moves, err := p.Successors(n.state)
+			if err != nil {
+				return nil, err
+			}
+			c.stats.Generated += len(moves)
+			for _, m := range moves {
+				k := m.To.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				path := make([]Move, 0, len(n.path)+1)
+				path = append(path, n.path...)
+				path = append(path, m)
+				g := n.g + m.Cost
+				seq++
+				next = append(next, scored{
+					node: beamNode{state: m.To, g: g, path: path},
+					f:    g + h(m.To),
+					seq:  seq,
+				})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool {
+			if next[i].f != next[j].f {
+				return next[i].f < next[j].f
+			}
+			return next[i].seq < next[j].seq
+		})
+		if len(next) > width {
+			next = next[:width]
+		}
+		if len(next) > c.stats.MaxFrontier {
+			c.stats.MaxFrontier = len(next)
+		}
+		frontier = frontier[:0]
+		for _, s := range next {
+			frontier = append(frontier, s.node)
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// WeightedAStarSearch is A* with the evaluation function f = g + w·h for
+// w ≥ 1. Larger weights trade solution optimality for fewer expansions
+// (bounded suboptimality w for admissible h). w = 1 is plain A*.
+func WeightedAStarSearch(p Problem, h Heuristic, lim Limits, w int) (*Result, error) {
+	if w < 1 {
+		w = 1
+	}
+	weighted := func(s State) int { return w * h(s) }
+	return weightedBestFirst(p, weighted, lim)
+}
+
+// weightedBestFirst mirrors AStarSearch but with the already-weighted
+// heuristic; kept separate so plain A* stays textbook-readable.
+func weightedBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
+	c := &counter{lim: lim}
+	start := p.Start()
+	seq := 0
+	open := &frontier{{state: start, g: 0, f: h(start), seq: seq}}
+	heap.Init(open)
+	bestG := map[string]int{start.Key(): 0}
+	for open.Len() > 0 {
+		if open.Len() > c.stats.MaxFrontier {
+			c.stats.MaxFrontier = open.Len()
+		}
+		n := heap.Pop(open).(*node)
+		if g, ok := bestG[n.state.Key()]; ok && n.g > g {
+			continue
+		}
+		if err := c.examine(); err != nil {
+			return nil, err
+		}
+		if p.IsGoal(n.state) {
+			c.stats.Depth = len(n.path)
+			return &Result{Path: n.path, Goal: n.state, Stats: c.stats}, nil
+		}
+		if !c.depthOK(n.g + 1) {
+			continue
+		}
+		moves, err := p.Successors(n.state)
+		if err != nil {
+			return nil, err
+		}
+		c.stats.Generated += len(moves)
+		for _, m := range moves {
+			g := n.g + m.Cost
+			k := m.To.Key()
+			if prev, seen := bestG[k]; seen && g >= prev {
+				continue
+			}
+			bestG[k] = g
+			seq++
+			path := make([]Move, 0, len(n.path)+1)
+			path = append(path, n.path...)
+			path = append(path, m)
+			heap.Push(open, &node{state: m.To, g: g, f: g + h(m.To), path: path, seq: seq})
+		}
+	}
+	return nil, ErrNotFound
+}

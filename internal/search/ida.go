@@ -1,0 +1,100 @@
+package search
+
+import "sort"
+
+// IDAStar runs Iterative Deepening A* (§2.3): a sequence of depth-first
+// probes, each bounded by an f-value limit, iteratively raising the limit to
+// the smallest f-value that exceeded it. Memory use is linear in the depth
+// of the search; states may be re-examined across iterations, which the
+// paper accepts (and counts) in exchange for the memory guarantee.
+func IDAStar(p Problem, h Heuristic, lim Limits) (*Result, error) {
+	start := p.Start()
+	c := &counter{lim: lim}
+	bound := h(start)
+	for {
+		c.stats.Iterations++
+		onPath := map[string]bool{start.Key(): true}
+		var path []Move
+		next, res, err := idaProbe(p, h, c, start, 0, bound, &path, onPath)
+		if err != nil {
+			c.stats.Depth = len(path)
+			return nil, err
+		}
+		if res != nil {
+			res.Stats = c.stats
+			res.Stats.Depth = len(res.Path)
+			return res, nil
+		}
+		if next >= inf {
+			return nil, ErrNotFound
+		}
+		bound = next
+	}
+}
+
+// idaProbe performs one bounded depth-first probe. It returns the smallest
+// f-value that exceeded the bound (inf if the subtree is exhausted), or a
+// result if a goal was found on this probe.
+func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[]Move, onPath map[string]bool) (int, *Result, error) {
+	f := g + h(s)
+	if f > bound {
+		return f, nil, nil
+	}
+	if err := c.examine(); err != nil {
+		return 0, nil, err
+	}
+	if p.IsGoal(s) {
+		return 0, &Result{Path: append([]Move(nil), *path...), Goal: s}, nil
+	}
+	if !c.depthOK(g + 1) {
+		return inf, nil, nil
+	}
+	moves, err := p.Successors(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.stats.Generated += len(moves)
+	// Successor ordering: probe children in increasing (f, h) order. This
+	// is the standard move-ordering enhancement for iterative deepening;
+	// with the non-monotone heuristics of §3 (f can decrease along good
+	// paths) it is what steers the depth-first probe toward the goal
+	// instead of leaving the order to operator enumeration.
+	kids := make([]idaChild, 0, len(moves))
+	for _, m := range moves {
+		hv := h(m.To)
+		kids = append(kids, idaChild{move: m, h: hv, f: g + m.Cost + hv})
+	}
+	sort.SliceStable(kids, func(i, j int) bool {
+		if kids[i].f != kids[j].f {
+			return kids[i].f < kids[j].f
+		}
+		return kids[i].h < kids[j].h
+	})
+	min := inf
+	for _, kid := range kids {
+		m := kid.move
+		k := m.To.Key()
+		if onPath[k] {
+			continue // cycle along the current path
+		}
+		onPath[k] = true
+		*path = append(*path, m)
+		t, res, err := idaProbe(p, h, c, m.To, g+m.Cost, bound, path, onPath)
+		if err != nil || res != nil {
+			return t, res, err
+		}
+		*path = (*path)[:len(*path)-1]
+		delete(onPath, k)
+		if t < min {
+			min = t
+		}
+	}
+	return min, nil, nil
+}
+
+// idaChild is a successor with its f-value for move ordering.
+type idaChild struct {
+	move Move
+	h    int
+	f    int
+}

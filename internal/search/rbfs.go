@@ -1,0 +1,108 @@
+package search
+
+import "sort"
+
+// RecursiveBestFirst runs RBFS (Korf 1993; §2.3 of the paper): a localized,
+// recursive best-first exploration that keeps track of a locally optimal
+// f-value and backtracks when it is exceeded, backing up the best known
+// f-value of each abandoned subtree. Like IDA it uses memory linear in the
+// search depth and may re-generate subtrees.
+func RecursiveBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
+	start := p.Start()
+	c := &counter{lim: lim}
+	onPath := map[string]bool{start.Key(): true}
+	var path []Move
+	res, _, err := rbfs(p, h, c, start, 0, h(start), inf, &path, onPath)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, ErrNotFound
+	}
+	res.Stats = c.stats
+	res.Stats.Depth = len(res.Path)
+	return res, nil
+}
+
+// rbfsChild is a successor with its backed-up f-value. The raw h-value is
+// kept as a tie-breaker: RBFS's inheritance rule (f ← max(g+h, parent f))
+// flattens children onto a plateau whenever the heuristic is non-monotone,
+// and without the tie-break the exploration order would degenerate to
+// operator enumeration order.
+type rbfsChild struct {
+	move Move
+	g    int
+	h    int
+	f    int
+}
+
+// rbfs explores s with the given stored f-value under fLimit. It returns a
+// result if a goal is found, otherwise the revised backed-up f-value of s.
+func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[]Move, onPath map[string]bool) (*Result, int, error) {
+	if err := c.examine(); err != nil {
+		return nil, 0, err
+	}
+	if p.IsGoal(s) {
+		return &Result{Path: append([]Move(nil), *path...), Goal: s}, 0, nil
+	}
+	if !c.depthOK(g + 1) {
+		return nil, inf, nil
+	}
+	moves, err := p.Successors(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.stats.Generated += len(moves)
+	children := make([]rbfsChild, 0, len(moves))
+	for _, m := range moves {
+		if onPath[m.To.Key()] {
+			continue
+		}
+		cg := g + m.Cost
+		ch := h(m.To)
+		cf := cg + ch
+		// Inherit the parent's backed-up value: if s was previously
+		// explored and backed up to f, its children cannot do better.
+		if f > cf {
+			cf = f
+		}
+		children = append(children, rbfsChild{move: m, g: cg, h: ch, f: cf})
+	}
+	if len(children) == 0 {
+		return nil, inf, nil
+	}
+	for {
+		// Order children by current backed-up f, breaking ties by raw h
+		// (stable for determinism).
+		sort.SliceStable(children, func(i, j int) bool {
+			if children[i].f != children[j].f {
+				return children[i].f < children[j].f
+			}
+			return children[i].h < children[j].h
+		})
+		best := &children[0]
+		// best.f >= inf means every child subtree is exhausted (dead ends or
+		// depth limits); without this check the top-level call, whose fLimit
+		// is inf, would recurse forever.
+		if best.f > fLimit || best.f >= inf {
+			return nil, best.f, nil
+		}
+		alt := inf
+		if len(children) > 1 {
+			alt = children[1].f
+		}
+		if alt > fLimit {
+			alt = fLimit
+		}
+		k := best.move.To.Key()
+		onPath[k] = true
+		*path = append(*path, best.move)
+		res, revised, err := rbfs(p, h, c, best.move.To, best.g, best.f, alt, path, onPath)
+		if err != nil || res != nil {
+			return res, 0, err
+		}
+		*path = (*path)[:len(*path)-1]
+		delete(onPath, k)
+		best.f = revised
+	}
+}

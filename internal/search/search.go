@@ -1,0 +1,166 @@
+// Package search provides the heuristic state-space search algorithms that
+// drive mapping discovery in TUPELO ("Data Mapping as Search", §2.3).
+//
+// The package is generic: a Problem produces successor states and decides
+// when a state is a goal, and a Heuristic estimates the remaining distance.
+// The paper's two algorithms — Iterative Deepening A* (IDA) and Recursive
+// Best-First Search (RBFS), both linear-memory and asymptotically optimal
+// relative to A* — are implemented exactly as described in Nilsson (1998)
+// and Korf (1985/1993). A* and greedy best-first search are included for
+// ablation studies; the paper notes that plain A*'s exponential memory made
+// early TUPELO implementations ineffective.
+//
+// The performance measure throughout is the number of states examined, the
+// same machine-independent metric the paper reports.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// State is a node of the search space. Implementations must provide a
+// canonical key so that semantically equal states collapse; TUPELO uses
+// database fingerprints.
+type State interface {
+	// Key returns a canonical identifier: equal keys mean equal states.
+	Key() string
+}
+
+// Move is an edge of the search space: a labelled transition to a successor.
+type Move struct {
+	// Label identifies the operator that produced the successor; TUPELO
+	// stores the textual form of the L operator here.
+	Label string
+	// To is the successor state.
+	To State
+	// Cost is the edge cost; TUPELO counts each transformation as 1.
+	Cost int
+}
+
+// Problem defines a search space.
+type Problem interface {
+	// Start returns the initial state (the source critical instance).
+	Start() State
+	// Successors expands a state into its outgoing moves. The order must
+	// be deterministic.
+	Successors(State) ([]Move, error)
+	// IsGoal reports whether the state satisfies the goal test (the state
+	// contains the target critical instance).
+	IsGoal(State) bool
+}
+
+// Heuristic estimates the distance from a state to the goal. It must return
+// 0 for goal states to keep IDA/RBFS well-behaved (the paper's h(t)=0).
+type Heuristic func(State) int
+
+// Limits bounds a search run. Zero values mean unlimited.
+type Limits struct {
+	// MaxStates aborts the search after this many states are examined.
+	MaxStates int
+	// MaxDepth bounds the depth (g-value) of the search.
+	MaxDepth int
+}
+
+// Stats reports what a search run did.
+type Stats struct {
+	// Examined is the number of states examined (goal tests performed) —
+	// the paper's performance measure.
+	Examined int
+	// Generated is the number of successor states produced.
+	Generated int
+	// MaxFrontier is the peak size of algorithm-managed state (for A*).
+	MaxFrontier int
+	// Iterations counts IDA depth-bound iterations (0 for other methods).
+	Iterations int
+	// Depth is the length of the solution path found.
+	Depth int
+}
+
+// Result is a successful search outcome.
+type Result struct {
+	// Path is the sequence of moves from the start state to a goal state.
+	Path []Move
+	// Goal is the goal state reached.
+	Goal State
+	// Stats describes the run.
+	Stats Stats
+}
+
+// ErrNotFound reports an exhausted search space without a goal.
+var ErrNotFound = errors.New("search: no goal state found")
+
+// ErrLimit reports an aborted search (state or depth budget exhausted).
+var ErrLimit = errors.New("search: limit exceeded")
+
+// Algorithm selects a search strategy.
+type Algorithm int
+
+const (
+	// IDA is Iterative Deepening A*: depth-first probes bounded by
+	// increasing f-limits. Linear memory. The paper's first algorithm.
+	IDA Algorithm = iota
+	// RBFS is Recursive Best-First Search: recursive best-first exploration
+	// with backtracking on locally optimal f-values. Linear memory. The
+	// paper's second (and generally better-performing) algorithm.
+	RBFS
+	// AStar is textbook A* with a closed set. Exponential memory; included
+	// for ablation (the paper abandoned it for that reason).
+	AStar
+	// Greedy is greedy best-first search on h alone. Incomplete in general;
+	// included for ablation.
+	Greedy
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case IDA:
+		return "IDA"
+	case RBFS:
+		return "RBFS"
+	case AStar:
+		return "A*"
+	case Greedy:
+		return "Greedy"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Run executes the selected algorithm on the problem.
+func Run(a Algorithm, p Problem, h Heuristic, lim Limits) (*Result, error) {
+	switch a {
+	case IDA:
+		return IDAStar(p, h, lim)
+	case RBFS:
+		return RecursiveBestFirst(p, h, lim)
+	case AStar:
+		return AStarSearch(p, h, lim)
+	case Greedy:
+		return GreedySearch(p, h, lim)
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %d", int(a))
+	}
+}
+
+const inf = math.MaxInt / 4
+
+// counter enforces Limits and accumulates Stats.
+type counter struct {
+	stats Stats
+	lim   Limits
+}
+
+func (c *counter) examine() error {
+	c.stats.Examined++
+	if c.lim.MaxStates > 0 && c.stats.Examined > c.lim.MaxStates {
+		return ErrLimit
+	}
+	return nil
+}
+
+func (c *counter) depthOK(g int) bool {
+	return c.lim.MaxDepth == 0 || g <= c.lim.MaxDepth
+}

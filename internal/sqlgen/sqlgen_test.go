@@ -1,0 +1,200 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/relation"
+)
+
+func flightsB() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			relation.Tuple{"AirEast", "ATL29", "100", "15"},
+			relation.Tuple{"JetWest", "ATL29", "200", "16"},
+			relation.Tuple{"AirEast", "ORD17", "110", "15"},
+			relation.Tuple{"JetWest", "ORD17", "220", "16"},
+		),
+	)
+}
+
+func generate(t *testing.T, exprText string, db *relation.Database) *Script {
+	t.Helper()
+	s, err := Generate(fira.MustParse(exprText), db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateExample2Pipeline(t *testing.T) {
+	// The paper's Example 2 (B→A) end to end.
+	s := generate(t, `
+		promote[Prices,Route,Cost]
+		drop[Prices,Route]
+		drop[Prices,Cost]
+		merge[Prices,Carrier]
+		rename_att[Prices,AgentFee->Fee]
+		rename_rel[Prices->Flights]
+	`, flightsB())
+	sql := s.String()
+	for _, want := range []string{
+		`CASE WHEN "Route" = 'ATL29' THEN "Cost" ELSE '' END AS "ATL29"`,
+		`CASE WHEN "Route" = 'ORD17' THEN "Cost" ELSE '' END AS "ORD17"`,
+		`GROUP BY "Carrier"`,
+		`"AgentFee" AS "Fee"`,
+	} {
+		if !strings.Contains(sql, want) {
+			t.Fatalf("generated SQL missing %q:\n%s", want, sql)
+		}
+	}
+	if s.Final["Flights"] == "" {
+		t.Fatalf("final table for Flights missing: %v", s.Final)
+	}
+	if _, leftover := s.Final["Prices"]; leftover {
+		t.Fatalf("renamed relation still bound: %v", s.Final)
+	}
+	// Statements are ';'-terminated except comments.
+	for _, line := range strings.Split(strings.TrimSpace(sql), "\n") {
+		if strings.HasPrefix(line, "--") {
+			continue
+		}
+		if !strings.HasSuffix(line, ";") {
+			t.Fatalf("statement not terminated: %q", line)
+		}
+	}
+}
+
+func TestGenerateDemoteDeref(t *testing.T) {
+	flightsA := relation.MustDatabase(
+		relation.MustNew("Flights", []string{"Carrier", "Fee", "ATL29", "ORD17"},
+			relation.Tuple{"AirEast", "15", "100", "110"},
+		),
+	)
+	s := generate(t, "demote[Flights]\nderef[Flights,_ATT->Cost]", flightsA)
+	sql := s.String()
+	for _, want := range []string{
+		`SELECT 'Carrier' AS "_ATT"`,
+		`UNION ALL`,
+		`CROSS JOIN`,
+		`'Flights' AS "_REL"`,
+		`CASE WHEN "_ATT" = 'Carrier' THEN "Carrier"`,
+		`WHEN "_ATT" = 'ATL29' THEN "ATL29"`,
+	} {
+		if !strings.Contains(sql, want) {
+			t.Fatalf("generated SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestGeneratePartition(t *testing.T) {
+	s := generate(t, "partition[Prices,Carrier]", flightsB())
+	sql := s.String()
+	if !strings.Contains(sql, `WHERE "Carrier" = 'AirEast'`) ||
+		!strings.Contains(sql, `WHERE "Carrier" = 'JetWest'`) {
+		t.Fatalf("partition SQL wrong:\n%s", sql)
+	}
+	if s.Final["AirEast"] == "" || s.Final["JetWest"] == "" {
+		t.Fatalf("partition tables unbound: %v", s.Final)
+	}
+}
+
+func TestGenerateApplyBuiltins(t *testing.T) {
+	s := generate(t, "apply[Prices,sum:Cost,AgentFee->TotalCost]", flightsB())
+	if !strings.Contains(s.String(), `(CAST("Cost" AS NUMERIC) + CAST("AgentFee" AS NUMERIC)) AS "TotalCost"`) {
+		t.Fatalf("sum SQL wrong:\n%s", s)
+	}
+	s = generate(t, "apply[Prices,concat:Carrier,Route->Tag]", flightsB())
+	if !strings.Contains(s.String(), `("Carrier" || ' ' || "Route") AS "Tag"`) {
+		t.Fatalf("concat SQL wrong:\n%s", s)
+	}
+}
+
+func TestGenerateUnionPadsAbsent(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("L", []string{"A"}, relation.Tuple{"1"}),
+		relation.MustNew("R", []string{"A", "B"}, relation.Tuple{"2", "x"}),
+	)
+	s := generate(t, "union[L,R]", db)
+	if !strings.Contains(s.String(), `'' AS "B"`) {
+		t.Fatalf("union padding missing:\n%s", s)
+	}
+	if _, leftover := s.Final["R"]; leftover {
+		t.Fatalf("consumed relation still bound: %v", s.Final)
+	}
+}
+
+func TestGenerateProduct(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("L", []string{"A"}, relation.Tuple{"1"}),
+		relation.MustNew("R", []string{"B"}, relation.Tuple{"x"}),
+	)
+	s := generate(t, "product[L,R]", db)
+	if !strings.Contains(s.String(), `CROSS JOIN`) {
+		t.Fatalf("product SQL wrong:\n%s", s)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		expr string
+	}{
+		{"unknown relation", "drop[NoSuch,A]"},
+		{"drop last column", "drop[Solo,A]"},
+		{"untranslatable function", "apply[Prices,lb_to_kg:Cost->Kg]"},
+	}
+	db := flightsB().WithRelation(relation.MustNew("Solo", []string{"A"}, relation.Tuple{"1"}))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Generate(fira.MustParse(tc.expr), db, Options{}); err == nil {
+				t.Fatalf("Generate(%s) should fail", tc.expr)
+			}
+		})
+	}
+}
+
+func TestGenerateQuoting(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("Weird", []string{`na"me`, "other"},
+			relation.Tuple{"o'hara", "x"},
+		),
+	)
+	s := generate(t, `rename_att[Weird,other->new]`, db)
+	if !strings.Contains(s.String(), `"na""me"`) {
+		t.Fatalf("identifier quoting wrong:\n%s", s)
+	}
+	s2 := generate(t, "promote[Weird,other,na\"me]", db)
+	_ = s2 // promote over quoted column names must not panic
+	s3 := generate(t, `partition[Weird,na"me]`, db)
+	if !strings.Contains(s3.String(), `'o''hara'`) {
+		t.Fatalf("literal quoting wrong:\n%s", s3)
+	}
+}
+
+func TestGenerateCustomFuncAndPrefix(t *testing.T) {
+	opts := Options{
+		Funcs: map[string]SQLFunc{
+			"lb_to_kg": func(args []string) (string, error) {
+				return "(CAST(" + args[0] + " AS NUMERIC) * 0.45359237)", nil
+			},
+		},
+		TempPrefix: "stage_",
+	}
+	s, err := Generate(fira.MustParse("apply[Prices,lb_to_kg:Cost->Kg]"), flightsB(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "stage_1") || !strings.Contains(s.String(), "0.45359237") {
+		t.Fatalf("custom options ignored:\n%s", s)
+	}
+}
+
+// The generator must refuse expressions whose sample evaluation fails —
+// the SQL would be built against a schema that never materializes.
+func TestGenerateSampleEvaluationGuard(t *testing.T) {
+	if _, err := Generate(fira.MustParse("merge[Prices,NoSuch]"), flightsB(), Options{}); err == nil {
+		t.Fatal("merge on missing attribute should fail generation")
+	}
+}

@@ -1,0 +1,126 @@
+package sqlrun
+
+// The AST mirrors the dialect sqlgen emits.
+
+// Stmt is one statement of a script.
+type Stmt interface{ stmt() }
+
+// CreateTable is CREATE TABLE name AS <query>.
+type CreateTable struct {
+	Name  string
+	Query *Select
+}
+
+func (*CreateTable) stmt() {}
+
+// Select is a SELECT, possibly with a UNION tail.
+type Select struct {
+	Distinct bool
+	Cols     []SelectCol
+	From     From
+	Where    *Cond  // nil when absent
+	GroupBy  string // "" when absent
+	// Union chains the next SELECT; UnionAll distinguishes UNION ALL.
+	Union    *Select
+	UnionAll bool
+}
+
+// SelectCol is one output column: an expression with an output name.
+// The name comes from AS, or from the column reference itself.
+type SelectCol struct {
+	Expr Expr
+	Name string
+}
+
+// From is a FROM clause.
+type From interface{ from() }
+
+// FromTable is FROM "t" [AS alias].
+type FromTable struct {
+	Table string
+	Alias string
+}
+
+func (*FromTable) from() {}
+
+// FromCrossJoin is FROM <left> CROSS JOIN <right>.
+type FromCrossJoin struct {
+	Left, Right From
+}
+
+func (*FromCrossJoin) from() {}
+
+// FromSubquery is FROM ( <select> ) AS alias — the inline metadata tables
+// demote generates.
+type FromSubquery struct {
+	Query *Select
+	Alias string
+}
+
+func (*FromSubquery) from() {}
+
+// Cond is a conjunction of column = literal equalities (all the generator
+// needs).
+type Cond struct {
+	Col, Lit string
+	And      *Cond
+}
+
+// Expr is a scalar expression.
+type Expr interface{ expr() }
+
+// ColRef references a column, optionally qualified by a FROM alias.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
+
+func (*ColRef) expr() {}
+
+// Lit is a string literal.
+type Lit struct{ Value string }
+
+func (*Lit) expr() {}
+
+// NumLit is a numeric literal.
+type NumLit struct{ Value float64 }
+
+func (*NumLit) expr() {}
+
+// Concat is expr || expr.
+type Concat struct{ L, R Expr }
+
+func (*Concat) expr() {}
+
+// Arith is numeric +, -, *, /.
+type Arith struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+func (*Arith) expr() {}
+
+// Cast is CAST(expr AS NUMERIC).
+type Cast struct{ E Expr }
+
+func (*Cast) expr() {}
+
+// Max is the MAX(expr) aggregate (valid only with GROUP BY).
+type Max struct{ E Expr }
+
+func (*Max) expr() {}
+
+// Case is CASE WHEN c THEN v ... [ELSE e] END. Conditions are column =
+// literal, like Cond without conjunction.
+type Case struct {
+	Whens []CaseWhen
+	Else  Expr // nil means SQL NULL, which this engine folds to absent ("")
+}
+
+func (*Case) expr() {}
+
+// CaseWhen is one WHEN col = lit THEN result arm.
+type CaseWhen struct {
+	Col, Lit string
+	Result   Expr
+}

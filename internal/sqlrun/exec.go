@@ -1,0 +1,425 @@
+package sqlrun
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tupelo/internal/relation"
+)
+
+// Engine executes parsed statements against an in-memory table store.
+// Tables follow the set semantics of package relation, which coincides with
+// the DISTINCT/UNION queries the generator emits.
+type Engine struct {
+	tables map[string]*relation.Relation
+}
+
+// NewEngine creates an engine whose initial tables are the relations of db
+// (the source instance a mapping script runs against).
+func NewEngine(db *relation.Database) *Engine {
+	e := &Engine{tables: make(map[string]*relation.Relation)}
+	for _, r := range db.Relations() {
+		e.tables[r.Name()] = r
+	}
+	return e
+}
+
+// ExecScript parses and executes a SQL script.
+func (e *Engine) ExecScript(src string) error {
+	stmts, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return e.Exec(stmts)
+}
+
+// Exec executes parsed statements in order.
+func (e *Engine) Exec(stmts []Stmt) error {
+	for _, st := range stmts {
+		ct, ok := st.(*CreateTable)
+		if !ok {
+			return fmt.Errorf("sqlrun: unsupported statement %T", st)
+		}
+		if _, dup := e.tables[ct.Name]; dup {
+			return fmt.Errorf("sqlrun: table %q already exists", ct.Name)
+		}
+		res, err := e.evalSelect(ct.Query)
+		if err != nil {
+			return fmt.Errorf("sqlrun: CREATE TABLE %s: %w", ct.Name, err)
+		}
+		rel, err := relation.New(ct.Name, res.cols)
+		if err != nil {
+			return fmt.Errorf("sqlrun: CREATE TABLE %s: %v", ct.Name, err)
+		}
+		for _, row := range res.rows {
+			rel, err = rel.Insert(relation.Tuple(row))
+			if err != nil {
+				return fmt.Errorf("sqlrun: CREATE TABLE %s: %v", ct.Name, err)
+			}
+		}
+		e.tables[ct.Name] = rel
+	}
+	return nil
+}
+
+// Table returns a stored table.
+func (e *Engine) Table(name string) (*relation.Relation, bool) {
+	r, ok := e.tables[name]
+	return r, ok
+}
+
+// Database assembles a database from the final logical → physical table
+// bindings of a generated script (sqlgen.Script.Final).
+func (e *Engine) Database(final map[string]string) (*relation.Database, error) {
+	names := make([]string, 0, len(final))
+	for logical := range final {
+		names = append(names, logical)
+	}
+	sort.Strings(names)
+	var rels []*relation.Relation
+	for _, logical := range names {
+		r, ok := e.tables[final[logical]]
+		if !ok {
+			return nil, fmt.Errorf("sqlrun: script never created table %q", final[logical])
+		}
+		renamed, err := r.WithName(logical)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, renamed)
+	}
+	return relation.NewDatabase(rels...)
+}
+
+// result is an intermediate rowset.
+type result struct {
+	cols []string
+	rows [][]string
+}
+
+// binding is one FROM source visible to column resolution.
+type binding struct {
+	alias string
+	cols  []string
+	row   []string
+}
+
+type env []binding
+
+func (en env) lookup(ref *ColRef) (string, error) {
+	found := false
+	var out string
+	for _, b := range en {
+		if ref.Qualifier != "" && b.alias != ref.Qualifier {
+			continue
+		}
+		for i, c := range b.cols {
+			if c == ref.Name {
+				if found {
+					return "", fmt.Errorf("ambiguous column %q", ref.Name)
+				}
+				found = true
+				out = b.row[i]
+			}
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("unknown column %q", ref.Name)
+	}
+	return out, nil
+}
+
+// evalSelect evaluates a SELECT (with any UNION tail).
+func (e *Engine) evalSelect(sel *Select) (*result, error) {
+	head, err := e.evalOne(sel)
+	if err != nil {
+		return nil, err
+	}
+	for tail := sel.Union; tail != nil; tail = tail.Union {
+		tr, err := e.evalOne(tail)
+		if err != nil {
+			return nil, err
+		}
+		if len(tr.cols) != len(head.cols) {
+			return nil, fmt.Errorf("UNION arity mismatch: %d vs %d", len(head.cols), len(tr.cols))
+		}
+		head.rows = append(head.rows, tr.rows...)
+	}
+	// UNION (non-ALL) between head and tails deduplicates; the generator
+	// never mixes ALL and non-ALL in one chain.
+	if sel.Union != nil && !sel.UnionAll {
+		head.rows = dedupe(head.rows)
+	}
+	if sel.Distinct {
+		head.rows = dedupe(head.rows)
+	}
+	return head, nil
+}
+
+// evalOne evaluates a single SELECT block, ignoring its UNION tail.
+func (e *Engine) evalOne(sel *Select) (*result, error) {
+	envs, err := e.evalFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Where != nil {
+		var kept []env
+		for _, en := range envs {
+			ok, err := evalCond(sel.Where, en)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, en)
+			}
+		}
+		envs = kept
+	}
+	out := &result{}
+	for _, c := range sel.Cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("unnamed output column")
+		}
+		out.cols = append(out.cols, c.Name)
+	}
+	if sel.GroupBy != "" {
+		return e.evalGrouped(sel, envs, out)
+	}
+	for _, en := range envs {
+		row := make([]string, len(sel.Cols))
+		for i, c := range sel.Cols {
+			v, err := evalExpr(c.Expr, en)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// evalGrouped handles GROUP BY with MAX aggregates.
+func (e *Engine) evalGrouped(sel *Select, envs []env, out *result) (*result, error) {
+	groups := make(map[string][]env)
+	var order []string
+	key := &ColRef{Name: sel.GroupBy}
+	for _, en := range envs {
+		k, err := en.lookup(key)
+		if err != nil {
+			return nil, err
+		}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], en)
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		group := groups[k]
+		row := make([]string, len(sel.Cols))
+		for i, c := range sel.Cols {
+			if m, ok := c.Expr.(*Max); ok {
+				best := ""
+				for j, en := range group {
+					v, err := evalExpr(m.E, en)
+					if err != nil {
+						return nil, err
+					}
+					if j == 0 || v > best {
+						best = v
+					}
+				}
+				row[i] = best
+				continue
+			}
+			// Non-aggregate column: must be functionally determined by the
+			// group key; the generator only emits the key itself here.
+			v, err := evalExpr(c.Expr, group[0])
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// evalFrom builds the row environments of a FROM clause. A nil clause
+// yields one empty environment (SELECT without FROM).
+func (e *Engine) evalFrom(f From) ([]env, error) {
+	switch src := f.(type) {
+	case nil:
+		return []env{nil}, nil
+	case *FromTable:
+		t, ok := e.tables[src.Table]
+		if !ok {
+			return nil, fmt.Errorf("unknown table %q", src.Table)
+		}
+		alias := src.Alias
+		if alias == "" {
+			alias = src.Table
+		}
+		cols := t.Attrs()
+		envs := make([]env, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			envs[i] = env{{alias: alias, cols: cols, row: t.Row(i)}}
+		}
+		return envs, nil
+	case *FromSubquery:
+		res, err := e.evalSelect(src.Query)
+		if err != nil {
+			return nil, err
+		}
+		envs := make([]env, len(res.rows))
+		for i, row := range res.rows {
+			envs[i] = env{{alias: src.Alias, cols: res.cols, row: row}}
+		}
+		return envs, nil
+	case *FromCrossJoin:
+		left, err := e.evalFrom(src.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.evalFrom(src.Right)
+		if err != nil {
+			return nil, err
+		}
+		var out []env
+		for _, l := range left {
+			for _, r := range right {
+				merged := make(env, 0, len(l)+len(r))
+				merged = append(merged, l...)
+				merged = append(merged, r...)
+				out = append(out, merged)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported FROM clause %T", f)
+	}
+}
+
+func evalCond(c *Cond, en env) (bool, error) {
+	v, err := en.lookup(&ColRef{Name: c.Col})
+	if err != nil {
+		return false, err
+	}
+	if v != c.Lit {
+		return false, nil
+	}
+	if c.And != nil {
+		return evalCond(c.And, en)
+	}
+	return true, nil
+}
+
+func evalExpr(x Expr, en env) (string, error) {
+	switch v := x.(type) {
+	case *Lit:
+		return v.Value, nil
+	case *NumLit:
+		return formatNumber(v.Value), nil
+	case *ColRef:
+		return en.lookup(v)
+	case *Concat:
+		l, err := evalExpr(v.L, en)
+		if err != nil {
+			return "", err
+		}
+		r, err := evalExpr(v.R, en)
+		if err != nil {
+			return "", err
+		}
+		return l + r, nil
+	case *Cast:
+		s, err := evalExpr(v.E, en)
+		if err != nil {
+			return "", err
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return "", fmt.Errorf("CAST(%q AS NUMERIC): not a number", s)
+		}
+		return formatNumber(n), nil
+	case *Arith:
+		l, err := evalNumber(v.L, en)
+		if err != nil {
+			return "", err
+		}
+		r, err := evalNumber(v.R, en)
+		if err != nil {
+			return "", err
+		}
+		switch v.Op {
+		case '+':
+			return formatNumber(l + r), nil
+		case '-':
+			return formatNumber(l - r), nil
+		case '*':
+			return formatNumber(l * r), nil
+		case '/':
+			if r == 0 {
+				return "", fmt.Errorf("division by zero")
+			}
+			return formatNumber(l / r), nil
+		default:
+			return "", fmt.Errorf("unknown operator %q", v.Op)
+		}
+	case *Case:
+		for _, w := range v.Whens {
+			got, err := en.lookup(&ColRef{Name: w.Col})
+			if err != nil {
+				return "", err
+			}
+			if got == w.Lit {
+				return evalExpr(w.Result, en)
+			}
+		}
+		if v.Else == nil {
+			return "", nil // SQL NULL folds to the absent value
+		}
+		return evalExpr(v.Else, en)
+	case *Max:
+		return "", fmt.Errorf("MAX outside GROUP BY")
+	default:
+		return "", fmt.Errorf("unsupported expression %T", x)
+	}
+}
+
+func evalNumber(x Expr, en env) (float64, error) {
+	s, err := evalExpr(x, en)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not numeric", s)
+	}
+	return n, nil
+}
+
+// formatNumber matches package lambda's rendering: integers print without a
+// decimal point, keeping SQL-path results byte-identical to λ results.
+func formatNumber(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func dedupe(rows [][]string) [][]string {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		k := strings.Join(row, "\x1f")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package sqlrun
+
+import (
+	"testing"
+
+	"tupelo/internal/relation"
+)
+
+// FuzzParseSQL checks that the SQL parser never panics on arbitrary input.
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		`CREATE TABLE "t" AS SELECT DISTINCT "A" FROM "R";`,
+		`CREATE TABLE "t" AS SELECT "A" AS "B", 'x' AS "C" FROM "R" WHERE "A" = 'v';`,
+		`CREATE TABLE "t" AS SELECT MAX("A") AS "m", "K" FROM "R" GROUP BY "K";`,
+		`CREATE TABLE "t" AS SELECT 'a' AS "X" UNION ALL SELECT 'b' AS "X";`,
+		`CREATE TABLE "t" AS SELECT CASE WHEN "A" = 'x' THEN "B" ELSE '' END AS "C" FROM "R";`,
+		`CREATE TABLE "t" AS SELECT (CAST("A" AS NUMERIC) + CAST("B" AS NUMERIC)) AS "S" FROM "R";`,
+		`CREATE TABLE "t" AS SELECT l."A" AS "LA" FROM "L" AS l CROSS JOIN "R" AS r;`,
+		`-- comment only`,
+		`CREATE TABLE t AS SELECT`,
+		`;;;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted scripts must execute without panicking (errors are fine).
+		eng := NewEngine(relation.MustDatabase(
+			relation.MustNew("R", []string{"A", "B", "K"},
+				relation.Tuple{"x", "2", "k1"},
+				relation.Tuple{"y", "3", "k1"},
+			),
+			relation.MustNew("L", []string{"C"}, relation.Tuple{"c"}),
+		))
+		_ = eng.Exec(stmts)
+	})
+}

@@ -1,0 +1,149 @@
+// Package sqlrun executes the SQL scripts produced by package sqlgen
+// against in-memory databases (package relation). It implements exactly
+// the dialect the generator emits — CREATE TABLE ... AS SELECT chains with
+// DISTINCT, CROSS JOIN, inline UNION ALL metadata tables, WHERE equality,
+// GROUP BY with MAX, UNION, CASE WHEN, string concatenation (||), and
+// arithmetic over CAST(... AS NUMERIC) — which makes the full
+// discover → generate SQL → run SQL pipeline testable end to end without
+// an external RDBMS, and doubles as the relational execution substrate the
+// paper assumes around TUPELO deployments.
+package sqlrun
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF     tokKind = iota
+	tokIdent           // bare or "quoted" identifier
+	tokString          // 'string literal'
+	tokNumber          // numeric literal
+	tokSymbol          // ( ) , ; + - * / = and the two-char ||
+	tokKeyword         // uppercase-normalized SQL keyword
+)
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "AS": true, "SELECT": true,
+	"DISTINCT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"BY": true, "UNION": true, "ALL": true, "CROSS": true, "JOIN": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"MAX": true, "CAST": true, "NUMERIC": true, "AND": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keyword: uppercase; ident/string: decoded value
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return t.text
+}
+
+// lex tokenizes a SQL script. Comment lines (--) are skipped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '"' {
+					if i+1 < len(src) && src[i+1] == '"' {
+						b.WriteByte('"')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlrun: unterminated identifier at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokIdent, text: b.String(), pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlrun: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: start})
+		case c == '|':
+			if i+1 >= len(src) || src[i+1] != '|' {
+				return nil, fmt.Errorf("sqlrun: stray '|' at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokSymbol, text: "||", pos: i})
+			i += 2
+		case strings.ContainsRune("(),;+-*/=.", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			return nil, fmt.Errorf("sqlrun: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

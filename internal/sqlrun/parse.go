@@ -1,0 +1,419 @@
+package sqlrun
+
+import "fmt"
+
+// Parse reads a SQL script in the sqlgen dialect: a sequence of
+// ';'-terminated CREATE TABLE ... AS SELECT statements with -- comments.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(tokEOF) {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+		if err := p.expectSymbol(";"); err != nil {
+			return nil, err
+		}
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool {
+	return p.peek().kind == k
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) atSymbol(s string) bool {
+	t := p.peek()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("sqlrun: expected %s, got %q", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.atSymbol(s) {
+		return fmt.Errorf("sqlrun: expected %q, got %q", s, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(tokIdent) {
+		return "", fmt.Errorf("sqlrun: expected identifier, got %q", p.peek())
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Query: q}, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.atKeyword("DISTINCT") {
+		p.next()
+		sel.Distinct = true
+	}
+	for {
+		col, err := p.parseSelectCol()
+		if err != nil {
+			return nil, err
+		}
+		sel.Cols = append(sel.Cols, col)
+		if !p.atSymbol(",") {
+			break
+		}
+		p.next()
+	}
+	if p.atKeyword("FROM") {
+		p.next()
+		from, err := p.parseFrom()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.atKeyword("WHERE") {
+		p.next()
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = cond
+	}
+	if p.atKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		sel.GroupBy = col
+	}
+	if p.atKeyword("UNION") {
+		p.next()
+		if p.atKeyword("ALL") {
+			p.next()
+			sel.UnionAll = true
+		}
+		tail, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.Union = tail
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectCol() (SelectCol, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectCol{}, err
+	}
+	col := SelectCol{Expr: e}
+	if p.atKeyword("AS") {
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return SelectCol{}, err
+		}
+		col.Name = name
+		return col, nil
+	}
+	if ref, ok := e.(*ColRef); ok {
+		col.Name = ref.Name
+		return col, nil
+	}
+	return SelectCol{}, fmt.Errorf("sqlrun: computed column needs AS name near %q", p.peek())
+}
+
+func (p *parser) parseFrom() (From, error) {
+	left, err := p.parseFromAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("CROSS") {
+		p.next()
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		right, err := p.parseFromAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = &FromCrossJoin{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFromAtom() (From, error) {
+	if p.atSymbol("(") {
+		p.next()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &FromSubquery{Query: q, Alias: alias}, nil
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ft := &FromTable{Table: table}
+	if p.atKeyword("AS") {
+		p.next()
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ft.Alias = alias
+	}
+	return ft, nil
+}
+
+func (p *parser) parseCond() (*Cond, error) {
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	if !p.at(tokString) {
+		return nil, fmt.Errorf("sqlrun: WHERE needs a string literal, got %q", p.peek())
+	}
+	lit := p.next().text
+	cond := &Cond{Col: col, Lit: lit}
+	if p.atKeyword("AND") {
+		p.next()
+		tail, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		cond.And = tail
+	}
+	return cond, nil
+}
+
+// Expression grammar: concat > additive > multiplicative > primary.
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("||") {
+		p.next()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Concat{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("+") || p.atSymbol("-") {
+		op := p.next().text[0]
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("*") || p.atSymbol("/") {
+		op := p.next().text[0]
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return &Lit{Value: t.text}, nil
+	case t.kind == tokNumber:
+		p.next()
+		var v float64
+		if _, err := fmt.Sscanf(t.text, "%g", &v); err != nil {
+			return nil, fmt.Errorf("sqlrun: bad number %q", t.text)
+		}
+		return &NumLit{Value: v}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokKeyword && t.text == "CAST":
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("NUMERIC"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &Cast{E: e}, nil
+	case t.kind == tokKeyword && t.text == "MAX":
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &Max{E: e}, nil
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.parseCase()
+	case t.kind == tokIdent:
+		p.next()
+		if p.atSymbol(".") {
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: t.text, Name: name}, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("sqlrun: unexpected %q in expression", t)
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &Case{}
+	for p.atKeyword("WHEN") {
+		p.next()
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		if !p.at(tokString) {
+			return nil, fmt.Errorf("sqlrun: CASE WHEN needs a string literal, got %q", p.peek())
+		}
+		lit := p.next().text
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Col: col, Lit: lit, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, fmt.Errorf("sqlrun: CASE without WHEN arms")
+	}
+	if p.atKeyword("ELSE") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,247 @@
+package sqlrun
+
+import (
+	"strings"
+	"testing"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/lambda"
+	"tupelo/internal/relation"
+	"tupelo/internal/sqlgen"
+)
+
+func flightsB() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			relation.Tuple{"AirEast", "ATL29", "100", "15"},
+			relation.Tuple{"JetWest", "ATL29", "200", "16"},
+			relation.Tuple{"AirEast", "ORD17", "110", "15"},
+			relation.Tuple{"JetWest", "ORD17", "220", "16"},
+		),
+	)
+}
+
+func flightsA() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("Flights", []string{"Carrier", "Fee", "ATL29", "ORD17"},
+			relation.Tuple{"AirEast", "15", "100", "110"},
+			relation.Tuple{"JetWest", "16", "200", "220"},
+		),
+	)
+}
+
+// runBothWays evaluates expr directly with fira and through the
+// generate-SQL → execute-SQL path, and asserts identical databases.
+func runBothWays(t *testing.T, exprText string, db *relation.Database) {
+	t.Helper()
+	expr := fira.MustParse(exprText)
+	want, err := expr.Eval(db, lambda.Builtins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := sqlgen.Generate(expr, db, sqlgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(db)
+	if err := eng.ExecScript(script.String()); err != nil {
+		t.Fatalf("%v\nscript:\n%s", err, script)
+	}
+	got, err := eng.Database(script.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("SQL path diverges from direct evaluation.\nSQL:\n%s\ndirect:\n%s\nscript:\n%s", got, want, script)
+	}
+}
+
+// TestEquivalenceExample2 validates the paper's Example 2 pipeline through
+// the SQL path: generated SQL must compute exactly FlightsA.
+func TestEquivalenceExample2(t *testing.T) {
+	runBothWays(t, `
+		promote[Prices,Route,Cost]
+		drop[Prices,Route]
+		drop[Prices,Cost]
+		merge[Prices,Carrier]
+		rename_att[Prices,AgentFee->Fee]
+		rename_rel[Prices->Flights]
+	`, flightsB())
+}
+
+func TestEquivalencePerOperator(t *testing.T) {
+	cases := []struct {
+		name string
+		expr string
+		db   *relation.Database
+	}{
+		{"rename_att", "rename_att[Prices,Cost->Fare]", flightsB()},
+		{"rename_rel", "rename_rel[Prices->Fares]", flightsB()},
+		{"drop", "drop[Prices,AgentFee]", flightsB()},
+		{"promote", "promote[Prices,Route,Cost]", flightsB()},
+		{"demote", "demote[Flights]", flightsA()},
+		{"demote+deref", "demote[Flights]\nderef[Flights,_ATT->Val]", flightsA()},
+		{"partition", "partition[Prices,Carrier]", flightsB()},
+		{"merge after promote+drops", "promote[Prices,Route,Cost]\ndrop[Prices,Route]\ndrop[Prices,Cost]\nmerge[Prices,Carrier]", flightsB()},
+		{"apply sum", "apply[Prices,sum:Cost,AgentFee->Total]", flightsB()},
+		{"apply concat", "apply[Prices,concat:Carrier,Route->Tag]", flightsB()},
+		{"apply difference", "apply[Prices,difference:Cost,AgentFee->Net]", flightsB()},
+		{"apply product", "apply[Prices,product:Cost,AgentFee->X]", flightsB()},
+		{"union", "partition[Prices,Carrier]\nunion[AirEast,JetWest]\nrename_rel[AirEast->Prices]", flightsB()},
+		{"product", "partition[Prices,Route]\ndrop[ATL29,Route]\ndrop[ATL29,AgentFee]\nrename_att[ATL29,Carrier->C2]\nrename_att[ATL29,Cost->Cost2]\nproduct[ORD17,ATL29]", flightsB()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runBothWays(t, tc.expr, tc.db)
+		})
+	}
+}
+
+// TestEquivalenceOnLargerInstance applies a mapping discovered from the
+// critical instance to a bigger database through both paths.
+func TestEquivalenceOnLargerInstance(t *testing.T) {
+	big := relation.MustDatabase(
+		relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			relation.Tuple{"AirEast", "ATL29", "100", "15"},
+			relation.Tuple{"JetWest", "ATL29", "200", "16"},
+			relation.Tuple{"AirEast", "ORD17", "110", "15"},
+			relation.Tuple{"JetWest", "ORD17", "220", "16"},
+			relation.Tuple{"SkyHop", "ATL29", "90", "9"},
+			relation.Tuple{"SkyHop", "ORD17", "95", "9"},
+		),
+	)
+	// Regenerate against the larger instance (the promote column set is
+	// instance-derived, as the generator's comment warns).
+	runBothWays(t, `
+		promote[Prices,Route,Cost]
+		drop[Prices,Route]
+		drop[Prices,Cost]
+		merge[Prices,Carrier]
+	`, big)
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		`SELECT 1`,                    // not CREATE TABLE
+		`CREATE TABLE "t"`,            // missing AS SELECT
+		`CREATE TABLE "t" AS SELECT;`, // empty select
+		`CREATE TABLE "t" AS SELECT "a" FROM;`,
+		`CREATE TABLE "t" AS SELECT 'x' FROM "u";`,                      // computed without AS
+		`CREATE TABLE "t" AS SELECT "a" FROM "u" WHERE a = b;`,          // non-literal rhs
+		`CREATE TABLE "t" AS SELECT CASE END AS "c" FROM "u";`,          // CASE without WHEN
+		`CREATE TABLE "t" AS SELECT "a" FROM "u"`,                       // missing ';'
+		`CREATE TABLE "t" AS SELECT CAST("a" AS TEXT) AS "c" FROM "u";`, // non-NUMERIC cast
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{
+		`"unterminated`,
+		`'unterminated`,
+		`a | b`,
+		"\x01",
+	} {
+		if _, err := lex(bad); err == nil {
+			t.Fatalf("lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexQuoting(t *testing.T) {
+	toks, err := lex(`"na""me" 'o''hara' -- comment
+SELECT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != `na"me` || toks[0].kind != tokIdent {
+		t.Fatalf("ident unquoting: %+v", toks[0])
+	}
+	if toks[1].text != "o'hara" || toks[1].kind != tokString {
+		t.Fatalf("string unquoting: %+v", toks[1])
+	}
+	if toks[2].kind != tokKeyword || toks[2].text != "SELECT" {
+		t.Fatalf("comment not skipped: %+v", toks[2])
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	eng := NewEngine(flightsB())
+	cases := []string{
+		`CREATE TABLE "Prices" AS SELECT "Carrier" FROM "Prices";`,                    // duplicate table
+		`CREATE TABLE "t" AS SELECT "Carrier" FROM "NoSuch";`,                         // unknown table
+		`CREATE TABLE "t" AS SELECT "NoSuch" FROM "Prices";`,                          // unknown column
+		`CREATE TABLE "t" AS SELECT CAST("Carrier" AS NUMERIC) AS "n" FROM "Prices";`, // bad cast
+		`CREATE TABLE "t" AS SELECT MAX("Cost") AS "m" FROM "Prices";`,                // MAX without GROUP BY
+		`CREATE TABLE "t" AS SELECT ("Cost" / '0') AS "d" FROM "Prices";`,             // division by zero
+	}
+	for _, src := range cases {
+		if err := eng.ExecScript(src); err == nil {
+			t.Fatalf("ExecScript(%q) should fail", src)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("L", []string{"A"}, relation.Tuple{"1"}),
+		relation.MustNew("R", []string{"A"}, relation.Tuple{"2"}),
+	)
+	eng := NewEngine(db)
+	err := eng.ExecScript(`CREATE TABLE "t" AS SELECT "A" FROM "L" AS l CROSS JOIN "R" AS r;`)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+	// Qualified references resolve it.
+	if err := eng.ExecScript(`CREATE TABLE "t" AS SELECT l."A" AS "LA", r."A" AS "RA" FROM "L" AS l CROSS JOIN "R" AS r;`); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := eng.Table("t")
+	if tab.Len() != 1 || tab.Arity() != 2 {
+		t.Fatalf("join result %d×%d", tab.Len(), tab.Arity())
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	eng := NewEngine(relation.MustDatabase())
+	if err := eng.ExecScript(`CREATE TABLE "m" AS SELECT 'a' AS "X" UNION ALL SELECT 'b' AS "X";`); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := eng.Table("m")
+	if tab.Len() != 2 {
+		t.Fatalf("inline table has %d rows, want 2", tab.Len())
+	}
+}
+
+func TestUnionDedupes(t *testing.T) {
+	eng := NewEngine(flightsB())
+	if err := eng.ExecScript(`CREATE TABLE "u" AS SELECT "Carrier" FROM "Prices" UNION SELECT "Carrier" FROM "Prices";`); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := eng.Table("u")
+	if tab.Len() != 2 { // AirEast, JetWest
+		t.Fatalf("union kept %d rows, want 2", tab.Len())
+	}
+}
+
+func TestDatabaseMissingTable(t *testing.T) {
+	eng := NewEngine(flightsB())
+	if _, err := eng.Database(map[string]string{"X": "never_created"}); err == nil {
+		t.Fatal("missing physical table should fail")
+	}
+}
+
+func TestNumberFormattingMatchesLambda(t *testing.T) {
+	eng := NewEngine(flightsB())
+	if err := eng.ExecScript(`CREATE TABLE "t" AS SELECT (CAST("Cost" AS NUMERIC) + CAST("AgentFee" AS NUMERIC)) AS "Total" FROM "Prices" WHERE "Carrier" = 'AirEast' AND "Route" = 'ATL29';`); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := eng.Table("t")
+	v, _ := tab.Value(0, "Total")
+	if v != "115" {
+		t.Fatalf("Total = %q, want 115 (integer formatting)", v)
+	}
+}

@@ -1,0 +1,223 @@
+// Package tnf implements Tuple Normal Form (TNF), the fixed-schema encoding
+// of relational databases that TUPELO uses as its internal data
+// representation ("Data Mapping as Search", §2.2; Litwin et al. 1991).
+//
+// The TNF of a database is a single four-column table
+//
+//	TID  REL  ATT  VALUE
+//
+// holding one row per (tuple, attribute) pair: the tuple's synthetic ID, the
+// name of the relation the tuple belongs to, the attribute name, and the
+// attribute value. Encoding a database in TNF makes both metadata (relation
+// and attribute names) and data uniformly addressable, which is what the
+// search heuristics of §3 operate on.
+package tnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tupelo/internal/relation"
+)
+
+// Row is a single TNF row.
+type Row struct {
+	TID   string // synthetic tuple identifier, unique per source tuple
+	Rel   string // relation name
+	Att   string // attribute name
+	Value string // attribute value
+}
+
+// Table is the TNF encoding of a database. The zero value is an empty
+// encoding ready for use.
+type Table struct {
+	Rows []Row
+}
+
+// Encode computes the TNF of a database. Tuple IDs are assigned
+// deterministically: relations are visited in sorted-name order and tuples
+// in their canonical order, so equal databases yield identical tables.
+//
+// Relations with zero attributes or zero tuples contribute schema-only rows
+// with an empty VALUE and a per-relation pseudo TID, so that no relation is
+// invisible to the heuristics.
+func Encode(db *relation.Database) *Table {
+	t := &Table{}
+	id := 0
+	for _, r := range db.Relations() {
+		if r.Len() == 0 || r.Arity() == 0 {
+			// Schema-only encoding: record the relation and its attributes
+			// (if any) so the encoding is faithful for empty relations.
+			// The reserved "s" TID prefix tells Decode these rows carry no
+			// tuple. (The paper never encodes empty relations; this is the
+			// natural totalization of its Example 4 scheme.)
+			tid := fmt.Sprintf("s%d", id)
+			id++
+			if r.Arity() == 0 {
+				t.Rows = append(t.Rows, Row{TID: tid, Rel: r.Name()})
+				continue
+			}
+			for _, a := range r.Attrs() {
+				t.Rows = append(t.Rows, Row{TID: tid, Rel: r.Name(), Att: a})
+			}
+			continue
+		}
+		for i := 0; i < r.Len(); i++ {
+			tid := fmt.Sprintf("t%d", id)
+			id++
+			row := r.Row(i)
+			for j, a := range r.Attrs() {
+				t.Rows = append(t.Rows, Row{TID: tid, Rel: r.Name(), Att: a, Value: row[j]})
+			}
+		}
+	}
+	return t
+}
+
+// Decode reconstructs a database from a TNF table. It is the inverse of
+// Encode up to attribute ordering (attributes come back sorted) for
+// databases without empty relations; schema-only rows reconstruct empty
+// relations.
+func Decode(t *Table) (*relation.Database, error) {
+	// Group rows by relation, collecting the attribute universe per relation
+	// and the per-TID assignments.
+	type tupleAcc map[string]string // attr -> value
+	relAttrs := make(map[string]map[string]bool)
+	relTuples := make(map[string]map[string]tupleAcc) // rel -> tid -> acc
+	var relOrder []string
+	for _, row := range t.Rows {
+		if row.Rel == "" {
+			return nil, fmt.Errorf("tnf: row with empty REL (tid=%q)", row.TID)
+		}
+		if _, ok := relAttrs[row.Rel]; !ok {
+			relAttrs[row.Rel] = make(map[string]bool)
+			relTuples[row.Rel] = make(map[string]tupleAcc)
+			relOrder = append(relOrder, row.Rel)
+		}
+		if row.Att == "" {
+			// Relation marker with no attributes.
+			continue
+		}
+		relAttrs[row.Rel][row.Att] = true
+		if strings.HasPrefix(row.TID, "s") {
+			// Schema-only row: contributes an attribute, not a tuple.
+			continue
+		}
+		acc, ok := relTuples[row.Rel][row.TID]
+		if !ok {
+			acc = make(tupleAcc)
+			relTuples[row.Rel][row.TID] = acc
+		}
+		if prev, dup := acc[row.Att]; dup && prev != row.Value {
+			return nil, fmt.Errorf("tnf: conflicting values %q and %q for (%s, %s, %s)", prev, row.Value, row.TID, row.Rel, row.Att)
+		}
+		acc[row.Att] = row.Value
+	}
+	sort.Strings(relOrder)
+	rels := make([]*relation.Relation, 0, len(relOrder))
+	for _, name := range relOrder {
+		attrs := make([]string, 0, len(relAttrs[name]))
+		for a := range relAttrs[name] {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		r, err := relation.New(name, attrs)
+		if err != nil {
+			return nil, fmt.Errorf("tnf: %v", err)
+		}
+		// Deterministic tuple order: sort TIDs.
+		tids := make([]string, 0, len(relTuples[name]))
+		for tid := range relTuples[name] {
+			tids = append(tids, tid)
+		}
+		sort.Strings(tids)
+		for _, tid := range tids {
+			acc := relTuples[name][tid]
+			row := make(relation.Tuple, len(attrs))
+			for i, a := range attrs {
+				v, ok := acc[a]
+				if !ok {
+					return nil, fmt.Errorf("tnf: tuple %s of %s missing attribute %s", tid, name, a)
+				}
+				row[i] = v
+			}
+			r, err = r.Insert(row)
+			if err != nil {
+				return nil, fmt.Errorf("tnf: %v", err)
+			}
+		}
+		rels = append(rels, r)
+	}
+	return relation.NewDatabase(rels...)
+}
+
+// Len returns the number of TNF rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// RelSet returns the distinct REL column values (π_REL in the paper's
+// heuristic definitions).
+func (t *Table) RelSet() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range t.Rows {
+		out[r.Rel] = true
+	}
+	return out
+}
+
+// AttSet returns the distinct ATT column values, excluding the empty marker.
+func (t *Table) AttSet() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range t.Rows {
+		if r.Att != "" {
+			out[r.Att] = true
+		}
+	}
+	return out
+}
+
+// ValueSet returns the distinct VALUE column values, excluding the empty
+// marker used for schema-only rows.
+func (t *Table) ValueSet() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range t.Rows {
+		if r.Value != "" {
+			out[r.Value] = true
+		}
+	}
+	return out
+}
+
+// CanonicalString implements the string(d) serialization of §3: for each TNF
+// row form REL⊙ATT⊙VALUE (⊙ = concatenation), order the resulting strings
+// lexicographically (with repetitions), and concatenate. The Levenshtein
+// heuristic compares these strings.
+func (t *Table) CanonicalString() string {
+	parts := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		parts[i] = r.Rel + r.Att + r.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "")
+}
+
+// Triples returns the (REL, ATT, VALUE) triple of every row, in row order.
+// The term-vector heuristics of §3 count occurrences of these triples.
+func (t *Table) Triples() [][3]string {
+	out := make([][3]string, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = [3]string{r.Rel, r.Att, r.Value}
+	}
+	return out
+}
+
+// String renders the TNF table in the four-column layout of the paper's
+// Example 4.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("TID\tREL\tATT\tVALUE\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%s\n", r.TID, r.Rel, r.Att, r.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package tnf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tupelo/internal/relation"
+)
+
+// flightsC reproduces the paper's Example 4 input (database FlightsC).
+func flightsC() *relation.Database {
+	return relation.MustDatabase(
+		relation.MustNew("AirEast", []string{"Route", "BaseCost", "TotalCost"},
+			relation.Tuple{"ATL29", "100", "115"},
+			relation.Tuple{"ORD17", "110", "125"},
+		),
+		relation.MustNew("JetWest", []string{"Route", "BaseCost", "TotalCost"},
+			relation.Tuple{"ATL29", "200", "216"},
+			relation.Tuple{"ORD17", "220", "236"},
+		),
+	)
+}
+
+func TestEncodeExample4(t *testing.T) {
+	tab := Encode(flightsC())
+	// 4 tuples × 3 attributes = 12 TNF rows, exactly as in Example 4.
+	if tab.Len() != 12 {
+		t.Fatalf("TNF of FlightsC has %d rows, want 12", tab.Len())
+	}
+	rels := tab.RelSet()
+	if !rels["AirEast"] || !rels["JetWest"] || len(rels) != 2 {
+		t.Fatalf("RelSet = %v", rels)
+	}
+	atts := tab.AttSet()
+	for _, a := range []string{"Route", "BaseCost", "TotalCost"} {
+		if !atts[a] {
+			t.Fatalf("AttSet missing %s", a)
+		}
+	}
+	vals := tab.ValueSet()
+	for _, v := range []string{"ATL29", "100", "115", "236"} {
+		if !vals[v] {
+			t.Fatalf("ValueSet missing %s", v)
+		}
+	}
+	// Every tuple's rows share a TID, and distinct tuples have distinct TIDs.
+	tids := make(map[string]map[string]bool) // tid -> set of attrs
+	for _, r := range tab.Rows {
+		if tids[r.TID] == nil {
+			tids[r.TID] = make(map[string]bool)
+		}
+		tids[r.TID][r.Att] = true
+	}
+	if len(tids) != 4 {
+		t.Fatalf("distinct TIDs = %d, want 4", len(tids))
+	}
+	for tid, attrs := range tids {
+		if len(attrs) != 3 {
+			t.Fatalf("TID %s covers %d attributes, want 3", tid, len(attrs))
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	db := flightsC()
+	back, err := Decode(Encode(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(db) {
+		t.Fatalf("round trip lost information:\nin:\n%s\nout:\n%s", db, back)
+	}
+}
+
+func TestRoundTripEmptyRelation(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("Empty", []string{"A", "B"}),
+		relation.MustNew("Data", []string{"X"}, relation.Tuple{"1"}),
+	)
+	back, err := Decode(Encode(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(db) {
+		t.Fatalf("empty-relation round trip:\nin:\n%s\nout:\n%s", db, back)
+	}
+}
+
+func TestRoundTripNoAttrRelation(t *testing.T) {
+	db := relation.MustDatabase(relation.MustNew("Bare", nil))
+	back, err := Decode(Encode(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(db) {
+		t.Fatalf("attribute-less relation round trip failed:\n%s", back)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		rows []Row
+	}{
+		{"empty REL", []Row{{TID: "t0", Rel: "", Att: "A", Value: "1"}}},
+		{"conflicting values", []Row{
+			{TID: "t0", Rel: "R", Att: "A", Value: "1"},
+			{TID: "t0", Rel: "R", Att: "A", Value: "2"},
+		}},
+		{"missing attribute", []Row{
+			{TID: "t0", Rel: "R", Att: "A", Value: "1"},
+			{TID: "t0", Rel: "R", Att: "B", Value: "2"},
+			{TID: "t1", Rel: "R", Att: "A", Value: "3"},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(&Table{Rows: tc.rows}); err == nil {
+				t.Fatal("Decode should fail")
+			}
+		})
+	}
+}
+
+func TestCanonicalStringStable(t *testing.T) {
+	db := flightsC()
+	a := Encode(db).CanonicalString()
+	b := Encode(db.Clone()).CanonicalString()
+	if a != b {
+		t.Fatal("canonical string is not deterministic")
+	}
+	if !strings.Contains(a, "AirEast") {
+		t.Fatal("canonical string missing relation token")
+	}
+}
+
+func TestTriplesAndString(t *testing.T) {
+	db := relation.MustDatabase(
+		relation.MustNew("R", []string{"A"}, relation.Tuple{"v"}),
+	)
+	tab := Encode(db)
+	tr := tab.Triples()
+	if len(tr) != 1 || tr[0] != [3]string{"R", "A", "v"} {
+		t.Fatalf("Triples = %v", tr)
+	}
+	s := tab.String()
+	if !strings.HasPrefix(s, "TID\tREL\tATT\tVALUE") {
+		t.Fatalf("String header wrong: %q", s)
+	}
+}
+
+func randomDatabase(rng *rand.Rand) *relation.Database {
+	n := 1 + rng.Intn(3)
+	rels := make([]*relation.Relation, n)
+	for i := range rels {
+		nAttr := 1 + rng.Intn(4)
+		attrs := make([]string, nAttr)
+		for j := range attrs {
+			attrs[j] = "a" + string(rune('A'+j)) + string(rune('a'+rng.Intn(5)))
+		}
+		r := relation.MustNew("R"+string(rune('0'+i)), attrs)
+		for k := rng.Intn(5); k > 0; k-- {
+			row := make(relation.Tuple, nAttr)
+			for j := range row {
+				row[j] = "v" + string(rune('0'+rng.Intn(10)))
+			}
+			var err error
+			r, err = r.Insert(row)
+			if err != nil {
+				panic(err)
+			}
+		}
+		rels[i] = r
+	}
+	return relation.MustDatabase(rels...)
+}
+
+// TNF round-trip is the load-bearing invariant: the mapper's heuristics all
+// view states through TNF, so information loss here silently corrupts search.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDatabase(rand.New(rand.NewSource(seed)))
+		back, err := Decode(Encode(db))
+		if err != nil {
+			return false
+		}
+		return back.Equal(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Equal databases must encode to identical canonical strings; the
+// Levenshtein heuristic depends on this.
+func TestPropertyCanonicalStringEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDatabase(rand.New(rand.NewSource(seed)))
+		return Encode(db).CanonicalString() == Encode(db.Clone()).CanonicalString()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

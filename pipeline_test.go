@@ -1,0 +1,154 @@
+package tupelo_test
+
+import (
+	"testing"
+
+	"tupelo"
+	"tupelo/internal/search"
+	"tupelo/internal/sqlrun"
+)
+
+// TestFullPipeline is the repository's umbrella integration test: text
+// instances in, discovery, simplification, verification, σ post-processing,
+// SQL compilation and execution, and cross-checking every path against
+// every other.
+func TestFullPipeline(t *testing.T) {
+	src, err := tupelo.ReadInstanceString(`
+relation Prices
+  Carrier  Route  Cost  AgentFee
+  AirEast  ATL29  100   15
+  JetWest  ATL29  200   16
+  AirEast  ORD17  110   15
+  JetWest  ORD17  220   16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tupelo.ReadInstanceString(`
+relation Flights
+  Carrier  Fee  ATL29  ORD17
+  AirEast  15   100    110
+  JetWest  16   200    220
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discover and simplify.
+	res, err := tupelo.Discover(src.DB, tgt.DB, tupelo.Options{
+		Algorithm: tupelo.RBFS,
+		Heuristic: tupelo.H3,
+		Limits:    search.Limits{MaxStates: 200000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := tupelo.Simplify(res.Expr, src.DB, nil)
+	if err := tupelo.Verify(expr, src.DB, tgt.DB, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct evaluation of the mapping on a larger instance.
+	full := tupelo.MustDatabase(
+		tupelo.MustRelation("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"},
+			tupelo.Tuple{"AirEast", "ATL29", "100", "15"},
+			tupelo.Tuple{"JetWest", "ATL29", "200", "16"},
+			tupelo.Tuple{"AirEast", "ORD17", "110", "15"},
+			tupelo.Tuple{"JetWest", "ORD17", "220", "16"},
+			tupelo.Tuple{"SkyHop", "ATL29", "90", "9"},
+			tupelo.Tuple{"SkyHop", "ORD17", "95", "9"},
+		),
+	)
+	direct, err := expr.Eval(full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SQL path: compile against the full instance, execute, compare.
+	script, err := tupelo.GenerateSQL(expr, full, tupelo.SQLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sqlrun.NewEngine(full)
+	if err := eng.ExecScript(script.String()); err != nil {
+		t.Fatal(err)
+	}
+	viaSQL, err := eng.Database(script.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viaSQL.Equal(direct) {
+		t.Fatalf("SQL path diverges from direct evaluation:\n%s\nvs\n%s", viaSQL, direct)
+	}
+
+	// σ + conform: trim the mapped instance to exactly the target schema.
+	conformed, err := tupelo.Conform(direct, tgt.DB, tupelo.ConformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := conformed.Relation("Flights")
+	if !ok || r.Arity() != 4 || r.Len() != 3 {
+		t.Fatalf("conformed result wrong:\n%s", conformed)
+	}
+	// The critical-instance rows must be present verbatim.
+	if !conformed.Contains(tgt.DB) {
+		t.Fatalf("conformed result lost target rows:\n%s", conformed)
+	}
+
+	// Branching factor of the original task stays within |s| + |t|.
+	bf, err := tupelo.BranchingFactor(src.DB, tgt.DB, tupelo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf <= 0 || bf > src.DB.Size()+tgt.DB.Size() {
+		t.Fatalf("branching factor %d out of band", bf)
+	}
+}
+
+// TestFacadePostproc exercises the σ API through the facade.
+func TestFacadePostproc(t *testing.T) {
+	db := tupelo.MustDatabase(
+		tupelo.MustRelation("R", []string{"A", "B"},
+			tupelo.Tuple{"keep", "1"},
+			tupelo.Tuple{"drop", "2"},
+		),
+	)
+	pred, err := tupelo.ParsePredicate("A = keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tupelo.Select(db, "R", pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := out.Relation("R")
+	if r.Len() != 1 {
+		t.Fatalf("Select kept %d rows", r.Len())
+	}
+	if _, err := tupelo.ParsePredicate("not a predicate ("); err == nil {
+		t.Fatal("bad predicate should fail")
+	}
+}
+
+// TestFacadeExtendedHeuristics verifies the post-paper heuristics are
+// reachable through the public API.
+func TestFacadeExtendedHeuristics(t *testing.T) {
+	src := tupelo.MustDatabase(
+		tupelo.MustRelation("R", []string{"A1"}, tupelo.Tuple{"a1"}),
+	)
+	tgt := tupelo.MustDatabase(
+		tupelo.MustRelation("R", []string{"B1"}, tupelo.Tuple{"a1"}),
+	)
+	for _, h := range []tupelo.Heuristic{tupelo.HHybrid, tupelo.HJaccard} {
+		res, err := tupelo.Discover(src, tgt, tupelo.Options{Algorithm: tupelo.RBFS, Heuristic: h})
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		if err := tupelo.Verify(res.Expr, src, tgt, nil); err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+	}
+	if h, err := tupelo.ParseHeuristic("hybrid"); err != nil || h != tupelo.HHybrid {
+		t.Fatalf("ParseHeuristic(hybrid) = %v, %v", h, err)
+	}
+}

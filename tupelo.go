@@ -1,0 +1,246 @@
+// Package tupelo is a Go implementation of TUPELO, the example-driven data
+// mapping system of Fletcher & Wyss, "Data Mapping as Search" (EDBT 2006).
+//
+// TUPELO discovers executable mapping expressions between relational
+// schemas from user-provided critical instances: small example databases
+// that illustrate the same information under the source and the target
+// schema (the Rosetta Stone principle). Discovery is heuristic search in
+// the space of dynamic relational transformations — schema matching
+// (renames), data–metadata restructuring (promote, demote, dereference,
+// partition, merge, product, drop), and complex many-to-one semantic
+// functions (λ).
+//
+// # Quick start
+//
+//	src, _ := tupelo.ReadInstanceString(`
+//	relation Emp
+//	  nm     dept
+//	  Alice  Sales
+//	`)
+//	tgt, _ := tupelo.ReadInstanceString(`
+//	relation Employee
+//	  Name   Dept
+//	  Alice  Sales
+//	`)
+//	res, err := tupelo.Discover(src.DB, tgt.DB, tupelo.DefaultOptions())
+//	// res.Expr now holds:
+//	//   rename_att[Emp,nm->Name]
+//	//   rename_att[Emp,dept->Dept]
+//	//   rename_rel[Emp->Employee]
+//
+// The discovered expression is executable: apply it with Result.Apply (or
+// Expr.Eval) to full instances of the source schema.
+package tupelo
+
+import (
+	"io"
+
+	"tupelo/internal/core"
+	"tupelo/internal/critio"
+	"tupelo/internal/fira"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/lambda"
+	"tupelo/internal/postproc"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+	"tupelo/internal/sqlgen"
+)
+
+// Core data model (package internal/relation).
+type (
+	// Database is a named collection of relations; used for critical
+	// instances and for the data a discovered mapping is applied to.
+	Database = relation.Database
+	// Relation is a named set of tuples over an ordered attribute list.
+	Relation = relation.Relation
+	// Tuple is one row of a relation.
+	Tuple = relation.Tuple
+)
+
+// Mapping machinery (packages internal/core, internal/fira,
+// internal/lambda, internal/search, internal/heuristic).
+type (
+	// Options configures Discover; the zero value is valid but
+	// DefaultOptions picks the paper's best configuration.
+	Options = core.Options
+	// Result is a successful discovery: the expression plus search stats.
+	Result = core.Result
+	// Expr is an executable mapping expression in the language L.
+	Expr = fira.Expr
+	// Op is a single operator of L.
+	Op = fira.Op
+	// Correspondence declares a complex semantic mapping (λ) between
+	// source attributes and a target attribute.
+	Correspondence = lambda.Correspondence
+	// Registry resolves the named functions used by λ operators.
+	Registry = lambda.Registry
+	// Func is a complex semantic function.
+	Func = lambda.Func
+	// Algorithm selects the search strategy.
+	Algorithm = search.Algorithm
+	// Heuristic identifies one of the paper's search heuristics.
+	Heuristic = heuristic.Kind
+	// Limits bounds a discovery run.
+	Limits = search.Limits
+	// Instance is a critical instance read from the text format: a
+	// database plus λ correspondences.
+	Instance = critio.Instance
+)
+
+// Search algorithms (§2.3).
+const (
+	// IDA is Iterative Deepening A*.
+	IDA = search.IDA
+	// RBFS is Recursive Best-First Search, the paper's overall best.
+	RBFS = search.RBFS
+	// AStar is plain A* (ablation only; exponential memory).
+	AStar = search.AStar
+	// Greedy is greedy best-first search (ablation only).
+	Greedy = search.Greedy
+)
+
+// Search heuristics (§3).
+const (
+	// H0 is blind search.
+	H0 = heuristic.H0
+	// H1 counts target tokens missing from the state.
+	H1 = heuristic.H1
+	// H2 counts tokens that must switch between data and metadata.
+	H2 = heuristic.H2
+	// H3 is max(H1, H2).
+	H3 = heuristic.H3
+	// HLevenshtein is the normalized string edit distance heuristic.
+	HLevenshtein = heuristic.Levenshtein
+	// HEuclid is the term-vector Euclidean distance heuristic.
+	HEuclid = heuristic.Euclid
+	// HEuclidNorm is the normalized Euclidean heuristic.
+	HEuclidNorm = heuristic.EuclidNorm
+	// HCosine is the cosine similarity heuristic.
+	HCosine = heuristic.Cosine
+
+	// HHybrid is a post-paper extension combining content and structure
+	// (the open question of §7): h1 + h2 + a structural-deficit term.
+	HHybrid = heuristic.Hybrid
+	// HJaccard is a post-paper extension: scaled Jaccard distance over the
+	// role-tagged TNF token sets.
+	HJaccard = heuristic.Jaccard
+)
+
+// NewRelation creates a relation from a name, attribute list, and rows.
+func NewRelation(name string, attrs []string, rows ...Tuple) (*Relation, error) {
+	return relation.New(name, attrs, rows...)
+}
+
+// MustRelation is NewRelation panicking on error, for static fixtures.
+func MustRelation(name string, attrs []string, rows ...Tuple) *Relation {
+	return relation.MustNew(name, attrs, rows...)
+}
+
+// NewDatabase creates a database from relations with unique names.
+func NewDatabase(rels ...*Relation) (*Database, error) {
+	return relation.NewDatabase(rels...)
+}
+
+// MustDatabase is NewDatabase panicking on error, for static fixtures.
+func MustDatabase(rels ...*Relation) *Database {
+	return relation.MustDatabase(rels...)
+}
+
+// DefaultOptions returns the paper's overall best configuration: RBFS with
+// the cosine similarity heuristic at its published scaling constant.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Discover searches for a mapping expression carrying the source critical
+// instance to (a superset of) the target critical instance (§2.3).
+func Discover(source, target *Database, opts Options) (*Result, error) {
+	return core.Discover(source, target, opts)
+}
+
+// Verify checks the discovery contract: evaluating expr on source yields a
+// database containing target.
+func Verify(expr Expr, source, target *Database, reg *Registry) error {
+	return core.Verify(expr, source, target, reg)
+}
+
+// BranchingFactor returns the number of moves available from the source
+// instance toward the target — the quantity §2.3 relates to |s| + |t|.
+func BranchingFactor(source, target *Database, opts Options) (int, error) {
+	return core.BranchingFactor(source, target, opts)
+}
+
+// Simplify removes provably redundant steps from a mapping expression
+// relative to the given source instance.
+func Simplify(expr Expr, source *Database, reg *Registry) Expr {
+	return core.Simplify(expr, source, reg)
+}
+
+// ParseExpr reads a mapping expression in the textual syntax produced by
+// Expr.String (one operator per line, e.g. "rename_att[R,A->B]").
+func ParseExpr(src string) (Expr, error) { return fira.Parse(src) }
+
+// Builtins returns a registry with the paper's example complex functions
+// (sum, concat, lookups, date/unit/currency conversions).
+func Builtins() *Registry { return lambda.Builtins() }
+
+// NewRegistry returns an empty function registry.
+func NewRegistry() *Registry { return lambda.NewRegistry() }
+
+// ReadInstance parses a critical instance (relations + map directives)
+// from the text format of package critio.
+func ReadInstance(r io.Reader) (*Instance, error) { return critio.Read(r) }
+
+// ReadInstanceString parses a critical instance from a string.
+func ReadInstanceString(s string) (*Instance, error) { return critio.ReadString(s) }
+
+// WriteInstance renders a critical instance in the text format.
+func WriteInstance(w io.Writer, inst *Instance) error { return critio.Write(w, inst) }
+
+// ParseHeuristic resolves a heuristic name ("h0", "h1", "h2", "h3",
+// "levenshtein", "euclid", "euclid-norm", "cosine").
+func ParseHeuristic(s string) (Heuristic, error) { return heuristic.ParseKind(s) }
+
+// Heuristics lists all eight heuristics in the paper's order.
+func Heuristics() []Heuristic { return heuristic.Kinds() }
+
+// Post-processing (§2.1): the language L omits relational selection, so a
+// mapped instance is a superset of the target; σ and schema conformance are
+// applied afterwards according to external criteria.
+type (
+	// Predicate is a σ condition over tuples.
+	Predicate = postproc.Predicate
+	// ConformOptions tunes Conform.
+	ConformOptions = postproc.ConformOptions
+)
+
+// ParsePredicate reads a σ predicate, e.g. `Route in (ATL29, ORD17)` or
+// `not absent(TotalCost) and Carrier = AirEast`.
+func ParsePredicate(s string) (Predicate, error) { return postproc.Parse(s) }
+
+// Select applies σ_pred to the named relation of db.
+func Select(db *Database, rel string, pred Predicate) (*Database, error) {
+	return postproc.Select(db, rel, pred)
+}
+
+// Conform shapes a mapped database onto the target schema: drops relations
+// the target lacks, projects onto the target's attributes, and optionally
+// removes rows with absent values.
+func Conform(db, target *Database, opts ConformOptions) (*Database, error) {
+	return postproc.Conform(db, target, opts)
+}
+
+// SQL generation: compile mapping expressions to SQL scripts for execution
+// inside an RDBMS.
+type (
+	// SQLScript is a generated SQL script with its final table bindings.
+	SQLScript = sqlgen.Script
+	// SQLOptions configures SQL generation (function translators,
+	// intermediate table prefix).
+	SQLOptions = sqlgen.Options
+)
+
+// GenerateSQL compiles a mapping expression into a SQL script, using the
+// sample instance (normally the source critical instance) to resolve the
+// data-dependent operators ↑ and ℘.
+func GenerateSQL(expr Expr, sample *Database, opts SQLOptions) (*SQLScript, error) {
+	return sqlgen.Generate(expr, sample, opts)
+}

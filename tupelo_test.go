@@ -1,0 +1,144 @@
+package tupelo_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tupelo"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	src, err := tupelo.ReadInstanceString(`
+relation Emp
+  nm     dept
+  Alice  Sales
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := tupelo.ReadInstanceString(`
+relation Employee
+  Name   Dept
+  Alice  Sales
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tupelo.Discover(src.DB, tgt.DB, tupelo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tupelo.Verify(res.Expr, src.DB, tgt.DB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Expr) != 3 {
+		t.Fatalf("expected 3 steps, got:\n%s", res.Expr)
+	}
+}
+
+func TestFacadeBuildersAndParse(t *testing.T) {
+	db := tupelo.MustDatabase(
+		tupelo.MustRelation("R", []string{"A"}, tupelo.Tuple{"x"}),
+	)
+	if db.Len() != 1 {
+		t.Fatal("builder failed")
+	}
+	expr, err := tupelo.ParseExpr("rename_att[R,A->B]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := expr.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := out.Relation("R")
+	if !r.HasAttr("B") {
+		t.Fatal("expression did not run")
+	}
+	if _, err := tupelo.NewRelation("", nil); err == nil {
+		t.Fatal("invalid relation should fail")
+	}
+	if _, err := tupelo.NewDatabase(nil); err == nil {
+		t.Fatal("nil relation should fail")
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	if len(tupelo.Heuristics()) != 8 {
+		t.Fatalf("want 8 heuristics, got %d", len(tupelo.Heuristics()))
+	}
+	h, err := tupelo.ParseHeuristic("cosine")
+	if err != nil || h != tupelo.HCosine {
+		t.Fatalf("ParseHeuristic: %v %v", h, err)
+	}
+}
+
+func TestFacadeSimplify(t *testing.T) {
+	src := tupelo.MustDatabase(tupelo.MustRelation("R", []string{"A"}, tupelo.Tuple{"x"}))
+	expr, _ := tupelo.ParseExpr("rename_att[R,A->T]\nrename_att[R,T->B]")
+	if got := tupelo.Simplify(expr, src, nil); len(got) != 1 {
+		t.Fatalf("Simplify: %s", got)
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	reg := tupelo.Builtins()
+	if _, ok := reg.Lookup("sum"); !ok {
+		t.Fatal("builtins missing sum")
+	}
+	empty := tupelo.NewRegistry()
+	if _, ok := empty.Lookup("sum"); ok {
+		t.Fatal("new registry should be empty")
+	}
+}
+
+func TestFacadeWriteInstance(t *testing.T) {
+	inst := &tupelo.Instance{
+		DB: tupelo.MustDatabase(tupelo.MustRelation("R", []string{"A"}, tupelo.Tuple{"x"})),
+	}
+	var b strings.Builder
+	if err := tupelo.WriteInstance(&b, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tupelo.ReadInstanceString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.DB.Equal(inst.DB) {
+		t.Fatal("facade instance round trip failed")
+	}
+}
+
+// ExampleDiscover demonstrates mapping discovery on a simple schema match.
+func ExampleDiscover() {
+	src := tupelo.MustDatabase(
+		tupelo.MustRelation("Emp", []string{"nm"}, tupelo.Tuple{"Alice"}),
+	)
+	tgt := tupelo.MustDatabase(
+		tupelo.MustRelation("Emp", []string{"Name"}, tupelo.Tuple{"Alice"}),
+	)
+	res, err := tupelo.Discover(src, tgt, tupelo.DefaultOptions())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Expr)
+	// Output: rename_att[Emp,nm->Name]
+}
+
+// ExampleExpr_Eval demonstrates executing a mapping expression, including a
+// complex semantic function.
+func ExampleExpr_Eval() {
+	db := tupelo.MustDatabase(
+		tupelo.MustRelation("Prices", []string{"Cost", "Fee"},
+			tupelo.Tuple{"100", "15"},
+		),
+	)
+	expr, _ := tupelo.ParseExpr("apply[Prices,sum:Cost,Fee->Total]")
+	out, _ := expr.Eval(db, tupelo.Builtins())
+	r, _ := out.Relation("Prices")
+	total, _ := r.Value(0, "Total")
+	fmt.Println(total)
+	// Output: 115
+}
