@@ -26,17 +26,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, calibrate, scaling, hybrid, all")
+	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, calibrate, scaling, hybrid, portfolio, all")
 	algoName := flag.String("algo", "", "restrict exp 1 to one algorithm (ida or rbfs)")
 	domain := flag.String("domain", "Inventory", "exp 3 domain: Inventory or RealEstateII")
 	budget := flag.Int("budget", 50000, "state budget per run")
 	seed := flag.Int64("seed", 2006, "workload generator seed")
 	sample := flag.Int("sample", 1, "exp 2: map every n-th sibling schema only")
+	workers := flag.Int("workers", 0, "successor-generation worker pool size (0 = GOMAXPROCS)")
 	tsv := flag.Bool("tsv", false, "emit raw measurements as TSV instead of tables")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	flag.Parse()
 
-	cfg := experiments.Config{Budget: *budget, Seed: *seed}
+	cfg := experiments.Config{Budget: *budget, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
@@ -55,6 +56,8 @@ func main() {
 		err = runScaling(cfg, os.Stdout)
 	case "hybrid":
 		err = runHybrid(cfg, os.Stdout)
+	case "portfolio":
+		err = runPortfolio(cfg, *sample, os.Stdout)
 	case "all":
 		for _, step := range []func() error{
 			func() error { return runExp1(*algoName, cfg, *tsv, os.Stdout) },
@@ -63,6 +66,7 @@ func main() {
 			func() error { return runCalibrate(cfg, os.Stdout) },
 			func() error { return runScaling(cfg, os.Stdout) },
 			func() error { return runHybrid(cfg, os.Stdout) },
+			func() error { return runPortfolio(cfg, 0, os.Stdout) },
 		} {
 			if err = step(); err != nil {
 				break
@@ -189,6 +193,19 @@ func runHybrid(cfg experiments.Config, w io.Writer) error {
 		return err
 	}
 	if err := experiments.WriteComparisonTable(w, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runPortfolio(cfg experiments.Config, sample int, w io.Writer) error {
+	fmt.Fprintln(w, "== Extension: portfolio race vs best sequential configuration (BAMM tasks) ==")
+	rows, err := experiments.RunPortfolio(experiments.PortfolioOptions{SampleEvery: sample}, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WritePortfolioTable(w, rows); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)

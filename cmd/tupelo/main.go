@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"tupelo"
 	"tupelo/internal/search"
@@ -57,7 +60,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tupelo discover -source src.txt -target tgt.txt [-algo ida|rbfs|astar|greedy]
                   [-heuristic h0|h1|h2|h3|levenshtein|euclid|euclid-norm|cosine]
-                  [-k N] [-max-states N] [-simplify] [-pretty] [-stats]
+                  [-k N] [-max-states N] [-timeout DUR] [-workers N]
+                  [-portfolio default|SPEC,SPEC,...] [-simplify] [-pretty] [-stats]
+                  (a portfolio SPEC is algo/heuristic or algo/heuristic/K,
+                   e.g. -portfolio rbfs/cosine,ida/h1,rbfs/levenshtein/15)
   tupelo apply    -mapping map.txt -input db.txt [-where PRED -on REL]
                   [-conform tgt.txt [-drop-absent]]
   tupelo show     -input db.txt [-tnf]
@@ -79,6 +85,43 @@ func parseAlgo(s string) (tupelo.Algorithm, error) {
 	}
 }
 
+// parsePortfolio reads a -portfolio spec: "default" for the built-in
+// lineup, or comma-separated "algo/heuristic" or "algo/heuristic/K"
+// members.
+func parsePortfolio(spec string) ([]tupelo.PortfolioConfig, error) {
+	if strings.EqualFold(spec, "default") {
+		return tupelo.DefaultPortfolio(), nil
+	}
+	var configs []tupelo.PortfolioConfig
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), "/")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("portfolio member %q: want algo/heuristic or algo/heuristic/K", part)
+		}
+		algo, err := parseAlgo(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("portfolio member %q: %v", part, err)
+		}
+		heur, err := tupelo.ParseHeuristic(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("portfolio member %q: %v", part, err)
+		}
+		cfg := tupelo.PortfolioConfig{Algorithm: algo, Heuristic: heur}
+		if len(fields) == 3 {
+			k, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("portfolio member %q: bad k: %v", part, err)
+			}
+			cfg.K = k
+		}
+		configs = append(configs, cfg)
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("empty portfolio spec")
+	}
+	return configs, nil
+}
+
 func readInstanceFile(path string) (*tupelo.Instance, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -96,6 +139,9 @@ func cmdDiscover(args []string) error {
 	heurName := fs.String("heuristic", "cosine", "search heuristic")
 	k := fs.Float64("k", 0, "scaling constant (0 = paper default for algo/heuristic)")
 	maxStates := fs.Int("max-states", 0, "state budget (0 = 1,000,000)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for discovery (0 = none)")
+	workers := fs.Int("workers", 0, "successor-generation worker pool size (0 = GOMAXPROCS)")
+	portfolio := fs.String("portfolio", "", `race configurations: "default" or "algo/heur[/k],..." (overrides -algo/-heuristic/-k)`)
 	simplify := fs.Bool("simplify", false, "simplify the discovered expression")
 	pretty := fs.Bool("pretty", false, "also print paper-style notation")
 	stats := fs.Bool("stats", false, "print search statistics to stderr")
@@ -126,13 +172,46 @@ func cmdDiscover(args []string) error {
 		Heuristic: heur,
 		K:         *k,
 		Limits:    search.Limits{MaxStates: *maxStates},
+		Workers:   *workers,
 		// Correspondences may be declared on either instance; the union
 		// is available to the mapper.
 		Correspondences: append(append([]tupelo.Correspondence(nil), src.Corrs...), tgt.Corrs...),
 	}
-	res, err := tupelo.Discover(src.DB, tgt.DB, opts)
-	if err != nil {
-		return err
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var res *tupelo.Result
+	if *portfolio != "" {
+		configs, perr := parsePortfolio(*portfolio)
+		if perr != nil {
+			return fmt.Errorf("discover: %v", perr)
+		}
+		pres, perr := tupelo.DiscoverPortfolio(ctx, src.DB, tgt.DB, tupelo.PortfolioOptions{
+			Configs: configs,
+			Options: opts,
+		})
+		if perr != nil {
+			return perr
+		}
+		res = pres.Result
+		if *stats {
+			for _, run := range pres.Runs {
+				status := "won"
+				if run.Err != nil {
+					status = "lost: " + run.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "portfolio %-24s states=%-8d time=%-12s %s\n",
+					run.Config, run.Stats.Examined, run.Duration.Round(time.Microsecond), status)
+			}
+		}
+	} else {
+		res, err = tupelo.DiscoverContext(ctx, src.DB, tgt.DB, opts)
+		if err != nil {
+			return err
+		}
 	}
 	expr := res.Expr
 	if *simplify {

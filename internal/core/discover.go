@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,7 +33,18 @@ type Result struct {
 //
 // Discovery is purely syntactic: no domain knowledge is consulted beyond
 // the instances themselves and any λ correspondences in opts (§4).
+//
+// Discover is DiscoverContext with context.Background().
 func Discover(source, target *relation.Database, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), source, target, opts)
+}
+
+// DiscoverContext is Discover under a context: cancellation and deadline
+// are checked once per examined state, so a cancelled search returns
+// promptly with an error wrapping ctx.Err(). The returned error is a
+// *search.Error carrying the partial Stats accumulated before the
+// cancellation, recoverable with errors.As.
+func DiscoverContext(ctx context.Context, source, target *relation.Database, opts Options) (*Result, error) {
 	if source == nil || target == nil {
 		return nil, fmt.Errorf("core: nil source or target instance")
 	}
@@ -40,17 +52,35 @@ func Discover(source, target *relation.Database, opts Options) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	var prob search.Problem = newProblem(source, target, opts)
+	return discoverNormalized(ctx, source, target, opts)
+}
+
+// discoverNormalized runs discovery on already-normalized options. Split
+// from DiscoverContext so the portfolio runner, which normalizes each
+// member configuration up front, can launch members directly.
+func discoverNormalized(ctx context.Context, source, target *relation.Database, opts Options) (*Result, error) {
+	prob := newProblem(source, target, opts)
+	est := heuristic.New(opts.Heuristic, target, opts.K)
+	cache := opts.Cache
+	if cache == nil {
+		if opts.Workers > 1 {
+			cache = heuristic.NewSyncCache()
+		} else {
+			cache = heuristic.NewMapCache()
+		}
+	}
+	prob.est, prob.cache = est, cache
+	var sp search.Problem = prob
 	if opts.DisableCycleCheck {
 		// Ablation: give every generated state a unique key, defeating the
 		// path-local duplicate pruning in IDA/RBFS and the closed set in
 		// A*. Only sensible together with a small Limits.MaxStates.
-		prob = &uniqueKeyProblem{inner: prob.(*mappingProblem)}
+		sp = &uniqueKeyProblem{inner: prob}
 	}
 	if opts.TraceWriter != nil {
-		prob = traceProblem(prob, opts.TraceWriter)
+		sp = traceProblem(sp, opts.TraceWriter)
 	}
-	res, err := search.Run(opts.Algorithm, prob, memoEstimator(opts, target), opts.Limits)
+	res, err := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache), opts.Limits)
 	return finish(res, err, opts)
 }
 
@@ -96,19 +126,20 @@ func BranchingFactor(source, target *relation.Database, opts Options) (int, erro
 	return len(moves), nil
 }
 
-// memoEstimator adapts a heuristic.Estimator to search.Heuristic with a
-// per-run memo keyed by state fingerprint: IDA and RBFS re-examine states
-// across iterations and the heuristics re-encode the whole database.
-func memoEstimator(opts Options, target *relation.Database) search.Heuristic {
-	est := heuristic.New(opts.Heuristic, target, opts.K)
-	memo := make(map[string]int)
+// cachedEstimator adapts a heuristic.Estimator to search.Heuristic through
+// the run's cache, keyed by state fingerprint: IDA and RBFS re-examine
+// states across iterations and every estimate re-encodes the whole database
+// into TNF. The successor worker pool pre-warms the same cache, so in the
+// common case this is a pure lookup; a portfolio shares one cache across
+// members with the same (heuristic, k), making their lookups mutual hits.
+func cachedEstimator(est *heuristic.Estimator, cache heuristic.Cache) search.Heuristic {
 	return func(s search.State) int {
 		ds := s.(*dbState)
-		if v, ok := memo[ds.key]; ok {
+		if v, ok := cache.Get(ds.key); ok {
 			return v
 		}
 		v := est.Estimate(ds.db)
-		memo[ds.key] = v
+		cache.Put(ds.key, v)
 		return v
 	}
 }

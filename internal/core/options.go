@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
@@ -10,16 +11,18 @@ import (
 )
 
 // Options configures a mapping discovery run. The zero value selects the
-// paper's overall best configuration: RBFS with the cosine similarity
-// heuristic and its published scaling constant.
+// paper's overall best configuration — RBFS with the cosine similarity
+// heuristic at its published scaling constant — because the zero Algorithm
+// and Heuristic are explicit "unset" sentinels that normalization resolves
+// to the paper's best choices. Any field set explicitly is honored as-is.
 type Options struct {
-	// Algorithm selects the search strategy (default RBFS — the paper's
-	// overall better performer; note search.IDA is the zero value, so the
-	// default is applied by Discover only when the whole Options is zero...
-	// use DefaultOptions for clarity).
+	// Algorithm selects the search strategy. The zero value
+	// (search.AlgorithmUnset) means RBFS, the paper's overall better
+	// performer.
 	Algorithm search.Algorithm
-	// Heuristic selects the h function of §3 (default: the value of
-	// heuristic.H0 — use DefaultOptions for the paper's best choice).
+	// Heuristic selects the h function of §3. The zero value
+	// (heuristic.Unset) means cosine similarity, the paper's overall best;
+	// use heuristic.H0 explicitly for blind search.
 	Heuristic heuristic.Kind
 	// K overrides the scaling constant for the normalized heuristics;
 	// 0 means the paper's published constant for (Algorithm, Heuristic).
@@ -27,6 +30,17 @@ type Options struct {
 	// Limits bounds the search. Zero means unlimited; Discover applies a
 	// defensive default of 1,000,000 states when MaxStates is 0.
 	Limits search.Limits
+	// Workers bounds the worker pool used for successor generation and
+	// heuristic evaluation, the embarrassingly parallel part of every
+	// expansion. 0 means GOMAXPROCS; 1 disables parallelism. The search
+	// result is identical either way — only wall-clock time changes.
+	Workers int
+	// Cache memoizes heuristic estimates across state re-examinations.
+	// Nil means a fresh private cache per run. A portfolio run injects a
+	// shared concurrency-safe cache here so members with the same
+	// heuristic don't re-encode the same TNF fingerprints; any caller-
+	// provided Cache must be safe for concurrent use when Workers > 1.
+	Cache heuristic.Cache
 	// Registry resolves λ functions. Nil means lambda.Builtins() when
 	// Correspondences are supplied, and no λ moves otherwise.
 	Registry *lambda.Registry
@@ -45,7 +59,9 @@ type Options struct {
 }
 
 // DefaultOptions returns the paper's overall best configuration: RBFS with
-// cosine similarity at its published scaling constant.
+// cosine similarity at its published scaling constant. Since the Options
+// zero value now normalizes to the same configuration, this is equivalent
+// to Options{} and kept for readability at call sites.
 func DefaultOptions() Options {
 	return Options{
 		Algorithm: search.RBFS,
@@ -59,8 +75,16 @@ func DefaultOptions() Options {
 // this bound is lost and should fail loudly rather than spin.
 const defaultMaxStates = 1_000_000
 
-// normalize validates and completes the options.
+// normalize validates and completes the options: unset sentinel fields
+// resolve to the paper's best choices, K to the published constant for the
+// resulting (Algorithm, Heuristic) pair, and Workers to GOMAXPROCS.
 func (o Options) normalize() (Options, error) {
+	if o.Algorithm == search.AlgorithmUnset {
+		o.Algorithm = search.RBFS
+	}
+	if o.Heuristic == heuristic.Unset {
+		o.Heuristic = heuristic.Cosine
+	}
 	if o.K < 0 {
 		return o, fmt.Errorf("core: negative scaling constant %g", o.K)
 	}
@@ -69,6 +93,9 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Limits.MaxStates == 0 {
 		o.Limits.MaxStates = defaultMaxStates
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if len(o.Correspondences) > 0 && o.Registry == nil {
 		o.Registry = lambda.Builtins()

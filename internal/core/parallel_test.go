@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/search"
+)
+
+func TestZeroOptionsMeansPaperBest(t *testing.T) {
+	res, err := Discover(flightsB(), flightsA(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != search.RBFS {
+		t.Errorf("Algorithm = %v, want RBFS", res.Algorithm)
+	}
+	if res.Heuristic != heuristic.Cosine {
+		t.Errorf("Heuristic = %v, want Cosine", res.Heuristic)
+	}
+	if res.K != 24 {
+		t.Errorf("K = %g, want 24 (the paper's RBFS/cosine constant)", res.K)
+	}
+}
+
+func TestDiscoverContextCancelled(t *testing.T) {
+	src, tgt := datagen.MatchingPair(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []search.Algorithm{search.IDA, search.RBFS, search.AStar, search.Greedy} {
+		t.Run(algo.String(), func(t *testing.T) {
+			_, err := DiscoverContext(ctx, src, tgt, Options{Algorithm: algo, Heuristic: heuristic.H0})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			var serr *search.Error
+			if !errors.As(err, &serr) {
+				t.Fatalf("err = %T, want *search.Error with partial stats", err)
+			}
+			if serr.Stats.Examined == 0 {
+				t.Fatal("cancelled discovery should report the states it examined")
+			}
+		})
+	}
+}
+
+func TestDiscoverDeadline(t *testing.T) {
+	src, tgt := datagen.MatchingPair(6)
+	opts := Options{Limits: search.Limits{Deadline: time.Now().Add(-time.Second)}}
+	_, err := Discover(src, tgt, opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// movesWith expands the start state of the flights problem with the given
+// worker count.
+func movesWith(t *testing.T, workers int) []search.Move {
+	t.Helper()
+	opts, err := Options{Workers: workers}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProblem(flightsB(), flightsA(), opts)
+	moves, err := p.Successors(p.Start())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return moves
+}
+
+func TestParallelSuccessorsEquivalent(t *testing.T) {
+	seq := movesWith(t, 1)
+	par := movesWith(t, 8)
+	if len(seq) == 0 {
+		t.Fatal("no successor moves at all")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("move count: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Label != par[i].Label {
+			t.Fatalf("move %d: label %q (sequential) != %q (parallel)", i, seq[i].Label, par[i].Label)
+		}
+		if seq[i].To.Key() != par[i].To.Key() {
+			t.Fatalf("move %d (%s): resulting states differ", i, seq[i].Label)
+		}
+	}
+}
+
+func TestParallelDiscoverIdentical(t *testing.T) {
+	src, tgt := datagen.MatchingPair(6)
+	seq, err := Discover(src, tgt, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Discover(src, tgt, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Expr.String(), seq.Expr.String(); got != want {
+		t.Errorf("parallel mapping %q != sequential mapping %q", got, want)
+	}
+	if par.Stats.Examined != seq.Stats.Examined {
+		t.Errorf("parallel Examined = %d, sequential = %d; worker count must not change the search",
+			par.Stats.Examined, seq.Stats.Examined)
+	}
+}
+
+// countingCache wraps a Cache and counts traffic, for observing sharing.
+type countingCache struct {
+	inner heuristic.Cache
+	puts  atomic.Int64
+	hits  atomic.Int64
+}
+
+func (c *countingCache) Get(key string) (int, bool) {
+	v, ok := c.inner.Get(key)
+	if ok {
+		c.hits.Add(1)
+	}
+	return v, ok
+}
+
+func (c *countingCache) Put(key string, v int) {
+	c.puts.Add(1)
+	c.inner.Put(key, v)
+}
+
+func TestSharedCacheAvoidsRecomputation(t *testing.T) {
+	src, tgt := datagen.MatchingPair(5)
+	cache := &countingCache{inner: heuristic.NewSyncCache()}
+	if _, err := Discover(src, tgt, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	first := cache.puts.Load()
+	if first == 0 {
+		t.Fatal("first run computed no estimates into the injected cache")
+	}
+	if _, err := Discover(src, tgt, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if extra := cache.puts.Load() - first; extra != 0 {
+		t.Errorf("second run recomputed %d estimates through a warm shared cache", extra)
+	}
+	if cache.hits.Load() == 0 {
+		t.Error("warm cache was never hit")
+	}
+}

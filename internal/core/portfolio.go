@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"tupelo/internal/heuristic"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// PortfolioConfig names one member of a portfolio: an (algorithm,
+// heuristic, k) triple. K = 0 means the paper's published constant for the
+// pair.
+type PortfolioConfig struct {
+	Algorithm search.Algorithm
+	Heuristic heuristic.Kind
+	K         float64
+}
+
+// String renders the config as "algo/heuristic" or "algo/heuristic/k=N".
+func (c PortfolioConfig) String() string {
+	s := fmt.Sprintf("%s/%s", c.Algorithm, c.Heuristic)
+	if c.K != 0 {
+		s += fmt.Sprintf("/k=%g", c.K)
+	}
+	return s
+}
+
+// DefaultPortfolio returns the racing lineup used when the caller supplies
+// none: the paper's two serious algorithms paired with its best vector
+// heuristic, plus the strongest admissible-flavored set heuristics as
+// hedges on instances where cosine's landscape misleads.
+func DefaultPortfolio() []PortfolioConfig {
+	return []PortfolioConfig{
+		{Algorithm: search.RBFS, Heuristic: heuristic.Cosine},
+		{Algorithm: search.IDA, Heuristic: heuristic.Cosine},
+		{Algorithm: search.RBFS, Heuristic: heuristic.H3},
+		{Algorithm: search.IDA, Heuristic: heuristic.H1},
+	}
+}
+
+// PortfolioOptions configures DiscoverPortfolio.
+type PortfolioOptions struct {
+	// Configs are the member configurations to race. Empty means
+	// DefaultPortfolio().
+	Configs []PortfolioConfig
+	// Options is the base configuration shared by every member: Limits,
+	// Registry, Correspondences, pruning flags and the total Workers
+	// budget, which is divided evenly among members (each gets at least
+	// one). Algorithm, Heuristic, K, Cache and TraceWriter are per-member
+	// concerns and are overridden; in particular the trace machinery is
+	// single-goroutine and stays off during a race.
+	Options Options
+}
+
+// PortfolioRun reports one member's outcome.
+type PortfolioRun struct {
+	// Config is the member's configuration with K resolved.
+	Config PortfolioConfig
+	// Stats is the member's search effort — partial if the member was
+	// cancelled when another won.
+	Stats search.Stats
+	// Err is nil for the winner, a wrapped context.Canceled for members
+	// cancelled by the winner, and the member's own failure otherwise.
+	Err error
+	// Duration is the member's wall-clock time until return.
+	Duration time.Duration
+}
+
+// PortfolioResult is a successful portfolio discovery: the winning member's
+// Result plus the outcome of every member.
+type PortfolioResult struct {
+	*Result
+	// Winner is the configuration that produced Result.
+	Winner PortfolioConfig
+	// Runs reports every member in Configs order.
+	Runs []PortfolioRun
+}
+
+// cacheKey groups portfolio members that compute identical heuristic
+// values: estimates depend on the heuristic kind and its resolved scaling
+// constant (the target is fixed for the whole portfolio), so members
+// agreeing on both share one concurrency-safe cache and each TNF
+// fingerprint is encoded once for all of them.
+type cacheKey struct {
+	kind heuristic.Kind
+	k    float64
+}
+
+// DiscoverPortfolio races the member configurations over independent
+// copies of the search problem, each on its own goroutine with its own
+// share of the worker budget. The first member to find a verified mapping
+// wins; the rest are cancelled through the shared context and observed
+// until they return, so the per-member stats are complete. Members with
+// the same (heuristic, k) share a heuristic cache.
+//
+// If every member fails, the error is the parent context's error when it
+// was cancelled, and otherwise the most informative member error.
+func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, popts PortfolioOptions) (*PortfolioResult, error) {
+	if source == nil || target == nil {
+		return nil, fmt.Errorf("core: nil source or target instance")
+	}
+	configs := popts.Configs
+	if len(configs) == 0 {
+		configs = DefaultPortfolio()
+	}
+	base := popts.Options
+	base.Cache = nil
+	base.TraceWriter = nil
+	totalWorkers := base.Workers
+	if totalWorkers <= 0 {
+		totalWorkers = runtime.GOMAXPROCS(0)
+	}
+	perMember := totalWorkers / len(configs)
+	if perMember < 1 {
+		perMember = 1
+	}
+
+	type member struct {
+		cfg  PortfolioConfig
+		opts Options
+	}
+	members := make([]member, len(configs))
+	caches := make(map[cacheKey]heuristic.Cache)
+	for i, cfg := range configs {
+		o := base
+		o.Algorithm = cfg.Algorithm
+		o.Heuristic = cfg.Heuristic
+		o.K = cfg.K
+		o.Workers = perMember
+		o, err := o.normalize()
+		if err != nil {
+			return nil, fmt.Errorf("core: portfolio member %s: %w", cfg, err)
+		}
+		key := cacheKey{kind: o.Heuristic, k: o.K}
+		cache := caches[key]
+		if cache == nil {
+			cache = heuristic.NewSyncCache()
+			caches[key] = cache
+		}
+		o.Cache = cache
+		members[i] = member{
+			cfg:  PortfolioConfig{Algorithm: o.Algorithm, Heuristic: o.Heuristic, K: o.K},
+			opts: o,
+		}
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+		dur time.Duration
+	}
+	ch := make(chan outcome, len(members))
+	// Spawn in reverse order: the scheduler favors the most recently
+	// spawned goroutine, and earlier configs are listed first because they
+	// are expected to win, so they should reach a CPU first when the
+	// machine has fewer CPUs than members.
+	for i := len(members) - 1; i >= 0; i-- {
+		m := members[i]
+		go func(i int, m member) {
+			start := time.Now()
+			res, err := discoverNormalized(raceCtx, source, target, m.opts)
+			if err == nil {
+				// End the race from the winning goroutine itself: waiting
+				// for the collector below to be scheduled can cost a full
+				// preemption interval while every CPU runs losing members,
+				// dwarfing the search time on small instances.
+				cancel()
+			}
+			ch <- outcome{idx: i, res: res, err: err, dur: time.Since(start)}
+		}(i, m)
+	}
+
+	runs := make([]PortfolioRun, len(members))
+	var winner *Result
+	var winnerCfg PortfolioConfig
+	var bestErr error
+	for range members {
+		o := <-ch
+		run := &runs[o.idx]
+		run.Config = members[o.idx].cfg
+		run.Duration = o.dur
+		if o.err != nil {
+			run.Err = o.err
+			var serr *search.Error
+			if errors.As(o.err, &serr) {
+				run.Stats = serr.Stats
+			}
+			if bestErr == nil || preferError(o.err, bestErr) {
+				bestErr = o.err
+			}
+			continue
+		}
+		run.Stats = o.res.Stats
+		if winner != nil {
+			continue // a slower member also succeeded before noticing the cancel
+		}
+		if verr := Verify(o.res.Expr, source, target, members[o.idx].opts.Registry); verr != nil {
+			// Should be unreachable — the goal test is containment — but a
+			// portfolio promises a *verified* winner, so check anyway.
+			run.Err = fmt.Errorf("core: portfolio member %s returned unverifiable mapping: %w", run.Config, verr)
+			bestErr = run.Err
+			continue
+		}
+		winner = o.res
+		winnerCfg = run.Config
+		cancel() // losers stop at their next examined state
+	}
+
+	if winner == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, &search.Error{Err: err}
+		}
+		if bestErr == nil {
+			bestErr = search.ErrNotFound
+		}
+		return nil, bestErr
+	}
+	return &PortfolioResult{Result: winner, Winner: winnerCfg, Runs: runs}, nil
+}
+
+// preferError ranks member failures by how informative they are to the
+// caller: a member's own verdict (no mapping exists, budget exhausted)
+// beats a cancellation that merely reflects another member's failure.
+func preferError(candidate, incumbent error) bool {
+	rank := func(err error) int {
+		switch {
+		case errors.Is(err, search.ErrNotFound):
+			return 3
+		case errors.Is(err, search.ErrLimit):
+			return 2
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return 0
+		default:
+			return 1
+		}
+	}
+	return rank(candidate) > rank(incumbent)
+}

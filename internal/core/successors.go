@@ -2,8 +2,11 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"tupelo/internal/fira"
+	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
 	"tupelo/internal/relation"
 	"tupelo/internal/search"
@@ -28,6 +31,14 @@ type mappingProblem struct {
 	// They power the value-evidence pruning of rename candidates.
 	tAttrVals map[string]map[string]bool
 	tRelVals  map[string]map[string]bool
+
+	// Parallel-expansion machinery. workers bounds the pool that applies
+	// candidate operators; est and cache, when set, let the same pool
+	// pre-warm heuristic estimates so the search loop's h() calls become
+	// cache hits. When workers > 1 the cache must be concurrency-safe.
+	workers int
+	est     *heuristic.Estimator
+	cache   heuristic.Cache
 }
 
 func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
@@ -37,6 +48,7 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		reg:       opts.Registry,
 		corrs:     opts.Correspondences,
 		prune:     !opts.DisablePruning,
+		workers:   opts.Workers,
 		tRels:     target.RelationNames(),
 		tAttrs:    target.AttrNames(),
 		tVals:     target.ValueSet(),
@@ -78,9 +90,27 @@ func (p *mappingProblem) IsGoal(s search.State) bool {
 // from names and values present in the current state and the target
 // instance, giving the branching factor proportional to |s| + |t| that the
 // paper reports. Moves that fail to apply or that do not change the state
-// are dropped.
+// are dropped. Candidate application and heuristic pre-warming run on the
+// worker pool; the returned move order is identical for any worker count.
 func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 	db := s.(*dbState).db
+	ops := p.candidateOps(db)
+	states := p.applyAll(db, ops)
+	moves := make([]search.Move, 0, len(ops))
+	for i, ns := range states {
+		if ns == nil || ns.key == s.Key() {
+			// nil: the candidate failed its own preconditions — not an
+			// error, just not a successor. Equal key: no-op transformation.
+			continue
+		}
+		moves = append(moves, search.Move{Label: ops[i].String(), To: ns, Cost: 1})
+	}
+	return moves, nil
+}
+
+// candidateOps instantiates every candidate operator for the state,
+// optimistically: operators enforce their own preconditions at Apply time.
+func (p *mappingProblem) candidateOps(db *relation.Database) []fira.Op {
 	var ops []fira.Op
 	ops = append(ops, p.renameRelMoves(db)...)
 	ops = append(ops, p.renameAttMoves(db)...)
@@ -93,23 +123,74 @@ func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 	ops = append(ops, p.unionMoves(db)...)
 	ops = append(ops, p.mergeMoves(db)...)
 	ops = append(ops, p.applyMoves(db)...)
+	return ops
+}
 
-	moves := make([]search.Move, 0, len(ops))
-	for _, op := range ops {
-		next, err := op.Apply(db, p.reg)
+// minParallelOps is the candidate-count threshold below which the worker
+// pool costs more in synchronization than it saves in application time.
+const minParallelOps = 8
+
+// applyAll applies every candidate operator to db and returns the resulting
+// states positionally — nil where the operator was inapplicable — so the
+// caller assembles moves in a deterministic order regardless of worker
+// count. With more than one worker, operators are distributed over a
+// bounded pool through an atomic work-stealing counter, and each worker
+// also pre-warms the heuristic cache with estimates for the states it
+// produced: this is the concurrent successor generation plus concurrent
+// heuristic evaluation of the expansion step. Databases are immutable
+// copy-on-write structures and the Estimator is immutable, so the only
+// shared mutable state is the results slice (disjoint indices) and the
+// cache (concurrency-safe by contract when workers > 1).
+func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) []*dbState {
+	states := make([]*dbState, len(ops))
+	apply := func(i int) {
+		next, err := ops[i].Apply(db, p.reg)
 		if err != nil {
-			// Candidate instantiation is optimistic; operators enforce
-			// their own preconditions. An inapplicable move is not an
-			// error, just not a successor.
-			continue
+			return
 		}
 		ns := newState(next)
-		if ns.key == s.Key() {
-			continue // no-op transformation
-		}
-		moves = append(moves, search.Move{Label: op.String(), To: ns, Cost: 1})
+		p.prewarm(ns)
+		states[i] = ns
 	}
-	return moves, nil
+	workers := p.workers
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers <= 1 || len(ops) < minParallelOps {
+		for i := range ops {
+			apply(i)
+		}
+		return states
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				apply(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return states
+}
+
+// prewarm computes the heuristic estimate of a freshly generated state into
+// the run's cache, so the search loop's subsequent h() call is a lookup.
+func (p *mappingProblem) prewarm(ns *dbState) {
+	if p.est == nil || p.cache == nil {
+		return
+	}
+	if _, ok := p.cache.Get(ns.key); ok {
+		return
+	}
+	p.cache.Put(ns.key, p.est.Estimate(ns.db))
 }
 
 // stateAttrs returns the set of attribute names in the state.

@@ -50,6 +50,10 @@ type Config struct {
 	Budget int
 	// Seed drives the deterministic workload generators.
 	Seed int64
+	// Workers sizes the successor-generation worker pool of every run
+	// (0 = GOMAXPROCS, 1 = sequential). States-examined results are
+	// identical for any value; only wall-clock durations change.
+	Workers int
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress io.Writer
 }
@@ -80,6 +84,7 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 		Registry:        reg,
 		Correspondences: corrs,
 		Limits:          search.Limits{MaxStates: cfg.Budget},
+		Workers:         cfg.Workers,
 	})
 	m.Duration = time.Since(start)
 	switch {

@@ -1,0 +1,68 @@
+package heuristic
+
+import "sync"
+
+// Cache memoizes heuristic estimates keyed by state fingerprint. IDA and
+// RBFS re-examine states across iterations and every estimate re-encodes
+// the whole database into TNF, so memoization is load-bearing for both
+// single runs and portfolios. A single search run uses a MapCache; a
+// portfolio shares one SyncCache among all members that evaluate the same
+// (heuristic, scaling constant) pair, so TNF fingerprints encoded by one
+// member are free for the others.
+type Cache interface {
+	// Get returns the memoized estimate for the fingerprint, if present.
+	Get(key string) (int, bool)
+	// Put memoizes an estimate. Estimates are deterministic per
+	// (heuristic, k, target), so duplicate Puts always agree and may be
+	// resolved either way.
+	Put(key string, v int)
+}
+
+// MapCache is a plain map-backed Cache for single-goroutine use.
+type MapCache struct {
+	m map[string]int
+}
+
+// NewMapCache returns an empty single-goroutine cache.
+func NewMapCache() *MapCache { return &MapCache{m: make(map[string]int)} }
+
+// Get implements Cache.
+func (c *MapCache) Get(key string) (int, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put implements Cache.
+func (c *MapCache) Put(key string, v int) { c.m[key] = v }
+
+// Len returns the number of memoized estimates.
+func (c *MapCache) Len() int { return len(c.m) }
+
+// SyncCache is a sync.Map-backed Cache safe for concurrent use: the
+// read-mostly, write-once-per-key access pattern of heuristic memoization
+// is exactly what sync.Map is optimized for.
+type SyncCache struct {
+	m sync.Map
+}
+
+// NewSyncCache returns an empty concurrency-safe cache.
+func NewSyncCache() *SyncCache { return &SyncCache{} }
+
+// Get implements Cache.
+func (c *SyncCache) Get(key string) (int, bool) {
+	v, ok := c.m.Load(key)
+	if !ok {
+		return 0, false
+	}
+	return v.(int), true
+}
+
+// Put implements Cache.
+func (c *SyncCache) Put(key string, v int) { c.m.Store(key, v) }
+
+// Len returns the number of memoized estimates (O(n); for tests and stats).
+func (c *SyncCache) Len() int {
+	n := 0
+	c.m.Range(func(any, any) bool { n++; return true })
+	return n
+}

@@ -29,8 +29,13 @@ import (
 type Kind int
 
 const (
+	// Unset is the zero Kind. It is not a heuristic of its own: the engine
+	// resolves it to the paper's overall best (Cosine), so a zero-valued
+	// configuration means "best known" rather than silently selecting blind
+	// search. Use H0 explicitly to request blind search.
+	Unset Kind = iota
 	// H0 is the constant-zero heuristic inducing blind search.
-	H0 Kind = iota
+	H0
 	// H1 counts target relation/attribute/value tokens missing from x.
 	H1
 	// H2 counts cross-category overlaps: the minimum number of promotions
@@ -56,6 +61,8 @@ func Kinds() []Kind {
 // String names the heuristic as in the paper's figures.
 func (k Kind) String() string {
 	switch k {
+	case Unset:
+		return "unset"
 	case H0:
 		return "h0"
 	case H1:
@@ -107,7 +114,8 @@ func (k Kind) Scaled() bool {
 }
 
 // Estimator is a heuristic bound to a fixed target critical instance, with
-// the target-side structures precomputed once.
+// the target-side structures precomputed once. An Estimator is immutable
+// after construction and safe for concurrent use by multiple goroutines.
 type Estimator struct {
 	kind Kind
 	k    float64
@@ -122,8 +130,12 @@ type Estimator struct {
 
 // New builds an estimator for the given heuristic kind against the target.
 // k is the scaling constant for the normalized heuristics; pass 0 to use
-// the neutral value 1. Unscaled heuristics ignore k.
+// the neutral value 1. Unscaled heuristics ignore k. The Unset kind
+// resolves to Cosine, the paper's overall best.
 func New(kind Kind, target *relation.Database, k float64) *Estimator {
+	if kind == Unset {
+		kind = Cosine
+	}
 	if k <= 0 {
 		k = 1
 	}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"container/heap"
+	"context"
 )
 
 // node is an A*/greedy frontier entry carrying its path.
@@ -36,18 +37,18 @@ func (f *frontier) Pop() any {
 // AStarSearch is textbook best-first A* with a closed set. It is included
 // for ablation: the paper reports that A*'s exponential memory made early
 // TUPELO implementations ineffective, motivating IDA and RBFS.
-func AStarSearch(p Problem, h Heuristic, lim Limits) (*Result, error) {
-	return bestFirst(p, h, lim, false)
+func AStarSearch(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
+	return bestFirst(ctx, p, h, lim, false)
 }
 
 // GreedySearch is greedy best-first search ordering the frontier by h
 // alone. Fast but not optimal; included for ablation.
-func GreedySearch(p Problem, h Heuristic, lim Limits) (*Result, error) {
-	return bestFirst(p, h, lim, true)
+func GreedySearch(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
+	return bestFirst(ctx, p, h, lim, true)
 }
 
-func bestFirst(p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error) {
-	c := &counter{lim: lim}
+func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error) {
+	c := newCounter(ctx, lim)
 	start := p.Start()
 	seq := 0
 	f := h(start)
@@ -63,7 +64,7 @@ func bestFirst(p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error)
 			continue // stale entry
 		}
 		if err := c.examine(); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if p.IsGoal(n.state) {
 			c.stats.Depth = len(n.path)
@@ -74,7 +75,7 @@ func bestFirst(p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error)
 		}
 		moves, err := p.Successors(n.state)
 		if err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		c.stats.Generated += len(moves)
 		for _, m := range moves {
@@ -95,5 +96,5 @@ func bestFirst(p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error)
 			heap.Push(open, &node{state: m.To, g: g, f: f, path: path, seq: seq})
 		}
 	}
-	return nil, ErrNotFound
+	return nil, c.fail(ErrNotFound)
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 )
 
@@ -11,11 +12,11 @@ import (
 // case ErrNotFound is returned even though a solution exists. It is
 // included as an ablation point against the paper's linear-memory but
 // complete IDA/RBFS.
-func BeamSearch(p Problem, h Heuristic, lim Limits, width int) (*Result, error) {
+func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width int) (*Result, error) {
 	if width <= 0 {
 		width = 8
 	}
-	c := &counter{lim: lim}
+	c := newCounter(ctx, lim)
 	type beamNode struct {
 		state State
 		g     int
@@ -27,7 +28,7 @@ func BeamSearch(p Problem, h Heuristic, lim Limits, width int) (*Result, error) 
 		// Examine the current beam.
 		for _, n := range frontier {
 			if err := c.examine(); err != nil {
-				return nil, err
+				return nil, c.fail(err)
 			}
 			if p.IsGoal(n.state) {
 				c.stats.Depth = len(n.path)
@@ -48,7 +49,7 @@ func BeamSearch(p Problem, h Heuristic, lim Limits, width int) (*Result, error) 
 			}
 			moves, err := p.Successors(n.state)
 			if err != nil {
-				return nil, err
+				return nil, c.fail(err)
 			}
 			c.stats.Generated += len(moves)
 			for _, m := range moves {
@@ -86,24 +87,24 @@ func BeamSearch(p Problem, h Heuristic, lim Limits, width int) (*Result, error) 
 			frontier = append(frontier, s.node)
 		}
 	}
-	return nil, ErrNotFound
+	return nil, c.fail(ErrNotFound)
 }
 
 // WeightedAStarSearch is A* with the evaluation function f = g + w·h for
 // w ≥ 1. Larger weights trade solution optimality for fewer expansions
 // (bounded suboptimality w for admissible h). w = 1 is plain A*.
-func WeightedAStarSearch(p Problem, h Heuristic, lim Limits, w int) (*Result, error) {
+func WeightedAStarSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, w int) (*Result, error) {
 	if w < 1 {
 		w = 1
 	}
 	weighted := func(s State) int { return w * h(s) }
-	return weightedBestFirst(p, weighted, lim)
+	return weightedBestFirst(ctx, p, weighted, lim)
 }
 
 // weightedBestFirst mirrors AStarSearch but with the already-weighted
 // heuristic; kept separate so plain A* stays textbook-readable.
-func weightedBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
-	c := &counter{lim: lim}
+func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
+	c := newCounter(ctx, lim)
 	start := p.Start()
 	seq := 0
 	open := &frontier{{state: start, g: 0, f: h(start), seq: seq}}
@@ -118,7 +119,7 @@ func weightedBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
 			continue
 		}
 		if err := c.examine(); err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if p.IsGoal(n.state) {
 			c.stats.Depth = len(n.path)
@@ -129,7 +130,7 @@ func weightedBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
 		}
 		moves, err := p.Successors(n.state)
 		if err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		c.stats.Generated += len(moves)
 		for _, m := range moves {
@@ -146,5 +147,5 @@ func weightedBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
 			heap.Push(open, &node{state: m.To, g: g, f: g + h(m.To), path: path, seq: seq})
 		}
 	}
-	return nil, ErrNotFound
+	return nil, c.fail(ErrNotFound)
 }

@@ -1,13 +1,14 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
 
 func TestBeamSolvesLine(t *testing.T) {
 	p := lineProblem{n: 15}
-	res, err := BeamSearch(p, lineHeuristic(p), Limits{}, 4)
+	res, err := BeamSearch(context.Background(), p, lineHeuristic(p), Limits{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func TestBeamSolvesLine(t *testing.T) {
 
 func TestBeamSolvesGrid(t *testing.T) {
 	p := gridProblem{w: 8, h: 8, walls: map[[2]int]bool{}, start: [2]int{0, 0}, target: [2]int{7, 7}}
-	res, err := BeamSearch(p, p.manhattan(), Limits{}, 3)
+	res, err := BeamSearch(context.Background(), p, p.manhattan(), Limits{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestBeamIncomplete(t *testing.T) {
 		start:  [2]int{0, 0},
 		target: [2]int{4, 2},
 	}
-	res, err := BeamSearch(p, func(s State) int {
+	res, err := BeamSearch(context.Background(), p, func(s State) int {
 		// Adversarial heuristic: always prefer moving right in row 0.
 		pos := s.(gridState)
 		return pos[1] * 100
@@ -65,17 +66,17 @@ func TestBeamIncomplete(t *testing.T) {
 
 func TestBeamDefaultsAndLimits(t *testing.T) {
 	p := lineProblem{n: 5}
-	if _, err := BeamSearch(p, lineHeuristic(p), Limits{}, 0); err != nil {
+	if _, err := BeamSearch(context.Background(), p, lineHeuristic(p), Limits{}, 0); err != nil {
 		t.Fatalf("default width failed: %v", err)
 	}
-	_, err := BeamSearch(lineProblem{n: 1000}, func(State) int { return 0 }, Limits{MaxStates: 20}, 2)
+	_, err := BeamSearch(context.Background(), lineProblem{n: 1000}, func(State) int { return 0 }, Limits{MaxStates: 20}, 2)
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("err = %v, want ErrLimit", err)
 	}
-	if _, err := BeamSearch(lineProblem{n: 10}, lineHeuristic(lineProblem{n: 10}), Limits{MaxDepth: 2}, 2); err == nil {
+	if _, err := BeamSearch(context.Background(), lineProblem{n: 10}, lineHeuristic(lineProblem{n: 10}), Limits{MaxDepth: 2}, 2); err == nil {
 		t.Fatal("depth-limited beam should fail")
 	}
-	if _, err := BeamSearch(errProblem{}, func(State) int { return 0 }, Limits{}, 2); err == nil {
+	if _, err := BeamSearch(context.Background(), errProblem{}, func(State) int { return 0 }, Limits{}, 2); err == nil {
 		t.Fatal("successor errors should propagate")
 	}
 }
@@ -83,7 +84,7 @@ func TestBeamDefaultsAndLimits(t *testing.T) {
 func TestWeightedAStarOptimalAtWeightOne(t *testing.T) {
 	p := gridProblem{w: 6, h: 6, walls: map[[2]int]bool{{1, 1}: true, {2, 2}: true}, start: [2]int{0, 0}, target: [2]int{5, 5}}
 	want := bfsLen(p)
-	res, err := WeightedAStarSearch(p, p.manhattan(), Limits{}, 1)
+	res, err := WeightedAStarSearch(context.Background(), p, p.manhattan(), Limits{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestWeightedAStarOptimalAtWeightOne(t *testing.T) {
 
 func TestWeightedAStarTradesOptimalityForSpeed(t *testing.T) {
 	p := gridProblem{w: 12, h: 12, walls: map[[2]int]bool{}, start: [2]int{0, 0}, target: [2]int{11, 11}}
-	exact, err := WeightedAStarSearch(p, p.manhattan(), Limits{}, 1)
+	exact, err := WeightedAStarSearch(context.Background(), p, p.manhattan(), Limits{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedy, err := WeightedAStarSearch(p, p.manhattan(), Limits{}, 5)
+	greedy, err := WeightedAStarSearch(context.Background(), p, p.manhattan(), Limits{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,19 +115,19 @@ func TestWeightedAStarTradesOptimalityForSpeed(t *testing.T) {
 
 func TestWeightedAStarErrorsAndDefaults(t *testing.T) {
 	p := lineProblem{n: 4}
-	if _, err := WeightedAStarSearch(p, lineHeuristic(p), Limits{}, 0); err != nil {
+	if _, err := WeightedAStarSearch(context.Background(), p, lineHeuristic(p), Limits{}, 0); err != nil {
 		t.Fatalf("w<1 should default to 1: %v", err)
 	}
-	if _, err := WeightedAStarSearch(deadEndProblem{}, func(State) int { return 0 }, Limits{}, 2); !errors.Is(err, ErrNotFound) {
+	if _, err := WeightedAStarSearch(context.Background(), deadEndProblem{}, func(State) int { return 0 }, Limits{}, 2); !errors.Is(err, ErrNotFound) {
 		t.Fatal("dead end should be NotFound")
 	}
-	if _, err := WeightedAStarSearch(errProblem{}, func(State) int { return 0 }, Limits{}, 2); err == nil {
+	if _, err := WeightedAStarSearch(context.Background(), errProblem{}, func(State) int { return 0 }, Limits{}, 2); err == nil {
 		t.Fatal("successor errors should propagate")
 	}
-	if _, err := WeightedAStarSearch(lineProblem{n: 1000}, func(State) int { return 0 }, Limits{MaxStates: 10}, 2); !errors.Is(err, ErrLimit) {
+	if _, err := WeightedAStarSearch(context.Background(), lineProblem{n: 1000}, func(State) int { return 0 }, Limits{MaxStates: 10}, 2); !errors.Is(err, ErrLimit) {
 		t.Fatal("budget should trip")
 	}
-	if _, err := WeightedAStarSearch(lineProblem{n: 10}, lineHeuristic(lineProblem{n: 10}), Limits{MaxDepth: 2}, 1); !errors.Is(err, ErrNotFound) {
+	if _, err := WeightedAStarSearch(context.Background(), lineProblem{n: 10}, lineHeuristic(lineProblem{n: 10}), Limits{MaxDepth: 2}, 1); !errors.Is(err, ErrNotFound) {
 		t.Fatal("depth limit should exhaust")
 	}
 }

@@ -1,0 +1,124 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// cancelAfterProblem wraps a problem and cancels the given context after n
+// expansions, producing deterministic mid-search cancellation.
+type cancelAfterProblem struct {
+	inner  Problem
+	cancel context.CancelFunc
+	left   int
+}
+
+func (p *cancelAfterProblem) Start() State        { return p.inner.Start() }
+func (p *cancelAfterProblem) IsGoal(s State) bool { return p.inner.IsGoal(s) }
+func (p *cancelAfterProblem) Successors(s State) ([]Move, error) {
+	p.left--
+	if p.left <= 0 {
+		p.cancel()
+	}
+	return p.inner.Successors(s)
+}
+
+func allAlgorithms() []Algorithm {
+	return []Algorithm{IDA, RBFS, AStar, Greedy}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := lineProblem{n: 100}
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			_, err := RunContext(ctx, algo, p, lineHeuristic(p), Limits{})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			var serr *Error
+			if !errors.As(err, &serr) {
+				t.Fatalf("err = %T, want *search.Error with partial stats", err)
+			}
+			if serr.Stats.Examined == 0 {
+				t.Fatal("cancelled run should still report the states it examined")
+			}
+		})
+	}
+}
+
+func TestMidSearchCancellation(t *testing.T) {
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			inner := lineProblem{n: 500}
+			p := &cancelAfterProblem{inner: inner, cancel: cancel, left: 5}
+			// Blind heuristic so no algorithm reaches the goal within five
+			// expansions.
+			_, err := RunContext(ctx, algo, p, func(State) int { return 0 }, Limits{})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			var serr *Error
+			if !errors.As(err, &serr) || serr.Stats.Examined < 5 {
+				t.Fatalf("partial stats missing or implausible: %v", err)
+			}
+		})
+	}
+}
+
+func TestDeadlineLimit(t *testing.T) {
+	p := lineProblem{n: 100}
+	lim := Limits{Deadline: time.Now().Add(-time.Second)}
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			_, err := RunContext(context.Background(), algo, p, lineHeuristic(p), lim)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	p := lineProblem{n: 100}
+	_, err := RunContext(ctx, RBFS, p, lineHeuristic(p), Limits{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAlgorithmUnsetResolvesToRBFS(t *testing.T) {
+	p := lineProblem{n: 5}
+	res, err := Run(AlgorithmUnset, p, lineHeuristic(p), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != 5 {
+		t.Fatalf("path length = %d, want 5", len(res.Path))
+	}
+	if AlgorithmUnset.String() != "unset" {
+		t.Fatalf("String = %q", AlgorithmUnset.String())
+	}
+}
+
+func TestErrorCarriesStatsOnLimit(t *testing.T) {
+	p := lineProblem{n: 1000}
+	_, err := Run(RBFS, p, func(State) int { return 0 }, Limits{MaxStates: 50})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+	var serr *Error
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %T, want *search.Error", err)
+	}
+	if serr.Stats.Examined != 51 {
+		t.Fatalf("Examined = %d, want 51 (budget + the state that tripped it)", serr.Stats.Examined)
+	}
+}

@@ -1,15 +1,19 @@
 package search
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // IDAStar runs Iterative Deepening A* (§2.3): a sequence of depth-first
 // probes, each bounded by an f-value limit, iteratively raising the limit to
 // the smallest f-value that exceeded it. Memory use is linear in the depth
 // of the search; states may be re-examined across iterations, which the
-// paper accepts (and counts) in exchange for the memory guarantee.
-func IDAStar(p Problem, h Heuristic, lim Limits) (*Result, error) {
+// paper accepts (and counts) in exchange for the memory guarantee. The
+// context is checked at every examined state.
+func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	start := p.Start()
-	c := &counter{lim: lim}
+	c := newCounter(ctx, lim)
 	bound := h(start)
 	for {
 		c.stats.Iterations++
@@ -18,7 +22,7 @@ func IDAStar(p Problem, h Heuristic, lim Limits) (*Result, error) {
 		next, res, err := idaProbe(p, h, c, start, 0, bound, &path, onPath)
 		if err != nil {
 			c.stats.Depth = len(path)
-			return nil, err
+			return nil, c.fail(err)
 		}
 		if res != nil {
 			res.Stats = c.stats
@@ -26,7 +30,7 @@ func IDAStar(p Problem, h Heuristic, lim Limits) (*Result, error) {
 			return res, nil
 		}
 		if next >= inf {
-			return nil, ErrNotFound
+			return nil, c.fail(ErrNotFound)
 		}
 		bound = next
 	}

@@ -1,23 +1,27 @@
 package search
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // RecursiveBestFirst runs RBFS (Korf 1993; §2.3 of the paper): a localized,
 // recursive best-first exploration that keeps track of a locally optimal
 // f-value and backtracks when it is exceeded, backing up the best known
 // f-value of each abandoned subtree. Like IDA it uses memory linear in the
-// search depth and may re-generate subtrees.
-func RecursiveBestFirst(p Problem, h Heuristic, lim Limits) (*Result, error) {
+// search depth and may re-generate subtrees. The context is checked at
+// every examined state.
+func RecursiveBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	start := p.Start()
-	c := &counter{lim: lim}
+	c := newCounter(ctx, lim)
 	onPath := map[string]bool{start.Key(): true}
 	var path []Move
 	res, _, err := rbfs(p, h, c, start, 0, h(start), inf, &path, onPath)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if res == nil {
-		return nil, ErrNotFound
+		return nil, c.fail(ErrNotFound)
 	}
 	res.Stats = c.stats
 	res.Stats.Depth = len(res.Path)

@@ -10,14 +10,23 @@
 // ablation studies; the paper notes that plain A*'s exponential memory made
 // early TUPELO implementations ineffective.
 //
+// Every algorithm takes a context.Context and checks it once per examined
+// state, so cancellation, deadlines, and portfolio-loser teardown all share
+// one mechanism. An aborted run returns an *Error wrapping the cause
+// (context.Canceled, context.DeadlineExceeded, ErrLimit, ErrNotFound) with
+// the statistics accumulated up to the abort.
+//
 // The performance measure throughout is the number of states examined, the
 // same machine-independent metric the paper reports.
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 )
 
 // State is a node of the search space. Implementations must provide a
@@ -61,6 +70,11 @@ type Limits struct {
 	MaxStates int
 	// MaxDepth bounds the depth (g-value) of the search.
 	MaxDepth int
+	// Deadline aborts the search once the wall clock passes it; the run
+	// fails with an error wrapping context.DeadlineExceeded. A context
+	// deadline works identically — this field exists for callers that
+	// carry limits as plain data rather than through a context.
+	Deadline time.Time
 }
 
 // Stats reports what a search run did.
@@ -94,13 +108,37 @@ var ErrNotFound = errors.New("search: no goal state found")
 // ErrLimit reports an aborted search (state or depth budget exhausted).
 var ErrLimit = errors.New("search: limit exceeded")
 
+// Error is the error type returned by every algorithm in this package: it
+// wraps the cause (ErrNotFound, ErrLimit, context.Canceled,
+// context.DeadlineExceeded, or a Problem error) together with the partial
+// statistics accumulated before the run stopped, so aborted and cancelled
+// runs still report their effort. Use errors.As to recover the Stats and
+// errors.Is to test the cause.
+type Error struct {
+	// Err is the underlying cause.
+	Err error
+	// Stats holds the effort spent up to the failure.
+	Stats Stats
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%v (after %d states examined)", e.Err, e.Stats.Examined)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
 // Algorithm selects a search strategy.
 type Algorithm int
 
 const (
+	// AlgorithmUnset is the zero Algorithm. It is not a strategy of its
+	// own: Run and RunContext resolve it to RBFS, the paper's overall best
+	// performer, so a zero-valued configuration genuinely means "use the
+	// paper's best" instead of silently selecting IDA.
+	AlgorithmUnset Algorithm = iota
 	// IDA is Iterative Deepening A*: depth-first probes bounded by
 	// increasing f-limits. Linear memory. The paper's first algorithm.
-	IDA Algorithm = iota
+	IDA
 	// RBFS is Recursive Best-First Search: recursive best-first exploration
 	// with backtracking on locally optimal f-values. Linear memory. The
 	// paper's second (and generally better-performing) algorithm.
@@ -116,6 +154,8 @@ const (
 // String names the algorithm as in the paper.
 func (a Algorithm) String() string {
 	switch a {
+	case AlgorithmUnset:
+		return "unset"
 	case IDA:
 		return "IDA"
 	case RBFS:
@@ -129,17 +169,26 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Run executes the selected algorithm on the problem.
+// Run executes the selected algorithm on the problem without external
+// cancellation; it is RunContext with context.Background().
 func Run(a Algorithm, p Problem, h Heuristic, lim Limits) (*Result, error) {
+	return RunContext(context.Background(), a, p, h, lim)
+}
+
+// RunContext executes the selected algorithm on the problem. The context is
+// checked at every examined state; when it is cancelled or its deadline
+// passes, the run stops with an *Error wrapping the context's error and
+// carrying the partial Stats. AlgorithmUnset resolves to RBFS.
+func RunContext(ctx context.Context, a Algorithm, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	switch a {
 	case IDA:
-		return IDAStar(p, h, lim)
-	case RBFS:
-		return RecursiveBestFirst(p, h, lim)
+		return IDAStar(ctx, p, h, lim)
+	case AlgorithmUnset, RBFS:
+		return RecursiveBestFirst(ctx, p, h, lim)
 	case AStar:
-		return AStarSearch(p, h, lim)
+		return AStarSearch(ctx, p, h, lim)
 	case Greedy:
-		return GreedySearch(p, h, lim)
+		return GreedySearch(ctx, p, h, lim)
 	default:
 		return nil, fmt.Errorf("search: unknown algorithm %d", int(a))
 	}
@@ -147,20 +196,52 @@ func Run(a Algorithm, p Problem, h Heuristic, lim Limits) (*Result, error) {
 
 const inf = math.MaxInt / 4
 
-// counter enforces Limits and accumulates Stats.
+// counter enforces Limits and context cancellation and accumulates Stats.
 type counter struct {
 	stats Stats
 	lim   Limits
+	ctx   context.Context
 }
 
+func newCounter(ctx context.Context, lim Limits) *counter {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &counter{lim: lim, ctx: ctx}
+}
+
+// examine counts one goal test and reports why the run must stop, if it
+// must: budget exhausted, context cancelled, or deadline passed. It is the
+// single cancellation point shared by every algorithm.
 func (c *counter) examine() error {
 	c.stats.Examined++
 	if c.lim.MaxStates > 0 && c.stats.Examined > c.lim.MaxStates {
 		return ErrLimit
+	}
+	if c.stats.Examined&15 == 0 {
+		// Searches are CPU-bound loops with no natural scheduling points.
+		// When several race in a portfolio on a machine with fewer CPUs
+		// than members, a member that gets a CPU first can otherwise run a
+		// full async-preemption quantum (~10ms) before the eventual winner
+		// is scheduled at all, making the race slower than the winner
+		// alone. Yielding every 16 states bounds that starvation; with an
+		// empty run queue Gosched is nearly free.
+		runtime.Gosched()
+	}
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	if !c.lim.Deadline.IsZero() && time.Now().After(c.lim.Deadline) {
+		return context.DeadlineExceeded
 	}
 	return nil
 }
 
 func (c *counter) depthOK(g int) bool {
 	return c.lim.MaxDepth == 0 || g <= c.lim.MaxDepth
+}
+
+// fail wraps err with the partial statistics of the run so far.
+func (c *counter) fail(err error) error {
+	return &Error{Err: err, Stats: c.stats}
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -57,7 +58,7 @@ func TestAllAlgorithmsSolveLine(t *testing.T) {
 
 func TestPerfectHeuristicExaminesLinearly(t *testing.T) {
 	p := lineProblem{n: 20}
-	res, err := IDAStar(p, lineHeuristic(p), Limits{})
+	res, err := IDAStar(context.Background(), p, lineHeuristic(p), Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,11 +345,11 @@ func TestRBFSCompetitiveWithIDA(t *testing.T) {
 		if bfsLen(p) < 0 {
 			continue
 		}
-		ri, err := IDAStar(p, p.manhattan(), Limits{})
+		ri, err := IDAStar(context.Background(), p, p.manhattan(), Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rr, err := RecursiveBestFirst(p, p.manhattan(), Limits{})
+		rr, err := RecursiveBestFirst(context.Background(), p, p.manhattan(), Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -362,7 +363,7 @@ func TestRBFSCompetitiveWithIDA(t *testing.T) {
 
 func TestAStarTracksFrontier(t *testing.T) {
 	p := lineProblem{n: 5}
-	res, err := AStarSearch(p, lineHeuristic(p), Limits{})
+	res, err := AStarSearch(context.Background(), p, lineHeuristic(p), Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@
 package tupelo
 
 import (
+	"context"
 	"io"
 
 	"tupelo/internal/core"
@@ -60,11 +61,32 @@ type (
 // Mapping machinery (packages internal/core, internal/fira,
 // internal/lambda, internal/search, internal/heuristic).
 type (
-	// Options configures Discover; the zero value is valid but
-	// DefaultOptions picks the paper's best configuration.
+	// Options configures Discover; the zero value selects the paper's
+	// best configuration (RBFS with the cosine heuristic), so Options{}
+	// and DefaultOptions() are equivalent.
 	Options = core.Options
 	// Result is a successful discovery: the expression plus search stats.
 	Result = core.Result
+	// Stats reports search effort; Stats.Examined is the paper's
+	// performance measure.
+	Stats = search.Stats
+	// SearchError is the error type returned by failed or cancelled
+	// discoveries; it wraps the cause (ErrNotFound, ErrLimit,
+	// context.Canceled, context.DeadlineExceeded) and carries the partial
+	// Stats, recoverable with errors.As.
+	SearchError = search.Error
+	// PortfolioConfig names one member of a portfolio race.
+	PortfolioConfig = core.PortfolioConfig
+	// PortfolioOptions configures DiscoverPortfolio.
+	PortfolioOptions = core.PortfolioOptions
+	// PortfolioResult is the winning member's Result plus every member's
+	// outcome.
+	PortfolioResult = core.PortfolioResult
+	// PortfolioRun reports one portfolio member's outcome.
+	PortfolioRun = core.PortfolioRun
+	// HeuristicCache memoizes heuristic estimates across runs; inject one
+	// through Options.Cache to share TNF encodings between discoveries.
+	HeuristicCache = heuristic.Cache
 	// Expr is an executable mapping expression in the language L.
 	Expr = fira.Expr
 	// Op is a single operator of L.
@@ -89,6 +111,9 @@ type (
 
 // Search algorithms (§2.3).
 const (
+	// AlgorithmUnset is the zero Algorithm; it resolves to RBFS, the
+	// paper's overall best, so a zero-valued Options means "best known".
+	AlgorithmUnset = search.AlgorithmUnset
 	// IDA is Iterative Deepening A*.
 	IDA = search.IDA
 	// RBFS is Recursive Best-First Search, the paper's overall best.
@@ -101,6 +126,9 @@ const (
 
 // Search heuristics (§3).
 const (
+	// HUnset is the zero Heuristic; it resolves to HCosine, the paper's
+	// overall best. Use H0 explicitly for blind search.
+	HUnset = heuristic.Unset
 	// H0 is blind search.
 	H0 = heuristic.H0
 	// H1 counts target tokens missing from the state.
@@ -124,6 +152,15 @@ const (
 	// HJaccard is a post-paper extension: scaled Jaccard distance over the
 	// role-tagged TNF token sets.
 	HJaccard = heuristic.Jaccard
+)
+
+// Sentinel discovery errors, matchable with errors.Is against the error
+// returned by Discover and friends.
+var (
+	// ErrNotFound means the search space was exhausted without a mapping.
+	ErrNotFound = search.ErrNotFound
+	// ErrLimit means the search exceeded Limits.MaxStates.
+	ErrLimit = search.ErrLimit
 )
 
 // NewRelation creates a relation from a name, attribute list, and rows.
@@ -151,10 +188,34 @@ func MustDatabase(rels ...*Relation) *Database {
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Discover searches for a mapping expression carrying the source critical
-// instance to (a superset of) the target critical instance (§2.3).
+// instance to (a superset of) the target critical instance (§2.3). It is
+// DiscoverContext with context.Background().
 func Discover(source, target *Database, opts Options) (*Result, error) {
 	return core.Discover(source, target, opts)
 }
+
+// DiscoverContext is Discover under a context: cancellation and deadline
+// are checked once per examined state. A cancelled run returns a
+// *SearchError wrapping ctx.Err() with the partial Stats populated.
+func DiscoverContext(ctx context.Context, source, target *Database, opts Options) (*Result, error) {
+	return core.DiscoverContext(ctx, source, target, opts)
+}
+
+// DiscoverPortfolio races several (algorithm, heuristic, k) configurations
+// over independent copies of the problem, returning the first verified
+// mapping and cancelling the rest. Members that agree on (heuristic, k)
+// share a heuristic cache. An empty PortfolioOptions races
+// DefaultPortfolio() with the default Options.
+func DiscoverPortfolio(ctx context.Context, source, target *Database, popts PortfolioOptions) (*PortfolioResult, error) {
+	return core.DiscoverPortfolio(ctx, source, target, popts)
+}
+
+// DefaultPortfolio returns the default racing lineup of DiscoverPortfolio.
+func DefaultPortfolio() []PortfolioConfig { return core.DefaultPortfolio() }
+
+// NewHeuristicCache returns a concurrency-safe heuristic cache suitable
+// for Options.Cache, for sharing TNF encodings across related discoveries.
+func NewHeuristicCache() HeuristicCache { return heuristic.NewSyncCache() }
 
 // Verify checks the discovery contract: evaluating expr on source yields a
 // database containing target.
