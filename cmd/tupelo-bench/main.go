@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"tupelo/internal/experiments"
+	"tupelo/internal/obs"
 	"tupelo/internal/search"
 )
 
@@ -35,11 +38,27 @@ func main() {
 	workers := flag.Int("workers", 0, "successor-generation worker pool size (0 = GOMAXPROCS)")
 	tsv := flag.Bool("tsv", false, "emit raw measurements as TSV instead of tables")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, gauges, timers) to FILE when done")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP at HOST:PORT (/metrics; ?format=json) while running")
 	flag.Parse()
 
 	cfg := experiments.Config{Budget: *budget, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Progress = os.Stderr
+	}
+	if *metricsOut != "" || *metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: metrics-addr: %v\n", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tupelo-bench: serving metrics on http://%s/metrics\n", ln.Addr())
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", cfg.Metrics.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
 	}
 
 	var err error
@@ -75,10 +94,31 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
 	}
+	// Written even after a failed experiment so partial counters (runs
+	// completed before the failure, abort causes) are not lost.
+	if *metricsOut != "" {
+		if werr := writeMetricsFile(*metricsOut, cfg.Metrics); werr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeMetricsFile dumps the registry's JSON snapshot to path.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func algos(name string) ([]search.Algorithm, error) {

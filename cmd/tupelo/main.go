@@ -17,6 +17,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -62,6 +64,7 @@ func usage() {
                   [-heuristic h0|h1|h2|h3|levenshtein|euclid|euclid-norm|cosine]
                   [-k N] [-max-states N] [-timeout DUR] [-workers N]
                   [-portfolio default|SPEC,SPEC,...] [-simplify] [-pretty] [-stats]
+                  [-trace] [-metrics] [-metrics-addr HOST:PORT]
                   (a portfolio SPEC is algo/heuristic or algo/heuristic/K,
                    e.g. -portfolio rbfs/cosine,ida/h1,rbfs/levenshtein/15)
   tupelo apply    -mapping map.txt -input db.txt [-where PRED -on REL]
@@ -145,6 +148,9 @@ func cmdDiscover(args []string) error {
 	simplify := fs.Bool("simplify", false, "simplify the discovered expression")
 	pretty := fs.Bool("pretty", false, "also print paper-style notation")
 	stats := fs.Bool("stats", false, "print search statistics to stderr")
+	trace := fs.Bool("trace", false, "print a search transcript (goal tests, expansions, portfolio members) to stderr")
+	metrics := fs.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) to stderr after the run")
+	metricsAddr := fs.String("metrics-addr", "", "serve metrics over HTTP at HOST:PORT (/metrics; ?format=json) for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,6 +182,23 @@ func cmdDiscover(args []string) error {
 		// Correspondences may be declared on either instance; the union
 		// is available to the mapper.
 		Correspondences: append(append([]tupelo.Correspondence(nil), src.Corrs...), tgt.Corrs...),
+	}
+	if *trace {
+		opts.Tracer = tupelo.NewWriterTracer(os.Stderr)
+	}
+	if *metrics || *metricsAddr != "" {
+		reg := tupelo.NewMetrics()
+		opts.Metrics = reg
+		if *metricsAddr != "" {
+			if err := serveMetrics(*metricsAddr, reg); err != nil {
+				return err
+			}
+		}
+		if *metrics {
+			// Deferred so an aborted run (deadline, budget) still reports
+			// its partial counters.
+			defer reg.WritePrometheus(os.Stderr)
+		}
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -225,6 +248,22 @@ func cmdDiscover(args []string) error {
 		fmt.Fprintf(os.Stderr, "algorithm=%s heuristic=%s k=%g states=%d generated=%d depth=%d\n",
 			res.Algorithm, res.Heuristic, res.K, res.Stats.Examined, res.Stats.Generated, res.Stats.Depth)
 	}
+	return nil
+}
+
+// serveMetrics exposes the registry over HTTP at /metrics (Prometheus text
+// format; append ?format=json for the expvar-style snapshot) for the
+// lifetime of the process. The listener is bound synchronously so address
+// errors surface before the search starts.
+func serveMetrics(addr string, reg *tupelo.Metrics) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics-addr: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tupelo: serving metrics on http://%s/metrics\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	go func() { _ = http.Serve(ln, mux) }()
 	return nil
 }
 

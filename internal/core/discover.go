@@ -7,6 +7,7 @@ import (
 
 	"tupelo/internal/fira"
 	"tupelo/internal/heuristic"
+	"tupelo/internal/obs"
 	"tupelo/internal/relation"
 	"tupelo/internal/search"
 )
@@ -59,6 +60,13 @@ func DiscoverContext(ctx context.Context, source, target *relation.Database, opt
 // from DiscoverContext so the portfolio runner, which normalizes each
 // member configuration up front, can launch members directly.
 func discoverNormalized(ctx context.Context, source, target *relation.Database, opts Options) (*Result, error) {
+	hooks := obs.Obs{Metrics: opts.Metrics, Trace: opts.Tracer}
+	if hooks.Enabled() {
+		// Hand metrics and tracing down to the search algorithms (run
+		// events, per-algorithm examined/generated counters) without
+		// widening their signatures.
+		ctx = obs.NewContext(ctx, hooks)
+	}
 	prob := newProblem(source, target, opts)
 	est := heuristic.New(opts.Heuristic, target, opts.K)
 	cache := opts.Cache
@@ -69,6 +77,12 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 			cache = heuristic.NewMapCache()
 		}
 	}
+	if hooks.Enabled() {
+		// Members of a portfolio that share a cache also share these
+		// instruments: the label depends only on (heuristic, k), so their
+		// counter names coincide in the registry.
+		cache = heuristic.Instrument(cache, opts.Metrics, cacheLabel(opts), opts.Tracer)
+	}
 	prob.est, prob.cache = est, cache
 	var sp search.Problem = prob
 	if opts.DisableCycleCheck {
@@ -77,11 +91,19 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		// A*. Only sensible together with a small Limits.MaxStates.
 		sp = &uniqueKeyProblem{inner: prob}
 	}
-	if opts.TraceWriter != nil {
-		sp = traceProblem(sp, opts.TraceWriter)
+	if opts.Tracer != nil {
+		sp = traceProblem(sp, opts.Tracer)
 	}
 	res, err := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache), opts.Limits)
 	return finish(res, err, opts)
+}
+
+// cacheLabel names a run's heuristic cache for metrics: members of a
+// portfolio agreeing on (heuristic, k) produce the same label and therefore
+// aggregate into the same hit/miss counters, mirroring how they share the
+// cache itself.
+func cacheLabel(opts Options) string {
+	return fmt.Sprintf("%s/k=%g", opts.Heuristic, opts.K)
 }
 
 // finish converts a search result into a mapping result.

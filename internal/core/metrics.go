@@ -1,0 +1,110 @@
+package core
+
+import (
+	"tupelo/internal/fira"
+	"tupelo/internal/obs"
+)
+
+// opKindNames enumerates the operator families of L for metric labels;
+// "other" collects operators added without a case in opKind.
+var opKindNames = []string{
+	"rename_rel", "rename_att", "drop", "promote", "demote", "deref",
+	"partition", "product", "union", "merge", "apply", "other",
+}
+
+// opKind names an operator's family for per-kind metrics.
+func opKind(op fira.Op) string {
+	switch op.(type) {
+	case fira.RenameRel:
+		return "rename_rel"
+	case fira.RenameAtt:
+		return "rename_att"
+	case fira.Drop:
+		return "drop"
+	case fira.Promote:
+		return "promote"
+	case fira.Demote:
+		return "demote"
+	case fira.Deref:
+		return "deref"
+	case fira.Partition:
+		return "partition"
+	case fira.Product:
+		return "product"
+	case fira.Union:
+		return "union"
+	case fira.Merge:
+		return "merge"
+	case fira.Apply:
+		return "apply"
+	default:
+		return "other"
+	}
+}
+
+// opMetrics holds the successor generator's pre-resolved instruments:
+// per-operator-kind proposed/applied counters and worker-pool utilization.
+// All counters are resolved once per problem so the per-expansion cost is a
+// type switch and an atomic increment. Methods on a nil *opMetrics are
+// no-ops, so call sites read unconditionally.
+type opMetrics struct {
+	proposed map[string]*obs.Counter
+	applied  map[string]*obs.Counter
+	// poolParallel / poolSerial count expansions dispatched to the worker
+	// pool vs. applied inline (too few candidates or Workers == 1);
+	// poolOps counts operator applications that went through the pool and
+	// poolWidth tracks the widest pool used.
+	poolParallel *obs.Counter
+	poolSerial   *obs.Counter
+	poolOps      *obs.Counter
+	poolWidth    *obs.Gauge
+}
+
+// newOpMetrics resolves the successor-generation instruments in reg, or
+// returns nil (all methods no-ops) when reg is nil.
+func newOpMetrics(reg *obs.Registry) *opMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &opMetrics{
+		proposed:     make(map[string]*obs.Counter, len(opKindNames)),
+		applied:      make(map[string]*obs.Counter, len(opKindNames)),
+		poolParallel: reg.Counter("core.pool.expansions.parallel"),
+		poolSerial:   reg.Counter("core.pool.expansions.serial"),
+		poolOps:      reg.Counter("core.pool.ops"),
+		poolWidth:    reg.Gauge("core.pool.width.max"),
+	}
+	for _, k := range opKindNames {
+		m.proposed[k] = reg.Counter(obs.Name("core.ops.proposed", "op", k))
+		m.applied[k] = reg.Counter(obs.Name("core.ops.applied", "op", k))
+	}
+	return m
+}
+
+// count records one proposed candidate operator and, when it yielded a
+// state-changing successor, one applied operator.
+func (m *opMetrics) count(op fira.Op, applied bool) {
+	if m == nil {
+		return
+	}
+	k := opKind(op)
+	m.proposed[k].Inc()
+	if applied {
+		m.applied[k].Inc()
+	}
+}
+
+// poolExpansion records one expansion's worker-pool shape: width 1 means the
+// candidates were applied inline.
+func (m *opMetrics) poolExpansion(width, ops int) {
+	if m == nil {
+		return
+	}
+	if width <= 1 {
+		m.poolSerial.Inc()
+		return
+	}
+	m.poolParallel.Inc()
+	m.poolOps.Add(int64(ops))
+	m.poolWidth.Max(int64(width))
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"tupelo/internal/datagen"
+	"tupelo/internal/heuristic"
+	"tupelo/internal/obs"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// TestDerefCandidateCount pins the candidate set of the → generator after
+// replacing the confusing sortedMissing(p.tAttrs, empty-map) enumeration:
+// one Deref per (pointer column, target attribute the relation lacks), in
+// sorted target-attribute order.
+func TestDerefCandidateCount(t *testing.T) {
+	src := relation.MustDatabase(
+		relation.MustNew("R", []string{"a", "b", "p"},
+			relation.Tuple{"1", "2", "a"},
+			relation.Tuple{"3", "4", "b"},
+		),
+	)
+	tgt := relation.MustDatabase(
+		relation.MustNew("T", []string{"a", "b", "x", "y"},
+			relation.Tuple{"1", "2", "3", "4"},
+		),
+	)
+	opts, err := Options{}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProblem(src, tgt, opts)
+	ops := p.derefMoves(src)
+	// Only column p holds attribute names throughout; the candidate outputs
+	// are the target attributes R lacks: x and y, in sorted order.
+	if len(ops) != 2 {
+		t.Fatalf("derefMoves proposed %d ops, want 2: %v", len(ops), ops)
+	}
+	want := []string{"deref[R,p->x]", "deref[R,p->y]"}
+	for i, op := range ops {
+		if op.String() != want[i] {
+			t.Fatalf("ops[%d] = %s, want %s", i, op, want[i])
+		}
+	}
+}
+
+// TestMapCacheAutoWrappedForParallelRun is the end-to-end half of the cache
+// footgun fix: a caller pairing a single-goroutine MapCache with a parallel
+// worker pool used to crash with concurrent map writes (or corrupt under
+// -race); normalization now wraps the cache in a mutex. Run under -race this
+// exercises the wrapped path with real pool traffic.
+func TestMapCacheAutoWrappedForParallelRun(t *testing.T) {
+	src, tgt := datagen.MatchingPair(8)
+	cache := heuristic.NewMapCache()
+	res, err := Discover(src, tgt, Options{
+		Workers: 4,
+		Cache:   cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res.Expr, src, tgt, nil); err != nil {
+		t.Fatalf("mapping does not verify: %v", err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("wrapped cache never reached the underlying MapCache")
+	}
+}
+
+// TestZeroValuedPortfolioConfigResolved pins satellite rule: a zero-valued
+// PortfolioConfig member resolves through the same sentinel rules as
+// Options (AlgorithmUnset→RBFS, heuristic Unset→cosine, K→published
+// constant), and the resolved values — not the zero sentinels — are what
+// PortfolioRun.Config reports.
+func TestZeroValuedPortfolioConfigResolved(t *testing.T) {
+	src, tgt := datagen.MatchingPair(4)
+	res, err := DiscoverPortfolio(context.Background(), src, tgt, PortfolioOptions{
+		Configs: []PortfolioConfig{{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("len(Runs) = %d, want 1", len(res.Runs))
+	}
+	cfg := res.Runs[0].Config
+	if cfg.Algorithm != search.RBFS || cfg.Heuristic != heuristic.Cosine {
+		t.Fatalf("resolved config = %s, want RBFS/cosine", cfg)
+	}
+	if cfg.K == 0 {
+		t.Fatal("resolved config must report the published K, not the 0 sentinel")
+	}
+	if cfg.K != heuristic.DefaultK(search.RBFS, heuristic.Cosine) {
+		t.Fatalf("resolved K = %g, want published constant", cfg.K)
+	}
+	if res.Winner != cfg {
+		t.Fatalf("Winner = %s, want the resolved member config %s", res.Winner, cfg)
+	}
+}
+
+// TestPortfolioEventStreamAndMetrics is the acceptance criterion for the
+// observability layer at the portfolio level: racing a capable member
+// against a hopeless one under a Collector yields a structured stream with
+// every member's start, exactly one win, the loser's cancellation, and
+// cache traffic; the registry carries the win counter and per-member
+// duration timers.
+func TestPortfolioEventStreamAndMetrics(t *testing.T) {
+	src, tgt := datagen.MatchingPair(8)
+	reg := obs.NewRegistry()
+	col := obs.NewCollector()
+	opts := PortfolioOptions{
+		Configs: []PortfolioConfig{
+			{Algorithm: search.RBFS, Heuristic: heuristic.Cosine},
+			{Algorithm: search.IDA, Heuristic: heuristic.H0},
+		},
+	}
+	opts.Options.Metrics = reg
+	opts.Options.Tracer = col
+	res, err := DiscoverPortfolio(context.Background(), src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Count(obs.EvMemberStart); got != 2 {
+		t.Fatalf("member-start events = %d, want 2", got)
+	}
+	if got := col.Count(obs.EvMemberWin); got != 1 {
+		t.Fatalf("member-win events = %d, want 1", got)
+	}
+	if got := col.Count(obs.EvMemberCancel, obs.EvMemberLose); got != 1 {
+		t.Fatalf("member cancel/lose events = %d, want 1", got)
+	}
+	if got := col.Count(obs.EvRunStart); got != 2 {
+		t.Fatalf("run-start events = %d, want 2 (one per member)", got)
+	}
+	if col.Count(obs.EvCacheHit) == 0 {
+		t.Fatal("no cache-hit events: prewarmed estimates should be hits in the search loop")
+	}
+	winLabel := res.Winner.String()
+	if got := reg.Counter(obs.Name("portfolio.wins", "member", winLabel)).Value(); got != 1 {
+		t.Fatalf("portfolio.wins{member=%s} = %d, want 1", winLabel, got)
+	}
+	if got := reg.Timer(obs.Name("portfolio.member.duration", "member", winLabel)).Count(); got != 1 {
+		t.Fatalf("winner duration timer count = %d, want 1", got)
+	}
+	if got := reg.Counter(obs.Name("search.examined", "algo", "RBFS")).Value(); got == 0 {
+		t.Fatal("search.examined{algo=RBFS} = 0, want > 0")
+	}
+	// Per-operator successor metrics flow from the same run.
+	var proposed int64
+	for _, k := range opKindNames {
+		proposed += reg.Counter(obs.Name("core.ops.proposed", "op", k)).Value()
+	}
+	if proposed == 0 {
+		t.Fatal("no proposed-operator counts recorded")
+	}
+}

@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"io"
 	"runtime"
 
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
+	"tupelo/internal/obs"
 	"tupelo/internal/search"
 )
 
@@ -38,8 +38,11 @@ type Options struct {
 	// Cache memoizes heuristic estimates across state re-examinations.
 	// Nil means a fresh private cache per run. A portfolio run injects a
 	// shared concurrency-safe cache here so members with the same
-	// heuristic don't re-encode the same TNF fingerprints; any caller-
-	// provided Cache must be safe for concurrent use when Workers > 1.
+	// heuristic don't re-encode the same TNF fingerprints. A cache that
+	// does not declare concurrency safety (heuristic.ConcurrencySafe) is
+	// automatically wrapped in a mutex when Workers > 1, so pairing a
+	// plain MapCache with a parallel pool degrades to locking instead of
+	// racing.
 	Cache heuristic.Cache
 	// Registry resolves λ functions. Nil means lambda.Builtins() when
 	// Correspondences are supplied, and no λ moves otherwise.
@@ -53,9 +56,21 @@ type Options struct {
 	// DisableCycleCheck turns off path-local duplicate pruning for
 	// ablation studies.
 	DisableCycleCheck bool
-	// TraceWriter, when non-nil, receives a transcript of the search:
-	// every expansion with its candidate moves and every goal test.
-	TraceWriter io.Writer
+	// Tracer, when non-nil, receives a structured event stream of the
+	// search: run start/finish, every expansion with its candidate moves,
+	// every goal test, cache hits and misses, and — under
+	// DiscoverPortfolio — member start/win/lose/cancel. Implementations
+	// must be safe for concurrent use (worker pools and portfolio members
+	// emit from their own goroutines); obs.NewWriterTracer adapts an
+	// io.Writer into the transcript format of the former TraceWriter
+	// field.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives counters, gauges, and timers for the
+	// run: per-algorithm examined/generated counts, heuristic cache
+	// hit/miss rates, per-operator proposal/application counts, and worker
+	// pool utilization. The registry is race-safe and may be shared across
+	// runs; expose it with its WriteJSON/WritePrometheus/Handler methods.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the paper's overall best configuration: RBFS with
@@ -96,6 +111,13 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Cache != nil && o.Workers > 1 && !heuristic.IsConcurrent(o.Cache) {
+		// The worker pool pre-warms estimates into the cache from several
+		// goroutines; a single-goroutine cache here used to race (fatal
+		// concurrent map writes on a MapCache). Degrade to a mutex-guarded
+		// wrapper instead of crashing or silently corrupting.
+		o.Cache = heuristic.NewLockedCache(o.Cache)
 	}
 	if len(o.Correspondences) > 0 && o.Registry == nil {
 		o.Registry = lambda.Builtins()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tupelo/internal/heuristic"
+	"tupelo/internal/obs"
 	"tupelo/internal/relation"
 	"tupelo/internal/search"
 )
@@ -51,9 +52,11 @@ type PortfolioOptions struct {
 	// Options is the base configuration shared by every member: Limits,
 	// Registry, Correspondences, pruning flags and the total Workers
 	// budget, which is divided evenly among members (each gets at least
-	// one). Algorithm, Heuristic, K, Cache and TraceWriter are per-member
-	// concerns and are overridden; in particular the trace machinery is
-	// single-goroutine and stays off during a race.
+	// one). Algorithm, Heuristic, K and Cache are per-member concerns and
+	// are overridden. Tracer and Metrics are shared by every member —
+	// tracers are concurrency-safe by contract, so a portfolio race
+	// produces one interleaved event stream with member start/win/lose/
+	// cancel markers delimiting each member's run events.
 	Options Options
 }
 
@@ -110,7 +113,13 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 	}
 	base := popts.Options
 	base.Cache = nil
-	base.TraceWriter = nil
+	tracer := base.Tracer
+	if tracer == nil {
+		tracer = obs.Nop
+	}
+	memberTimer := func(cfg PortfolioConfig) *obs.Timer {
+		return base.Metrics.Timer(obs.Name("portfolio.member.duration", "member", cfg.String()))
+	}
 	totalWorkers := base.Workers
 	if totalWorkers <= 0 {
 		totalWorkers = runtime.GOMAXPROCS(0)
@@ -166,6 +175,7 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 	for i := len(members) - 1; i >= 0; i-- {
 		m := members[i]
 		go func(i int, m member) {
+			tracer.Event(obs.Event{Kind: obs.EvMemberStart, Label: m.cfg.String(), N: len(members)})
 			start := time.Now()
 			res, err := discoverNormalized(raceCtx, source, target, m.opts)
 			if err == nil {
@@ -188,11 +198,17 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		run := &runs[o.idx]
 		run.Config = members[o.idx].cfg
 		run.Duration = o.dur
+		memberTimer(run.Config).Observe(o.dur)
 		if o.err != nil {
 			run.Err = o.err
 			var serr *search.Error
 			if errors.As(o.err, &serr) {
 				run.Stats = serr.Stats
+			}
+			if errors.Is(o.err, context.Canceled) {
+				tracer.Event(obs.Event{Kind: obs.EvMemberCancel, Label: run.Config.String(), N: run.Stats.Examined, Elapsed: o.dur})
+			} else {
+				tracer.Event(obs.Event{Kind: obs.EvMemberLose, Label: run.Config.String(), N: run.Stats.Examined, Err: o.err, Elapsed: o.dur})
 			}
 			if bestErr == nil || preferError(o.err, bestErr) {
 				bestErr = o.err
@@ -201,17 +217,23 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		}
 		run.Stats = o.res.Stats
 		if winner != nil {
-			continue // a slower member also succeeded before noticing the cancel
+			// A slower member also succeeded before noticing the cancel; it
+			// still lost the race, so mark it cancelled in the stream.
+			tracer.Event(obs.Event{Kind: obs.EvMemberCancel, Label: run.Config.String(), N: run.Stats.Examined, Elapsed: o.dur})
+			continue
 		}
 		if verr := Verify(o.res.Expr, source, target, members[o.idx].opts.Registry); verr != nil {
 			// Should be unreachable — the goal test is containment — but a
 			// portfolio promises a *verified* winner, so check anyway.
 			run.Err = fmt.Errorf("core: portfolio member %s returned unverifiable mapping: %w", run.Config, verr)
 			bestErr = run.Err
+			tracer.Event(obs.Event{Kind: obs.EvMemberLose, Label: run.Config.String(), N: run.Stats.Examined, Err: run.Err, Elapsed: o.dur})
 			continue
 		}
 		winner = o.res
 		winnerCfg = run.Config
+		base.Metrics.Counter(obs.Name("portfolio.wins", "member", winnerCfg.String())).Inc()
+		tracer.Event(obs.Event{Kind: obs.EvMemberWin, Label: winnerCfg.String(), N: run.Stats.Examined, Goal: true, Elapsed: o.dur})
 		cancel() // losers stop at their next examined state
 	}
 

@@ -22,10 +22,14 @@ type mappingProblem struct {
 	corrs  []lambda.Correspondence
 	prune  bool // apply the paper's "obviously inapplicable" rules
 
-	// Target-side token sets, computed once.
-	tRels  map[string]bool
-	tAttrs map[string]bool
-	tVals  map[string]bool
+	// Target-side token sets, computed once. tAttrsSorted is the sorted
+	// enumeration of tAttrs, shared by move generators that need the target
+	// attributes in a deterministic order (previously each derefMoves call
+	// rebuilt and re-sorted it from scratch).
+	tAttrs       map[string]bool
+	tAttrsSorted []string
+	tRels        map[string]bool
+	tVals        map[string]bool
 	// tAttrVals maps each target attribute to the set of values the target
 	// holds under it (across relations); tRelVals likewise per relation.
 	// They power the value-evidence pruning of rename candidates.
@@ -39,6 +43,11 @@ type mappingProblem struct {
 	workers int
 	est     *heuristic.Estimator
 	cache   heuristic.Cache
+
+	// met, when non-nil, records per-operator-kind proposal/application
+	// counts and worker-pool utilization. Nil when the run has no metrics
+	// registry, keeping the hot path free of map lookups.
+	met *opMetrics
 }
 
 func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
@@ -54,7 +63,9 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		tVals:     target.ValueSet(),
 		tAttrVals: make(map[string]map[string]bool),
 		tRelVals:  make(map[string]map[string]bool),
+		met:       newOpMetrics(opts.Metrics),
 	}
+	p.tAttrsSorted = sortedKeys(p.tAttrs)
 	for _, r := range target.Relations() {
 		rv := make(map[string]bool)
 		for _, a := range r.Attrs() {
@@ -101,9 +112,11 @@ func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 		if ns == nil || ns.key == s.Key() {
 			// nil: the candidate failed its own preconditions — not an
 			// error, just not a successor. Equal key: no-op transformation.
+			p.met.count(ops[i], false)
 			continue
 		}
 		moves = append(moves, search.Move{Label: ops[i].String(), To: ns, Cost: 1})
+		p.met.count(ops[i], true)
 	}
 	return moves, nil
 }
@@ -157,11 +170,13 @@ func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) []*dbSta
 		workers = len(ops)
 	}
 	if workers <= 1 || len(ops) < minParallelOps {
+		p.met.poolExpansion(1, len(ops))
 		for i := range ops {
 			apply(i)
 		}
 		return states
 	}
+	p.met.poolExpansion(workers, len(ops))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -213,6 +228,19 @@ func sortedMissing(want, have map[string]bool) []string {
 		if !have[k] {
 			out = append(out, k)
 		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedKeys returns the keys of the set in sorted order. Move generators
+// that enumerate a full token set use this (precomputed once per problem)
+// instead of the sortedMissing(set, empty) idiom, which rebuilt the slice on
+// every call.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out
@@ -430,7 +458,13 @@ func (p *mappingProblem) derefMoves(db *relation.Database) []fira.Op {
 			if !allAttrs {
 				continue
 			}
-			for _, out := range sortedMissing(p.tAttrs, map[string]bool{}) {
+			// Every target attribute the relation lacks is a candidate
+			// output column. The former sortedMissing(p.tAttrs, empty-map)
+			// call here enumerated the same full set, but rebuilt and
+			// re-sorted it per (relation, pointer column) pair, and read as
+			// if it filtered against the relation — which only the HasAttr
+			// check below actually does.
+			for _, out := range p.tAttrsSorted {
 				if r.HasAttr(out) {
 					continue
 				}

@@ -1,25 +1,25 @@
 package core
 
 import (
-	"fmt"
-	"io"
-
+	"tupelo/internal/obs"
 	"tupelo/internal/search"
 )
 
-// tracedProblem wraps a mapping problem and logs every expansion and goal
-// test to a writer, producing a human-readable transcript of the search —
-// useful for debugging heuristics and for teaching the search-space view
-// of §2.3.
+// tracedProblem wraps a mapping problem and emits a structured event for
+// every goal test, expansion, and candidate move — the search-space view of
+// §2.3 as an event stream. Rendered through obs.NewWriterTracer it yields
+// the human-readable transcript the former TraceWriter option produced;
+// through an obs.Collector it is programmatically inspectable.
 type tracedProblem struct {
-	inner search.Problem
-	w     io.Writer
-	n     int
+	inner  search.Problem
+	tracer obs.Tracer
+	n      int
 }
 
-// Trace wraps a problem so that its exploration is logged to w.
-func traceProblem(p search.Problem, w io.Writer) search.Problem {
-	return &tracedProblem{inner: p, w: w}
+// traceProblem wraps a problem so that its exploration is reported to the
+// tracer.
+func traceProblem(p search.Problem, tracer obs.Tracer) search.Problem {
+	return &tracedProblem{inner: p, tracer: tracer}
 }
 
 func (t *tracedProblem) Start() search.State { return t.inner.Start() }
@@ -27,23 +27,19 @@ func (t *tracedProblem) Start() search.State { return t.inner.Start() }
 func (t *tracedProblem) IsGoal(s search.State) bool {
 	t.n++
 	ok := t.inner.IsGoal(s)
-	if ok {
-		fmt.Fprintf(t.w, "examine %d: GOAL\n", t.n)
-	} else {
-		fmt.Fprintf(t.w, "examine %d\n", t.n)
-	}
+	t.tracer.Event(obs.Event{Kind: obs.EvGoalTest, Seq: t.n, Goal: ok})
 	return ok
 }
 
 func (t *tracedProblem) Successors(s search.State) ([]search.Move, error) {
 	moves, err := t.inner.Successors(s)
 	if err != nil {
-		fmt.Fprintf(t.w, "expand: error: %v\n", err)
+		t.tracer.Event(obs.Event{Kind: obs.EvExpand, Seq: t.n, Err: err})
 		return nil, err
 	}
-	fmt.Fprintf(t.w, "expand: %d moves\n", len(moves))
+	t.tracer.Event(obs.Event{Kind: obs.EvExpand, Seq: t.n, N: len(moves)})
 	for _, m := range moves {
-		fmt.Fprintf(t.w, "  move %s\n", m.Label)
+		t.tracer.Event(obs.Event{Kind: obs.EvMove, Label: m.Label})
 	}
 	return moves, nil
 }

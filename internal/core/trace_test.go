@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"tupelo/internal/obs"
 	"tupelo/internal/relation"
 )
 
@@ -17,7 +18,7 @@ func TestTraceWriterTranscript(t *testing.T) {
 	)
 	var buf bytes.Buffer
 	opts := DefaultOptions()
-	opts.TraceWriter = &buf
+	opts.Tracer = obs.NewWriterTracer(&buf)
 	res, err := Discover(src, tgt, opts)
 	if err != nil {
 		t.Fatal(err)

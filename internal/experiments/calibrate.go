@@ -100,6 +100,7 @@ func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task ca
 		Heuristic: kind,
 		K:         k,
 		Limits:    search.Limits{MaxStates: cfg.Budget},
+		Metrics:   cfg.Metrics,
 	})
 	if err != nil {
 		if errors.Is(err, search.ErrLimit) {

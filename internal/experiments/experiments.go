@@ -15,6 +15,7 @@ import (
 	"tupelo/internal/core"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
+	"tupelo/internal/obs"
 	"tupelo/internal/relation"
 	"tupelo/internal/search"
 )
@@ -56,6 +57,11 @@ type Config struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress io.Writer
+	// Metrics, when non-nil, aggregates observability counters (states
+	// examined per algorithm, cache hit rates, operator proposal counts)
+	// across every run of the experiment. The registry is race-safe, so one
+	// registry may span all experiments of a bench invocation.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +91,7 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 		Correspondences: corrs,
 		Limits:          search.Limits{MaxStates: cfg.Budget},
 		Workers:         cfg.Workers,
+		Metrics:         cfg.Metrics,
 	})
 	m.Duration = time.Since(start)
 	switch {

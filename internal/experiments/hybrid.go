@@ -82,6 +82,7 @@ func RunHeuristicComparison(kinds []heuristic.Kind, cfg Config) ([]ComparisonRow
 					Registry:        task.reg,
 					Correspondences: task.corrs,
 					Limits:          search.Limits{MaxStates: cfg.Budget},
+					Metrics:         cfg.Metrics,
 				})
 				switch {
 				case err == nil:

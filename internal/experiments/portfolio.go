@@ -76,6 +76,7 @@ func portfolioTask(domain string, target int, src, tgt *relation.Database, opts 
 	base := core.Options{
 		Limits:  search.Limits{MaxStates: cfg.Budget},
 		Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
 	}
 
 	seqOpts := base

@@ -62,6 +62,7 @@ func RunScaling(opts ScalingOptions, cfg Config) ([]ScalingRow, error) {
 			Algorithm: algo,
 			Heuristic: kind,
 			Limits:    search.Limits{MaxStates: cfg.Budget},
+			Metrics:   cfg.Metrics,
 		}
 		rootB, err := core.BranchingFactor(src, tgt, discOpts)
 		if err != nil {

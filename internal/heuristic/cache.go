@@ -1,6 +1,10 @@
 package heuristic
 
-import "sync"
+import (
+	"sync"
+
+	"tupelo/internal/obs"
+)
 
 // Cache memoizes heuristic estimates keyed by state fingerprint. IDA and
 // RBFS re-examine states across iterations and every estimate re-encodes
@@ -16,6 +20,26 @@ type Cache interface {
 	// (heuristic, k, target), so duplicate Puts always agree and may be
 	// resolved either way.
 	Put(key string, v int)
+}
+
+// ConcurrencySafe is the capability interface a Cache implements to declare
+// whether it may be shared between goroutines. The worker pool and the
+// portfolio engine consult it (through IsConcurrent) before using a cache
+// from more than one goroutine: a cache that does not declare the
+// capability is conservatively treated as single-goroutine and wrapped in a
+// LockedCache rather than silently raced.
+type ConcurrencySafe interface {
+	// Concurrent reports whether Get and Put are safe to call from
+	// multiple goroutines without external synchronization.
+	Concurrent() bool
+}
+
+// IsConcurrent reports whether the cache declares itself safe for
+// concurrent use. Caches that do not implement ConcurrencySafe are assumed
+// unsafe — the conservative reading for caller-provided implementations.
+func IsConcurrent(c Cache) bool {
+	cs, ok := c.(ConcurrencySafe)
+	return ok && cs.Concurrent()
 }
 
 // MapCache is a plain map-backed Cache for single-goroutine use.
@@ -37,6 +61,9 @@ func (c *MapCache) Put(key string, v int) { c.m[key] = v }
 
 // Len returns the number of memoized estimates.
 func (c *MapCache) Len() int { return len(c.m) }
+
+// Concurrent implements ConcurrencySafe: a plain map races.
+func (c *MapCache) Concurrent() bool { return false }
 
 // SyncCache is a sync.Map-backed Cache safe for concurrent use: the
 // read-mostly, write-once-per-key access pattern of heuristic memoization
@@ -66,3 +93,113 @@ func (c *SyncCache) Len() int {
 	c.m.Range(func(any, any) bool { n++; return true })
 	return n
 }
+
+// Concurrent implements ConcurrencySafe.
+func (c *SyncCache) Concurrent() bool { return true }
+
+// LockedCache wraps any Cache in a mutex, upgrading a single-goroutine
+// implementation to concurrency safety. Options normalization applies it
+// automatically when a caller pairs a non-concurrent cache with a parallel
+// worker pool — the contract violation that previously raced (concurrent
+// map writes) instead of being repaired.
+type LockedCache struct {
+	mu    sync.Mutex
+	inner Cache
+}
+
+// NewLockedCache returns inner behind a mutex. If inner is already
+// concurrency-safe it is returned unchanged.
+func NewLockedCache(inner Cache) Cache {
+	if IsConcurrent(inner) {
+		return inner
+	}
+	return &LockedCache{inner: inner}
+}
+
+// Get implements Cache.
+func (c *LockedCache) Get(key string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Get(key)
+}
+
+// Put implements Cache.
+func (c *LockedCache) Put(key string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Put(key, v)
+}
+
+// Concurrent implements ConcurrencySafe.
+func (c *LockedCache) Concurrent() bool { return true }
+
+// CountingCache wraps a Cache with hit/miss/put counters and optional trace
+// events, making memoization effectiveness — the quantity that decides
+// whether shared portfolio caches pay off — observable. The wrapper is as
+// concurrent as its inner cache; counters are atomics and the tracer is
+// concurrency-safe by contract.
+//
+// The entries gauge counts Puts and may overcount the true size by the rare
+// duplicate Put (two workers missing on the same key concurrently);
+// estimates are deterministic per key so the value stored is unaffected.
+type CountingCache struct {
+	inner   Cache
+	hits    *obs.Counter
+	misses  *obs.Counter
+	entries *obs.Gauge
+	tracer  obs.Tracer
+	label   string
+}
+
+// Instrument wraps inner so cache traffic lands in the registry under
+// heuristic.cache.{hits,misses,entries} with the given label (conventionally
+// `h="<kind>",k="<scale>"`), and optionally in the tracer as
+// EvCacheHit/EvCacheMiss events. Both hooks may be nil; with neither, inner
+// is returned unwrapped. An already-instrumented cache is returned as-is so
+// layered callers (portfolio members over a shared cache) do not
+// double-count.
+func Instrument(inner Cache, reg *obs.Registry, label string, tracer obs.Tracer) Cache {
+	if inner == nil || (reg == nil && tracer == nil) {
+		return inner
+	}
+	if _, ok := inner.(*CountingCache); ok {
+		return inner
+	}
+	return &CountingCache{
+		inner:   inner,
+		hits:    reg.Counter(obs.Name("heuristic.cache.hits", "cache", label)),
+		misses:  reg.Counter(obs.Name("heuristic.cache.misses", "cache", label)),
+		entries: reg.Gauge(obs.Name("heuristic.cache.entries", "cache", label)),
+		tracer:  tracer,
+		label:   label,
+	}
+}
+
+// Get implements Cache.
+func (c *CountingCache) Get(key string) (int, bool) {
+	v, ok := c.inner.Get(key)
+	if ok {
+		c.hits.Inc()
+		if c.tracer != nil {
+			c.tracer.Event(obs.Event{Kind: obs.EvCacheHit, Label: c.label})
+		}
+	} else {
+		c.misses.Inc()
+		if c.tracer != nil {
+			c.tracer.Event(obs.Event{Kind: obs.EvCacheMiss, Label: c.label})
+		}
+	}
+	return v, ok
+}
+
+// Put implements Cache.
+func (c *CountingCache) Put(key string, v int) {
+	c.inner.Put(key, v)
+	c.entries.Add(1)
+}
+
+// Concurrent implements ConcurrencySafe: as safe as the wrapped cache.
+func (c *CountingCache) Concurrent() bool { return IsConcurrent(c.inner) }
+
+// Unwrap returns the wrapped cache.
+func (c *CountingCache) Unwrap() Cache { return c.inner }

@@ -1,0 +1,115 @@
+package heuristic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tupelo/internal/obs"
+)
+
+func TestConcurrencyCapability(t *testing.T) {
+	if IsConcurrent(NewMapCache()) {
+		t.Fatal("MapCache must not claim concurrency safety")
+	}
+	if !IsConcurrent(NewSyncCache()) {
+		t.Fatal("SyncCache must claim concurrency safety")
+	}
+	if !IsConcurrent(NewLockedCache(NewMapCache())) {
+		t.Fatal("LockedCache must claim concurrency safety")
+	}
+	// A bare Cache implementation without the capability is conservatively
+	// treated as unsafe.
+	if IsConcurrent(bareCache{}) {
+		t.Fatal("capability-less cache must be treated as unsafe")
+	}
+}
+
+// bareCache implements Cache but not ConcurrencySafe.
+type bareCache struct{}
+
+func (bareCache) Get(string) (int, bool) { return 0, false }
+func (bareCache) Put(string, int)        {}
+
+func TestNewLockedCachePassesThroughSafeCaches(t *testing.T) {
+	sc := NewSyncCache()
+	if got := NewLockedCache(sc); got != Cache(sc) {
+		t.Fatal("wrapping an already-safe cache should be a no-op")
+	}
+}
+
+// TestLockedCacheConcurrent would fail under -race (and with concurrent map
+// write crashes) on a bare MapCache; the mutex wrapper makes the same
+// traffic safe.
+func TestLockedCacheConcurrent(t *testing.T) {
+	c := NewLockedCache(NewMapCache())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := fmt.Sprintf("k%d", j%50)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, j%50)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v, ok := c.Get("k7"); !ok || v != 7 {
+		t.Fatalf("Get(k7) = %d, %v", v, ok)
+	}
+}
+
+func TestCountingCacheCountsHitsAndMisses(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := obs.NewCollector()
+	c := Instrument(NewMapCache(), reg, `h="cosine"`, col)
+	if IsConcurrent(c) {
+		t.Fatal("instrumenting must not upgrade concurrency safety")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unexpected hit")
+	}
+	c.Put("a", 3)
+	if v, ok := c.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Get("a")
+
+	name := func(base string) string { return obs.Name(base, "cache", `h="cosine"`) }
+	if got := reg.Counter(name("heuristic.cache.hits")).Value(); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+	if got := reg.Counter(name("heuristic.cache.misses")).Value(); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if got := reg.Gauge(name("heuristic.cache.entries")).Value(); got != 1 {
+		t.Fatalf("entries = %d, want 1", got)
+	}
+	if col.Count(obs.EvCacheHit) != 2 || col.Count(obs.EvCacheMiss) != 1 {
+		t.Fatalf("events: %d hits, %d misses", col.Count(obs.EvCacheHit), col.Count(obs.EvCacheMiss))
+	}
+}
+
+func TestInstrumentIdempotentAndNilTolerant(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := NewSyncCache()
+	c := Instrument(inner, reg, "x", nil)
+	if Instrument(c, reg, "x", nil) != c {
+		t.Fatal("double instrumentation must be a no-op")
+	}
+	if !IsConcurrent(c) {
+		t.Fatal("instrumented SyncCache must stay concurrency-safe")
+	}
+	if cc, ok := c.(*CountingCache); !ok || cc.Unwrap() != Cache(inner) {
+		t.Fatal("Unwrap must return the inner cache")
+	}
+	if got := Instrument(inner, nil, "x", nil); got != Cache(inner) {
+		t.Fatal("instrumenting with no hooks must return the cache unchanged")
+	}
+	if Instrument(nil, reg, "x", nil) != nil {
+		t.Fatal("nil cache must stay nil")
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import "context"
+
+// Obs bundles the two observability hooks a run can carry: a metrics
+// registry and a tracer. Either or both may be nil; nil instruments are
+// no-ops, and Tracer() substitutes Nop for a nil tracer.
+type Obs struct {
+	// Metrics receives counters, gauges, and timers. Nil disables metrics.
+	Metrics *Registry
+	// Trace receives structured events. Nil disables tracing.
+	Trace Tracer
+}
+
+// Tracer returns the configured tracer, or Nop when none is set, so callers
+// can emit unconditionally.
+func (o Obs) Tracer() Tracer {
+	if o.Trace == nil {
+		return Nop
+	}
+	return o.Trace
+}
+
+// Enabled reports whether either hook is configured.
+func (o Obs) Enabled() bool { return o.Metrics != nil || o.Trace != nil }
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the observability hooks, the
+// mechanism by which higher layers (discovery, portfolio racing) hand
+// metrics and tracing down to the search algorithms without widening every
+// signature on the way.
+func NewContext(ctx context.Context, o Obs) context.Context {
+	if !o.Enabled() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// FromContext extracts the observability hooks, or a zero Obs (nil metrics,
+// Nop tracer) when the context carries none.
+func FromContext(ctx context.Context) Obs {
+	if ctx == nil {
+		return Obs{}
+	}
+	o, _ := ctx.Value(ctxKey{}).(Obs)
+	return o
+}

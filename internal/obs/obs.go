@@ -1,0 +1,415 @@
+// Package obs is the observability substrate of the mapper: a lightweight,
+// allocation-conscious metrics registry (counters, gauges, timers) plus a
+// structured Tracer for span-like search events.
+//
+// The paper's only performance instrument is the states-examined count;
+// everything the engine has grown since — shared heuristic caches, successor
+// worker pools, portfolio races — is invisible without a second layer of
+// measurement. This package provides that layer without pulling in any
+// dependency: instruments are plain atomics, the registry is a string-keyed
+// map behind an RWMutex, and exposition is expvar-style JSON or Prometheus
+// text, both writable to an io.Writer or served over HTTP.
+//
+// Instruments are nil-tolerant throughout: methods on a nil *Registry,
+// *Counter, *Gauge, or *Timer are no-ops, so instrumented code paths read
+// unconditionally —
+//
+//	c := reg.Counter("search.examined") // c == nil when reg == nil
+//	c.Inc()                             // safe either way
+//
+// — and a run without a registry pays only a nil check per event.
+//
+// Metric names follow a dotted hierarchy with optional Prometheus-style
+// labels, e.g. "search.examined{algo=\"RBFS\"}". The JSON exposition uses
+// the full name as the key; the Prometheus exposition rewrites the dotted
+// base to tupelo_search_examined and keeps the label block verbatim.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that may go up and down. The zero value is
+// ready to use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Max raises the gauge to n if n exceeds the current value.
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates durations: observation count, total, and maximum. The
+// zero value is ready to use; a nil *Timer is a no-op.
+type Timer struct {
+	count atomic.Int64
+	sum   atomic.Int64 // nanoseconds
+	max   atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.count.Add(1)
+	t.sum.Add(int64(d))
+	for {
+		cur := t.max.Load()
+		if int64(d) <= cur || t.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Time runs f and observes its duration.
+func (t *Timer) Time(f func()) {
+	start := time.Now()
+	f()
+	t.Observe(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.sum.Load())
+}
+
+// MaxValue returns the largest single observation.
+func (t *Timer) MaxValue() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.max.Load())
+}
+
+// Registry is a race-safe collection of named instruments. Lookups are
+// get-or-create and return stable pointers, so hot paths resolve their
+// instruments once and then touch only atomics. A nil *Registry hands out
+// nil instruments, which are themselves no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the timer registered under name, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// TimerSnapshot is the exported state of one Timer.
+type TimerSnapshot struct {
+	Count   int64         `json:"count"`
+	TotalNS int64         `json:"total_ns"`
+	MaxNS   int64         `json:"max_ns"`
+	Total   time.Duration `json:"-"`
+	Max     time.Duration `json:"-"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry; it
+// marshals to the expvar-style JSON exposition.
+type Snapshot struct {
+	Counters map[string]int64         `json:"counters"`
+	Gauges   map[string]int64         `json:"gauges"`
+	Timers   map[string]TimerSnapshot `json:"timers"`
+}
+
+// Snapshot copies the current value of every instrument. A nil registry
+// yields an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Timers:   make(map[string]TimerSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = TimerSnapshot{
+			Count:   t.Count(),
+			TotalNS: int64(t.Total()),
+			MaxNS:   int64(t.MaxValue()),
+			Total:   t.Total(),
+			Max:     t.MaxValue(),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the expvar-style JSON exposition: one object with
+// "counters", "gauges", and "timers" keys, map keys sorted (encoding/json
+// sorts map keys), values as int64.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the Prometheus text exposition format (version
+// 0.0.4): one "# TYPE" line per metric family followed by its samples,
+// dotted base names rewritten to a tupelo_-prefixed underscore form with
+// any {label="value"} block preserved. Labeled series of one family sort
+// adjacently (labels follow the base name lexically), so emitting the
+// header on each base-name change yields exactly one per family. Timers
+// emit _count and _seconds_total samples as the counter pair of a
+// Prometheus summary.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	typeHeader := func(last *string, base, kind string) {
+		if base != *last {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+			*last = base
+		}
+	}
+	var last string
+	for _, name := range sortedKeys(s.Counters) {
+		base, labels := promName(name)
+		typeHeader(&last, base, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", base, labels, s.Counters[name])
+	}
+	last = ""
+	for _, name := range sortedKeys(s.Gauges) {
+		base, labels := promName(name)
+		typeHeader(&last, base, "gauge")
+		fmt.Fprintf(&b, "%s%s %d\n", base, labels, s.Gauges[name])
+	}
+	timerNames := make([]string, 0, len(s.Timers))
+	for name := range s.Timers {
+		timerNames = append(timerNames, name)
+	}
+	sort.Strings(timerNames)
+	// Two passes keep each derived family's samples contiguous under its
+	// own header, as the format requires.
+	last = ""
+	for _, name := range timerNames {
+		base, labels := promName(name)
+		typeHeader(&last, base+"_count", "counter")
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, s.Timers[name].Count)
+	}
+	last = ""
+	for _, name := range timerNames {
+		base, labels := promName(name)
+		typeHeader(&last, base+"_seconds_total", "counter")
+		fmt.Fprintf(&b, "%s_seconds_total%s %g\n", base, labels, time.Duration(s.Timers[name].TotalNS).Seconds())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName splits a metric name into its Prometheus base name and label
+// block: "search.examined{algo=\"RBFS\"}" becomes
+// ("tupelo_search_examined", "{algo=\"RBFS\"}"). Characters outside
+// [a-zA-Z0-9_] in the base collapse to underscores.
+func promName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name, labels = name[:i], name[i:]
+	}
+	var b strings.Builder
+	b.Grow(len("tupelo_") + len(name))
+	b.WriteString("tupelo_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String(), labels
+}
+
+// Handler serves the registry over HTTP: Prometheus text format by default
+// (suitable for a scrape endpoint), JSON with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Name renders a metric name with label pairs: Name("search.examined",
+// "algo", "RBFS") is `search.examined{algo="RBFS"}`. Pairs must come in
+// key/value order; an odd trailing key is ignored.
+func Name(base string, pairs ...string) string {
+	if len(pairs) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

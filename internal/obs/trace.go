@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+const (
+	// EvRunStart marks the start of one search run; Label is the algorithm.
+	EvRunStart EventKind = iota + 1
+	// EvRunFinish marks the end of one search run; Goal reports success, N
+	// the states examined, Err the failure cause.
+	EvRunFinish
+	// EvGoalTest is one examined state; Seq numbers it, Goal reports the
+	// outcome of the containment test.
+	EvGoalTest
+	// EvExpand is one successor expansion; N is the number of moves.
+	EvExpand
+	// EvMove is one candidate move of an expansion; Label is the operator.
+	EvMove
+	// EvCacheHit is a heuristic-cache hit; Label names the cache.
+	EvCacheHit
+	// EvCacheMiss is a heuristic-cache miss; Label names the cache.
+	EvCacheMiss
+	// EvMemberStart marks one portfolio member entering the race; Label is
+	// the resolved member configuration.
+	EvMemberStart
+	// EvMemberWin marks the winning portfolio member; N is its states
+	// examined, Elapsed its wall-clock time.
+	EvMemberWin
+	// EvMemberLose marks a member that failed on its own (budget, no
+	// mapping); Err is its failure.
+	EvMemberLose
+	// EvMemberCancel marks a member stopped because another member won (or
+	// the caller cancelled the race).
+	EvMemberCancel
+)
+
+// String names the kind for transcripts and debugging.
+func (k EventKind) String() string {
+	switch k {
+	case EvRunStart:
+		return "run-start"
+	case EvRunFinish:
+		return "run-finish"
+	case EvGoalTest:
+		return "goal-test"
+	case EvExpand:
+		return "expand"
+	case EvMove:
+		return "move"
+	case EvCacheHit:
+		return "cache-hit"
+	case EvCacheMiss:
+		return "cache-miss"
+	case EvMemberStart:
+		return "member-start"
+	case EvMemberWin:
+		return "member-win"
+	case EvMemberLose:
+		return "member-lose"
+	case EvMemberCancel:
+		return "member-cancel"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one structured trace record. Fields are reused across kinds to
+// keep the struct small and allocation-free on the emitting path; the kind
+// documentation states which fields are meaningful.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Label is the event subject: algorithm, operator, cache, or member
+	// configuration, depending on Kind.
+	Label string
+	// Seq is the examined-state ordinal for goal tests and expansions.
+	Seq int
+	// N is a count: moves generated, states examined, members racing.
+	N int
+	// Goal marks a successful goal test, run, or winning member.
+	Goal bool
+	// Err is the failure cause on EvRunFinish and EvMemberLose.
+	Err error
+	// Elapsed is the wall-clock duration on finish events.
+	Elapsed time.Duration
+}
+
+// Tracer receives structured search events. Implementations must be safe
+// for concurrent use: worker pools and portfolio members emit from their
+// own goroutines.
+type Tracer interface {
+	Event(Event)
+}
+
+// nopTracer discards events.
+type nopTracer struct{}
+
+func (nopTracer) Event(Event) {}
+
+// Nop is the no-op Tracer: the default wherever no tracer is configured.
+var Nop Tracer = nopTracer{}
+
+// WriterTracer renders events as a human-readable transcript, one line per
+// event, in the format of the original Options.TraceWriter transcripts
+// ("examine N", "expand: N moves", "  move OP"). High-frequency cache
+// events are omitted to keep transcripts readable; use a Collector or a
+// custom Tracer for the full stream. A mutex serializes writes, so a
+// WriterTracer is safe for concurrent use (portfolio transcripts
+// interleave at line granularity).
+type WriterTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterTracer returns a Tracer writing the transcript to w. It is the
+// compatibility adapter for the removed Options.TraceWriter field.
+func NewWriterTracer(w io.Writer) *WriterTracer {
+	return &WriterTracer{w: w}
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch e.Kind {
+	case EvGoalTest:
+		if e.Goal {
+			fmt.Fprintf(t.w, "examine %d: GOAL\n", e.Seq)
+		} else {
+			fmt.Fprintf(t.w, "examine %d\n", e.Seq)
+		}
+	case EvExpand:
+		if e.Err != nil {
+			fmt.Fprintf(t.w, "expand: error: %v\n", e.Err)
+		} else {
+			fmt.Fprintf(t.w, "expand: %d moves\n", e.N)
+		}
+	case EvMove:
+		fmt.Fprintf(t.w, "  move %s\n", e.Label)
+	case EvRunStart:
+		fmt.Fprintf(t.w, "run %s: start\n", e.Label)
+	case EvRunFinish:
+		switch {
+		case e.Goal:
+			fmt.Fprintf(t.w, "run %s: solved after %d states (%s)\n", e.Label, e.N, e.Elapsed)
+		default:
+			fmt.Fprintf(t.w, "run %s: failed after %d states: %v\n", e.Label, e.N, e.Err)
+		}
+	case EvMemberStart:
+		fmt.Fprintf(t.w, "member %s: start\n", e.Label)
+	case EvMemberWin:
+		fmt.Fprintf(t.w, "member %s: WIN after %d states (%s)\n", e.Label, e.N, e.Elapsed)
+	case EvMemberLose:
+		fmt.Fprintf(t.w, "member %s: lost: %v\n", e.Label, e.Err)
+	case EvMemberCancel:
+		fmt.Fprintf(t.w, "member %s: cancelled (%s)\n", e.Label, e.Elapsed)
+	case EvCacheHit, EvCacheMiss:
+		// Omitted: one line per heuristic evaluation would drown the
+		// transcript. Counters carry the aggregate; Collector the stream.
+	}
+}
+
+// Collector is a race-safe Tracer that records every event in order of
+// arrival, for tests and programmatic consumers of the event stream.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Event implements Tracer.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded stream.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Count returns the number of recorded events of the given kinds (all
+// events when no kind is given).
+func (c *Collector) Count(kinds ...EventKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(kinds) == 0 {
+		return len(c.events)
+	}
+	n := 0
+	for _, e := range c.events {
+		for _, k := range kinds {
+			if e.Kind == k {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// MultiTracer fans events out to several tracers.
+func MultiTracer(tracers ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil && t != Nop {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Event(e Event) {
+	for _, t := range m {
+		t.Event(e)
+	}
+}

@@ -48,7 +48,11 @@ func GreedySearch(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Res
 }
 
 func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy bool) (*Result, error) {
-	c := newCounter(ctx, lim)
+	algo := "A*"
+	if greedy {
+		algo = "Greedy"
+	}
+	c := newCounter(ctx, algo, lim)
 	start := p.Start()
 	seq := 0
 	f := h(start)
@@ -56,9 +60,7 @@ func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy b
 	heap.Init(open)
 	bestG := map[string]int{start.Key(): 0}
 	for open.Len() > 0 {
-		if open.Len() > c.stats.MaxFrontier {
-			c.stats.MaxFrontier = open.Len()
-		}
+		c.frontier(open.Len())
 		n := heap.Pop(open).(*node)
 		if g, ok := bestG[n.state.Key()]; ok && n.g > g {
 			continue // stale entry
@@ -67,8 +69,7 @@ func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy b
 			return nil, c.fail(err)
 		}
 		if p.IsGoal(n.state) {
-			c.stats.Depth = len(n.path)
-			return &Result{Path: n.path, Goal: n.state, Stats: c.stats}, nil
+			return c.finish(&Result{Path: n.path, Goal: n.state}), nil
 		}
 		if !c.depthOK(n.g + 1) {
 			continue
@@ -77,7 +78,7 @@ func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy b
 		if err != nil {
 			return nil, c.fail(err)
 		}
-		c.stats.Generated += len(moves)
+		c.generated(len(moves))
 		for _, m := range moves {
 			g := n.g + m.Cost
 			k := m.To.Key()

@@ -16,7 +16,7 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 	if width <= 0 {
 		width = 8
 	}
-	c := newCounter(ctx, lim)
+	c := newCounter(ctx, "Beam", lim)
 	type beamNode struct {
 		state State
 		g     int
@@ -31,8 +31,7 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 				return nil, c.fail(err)
 			}
 			if p.IsGoal(n.state) {
-				c.stats.Depth = len(n.path)
-				return &Result{Path: n.path, Goal: n.state, Stats: c.stats}, nil
+				return c.finish(&Result{Path: n.path, Goal: n.state}), nil
 			}
 		}
 		// Expand it.
@@ -51,7 +50,7 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 			if err != nil {
 				return nil, c.fail(err)
 			}
-			c.stats.Generated += len(moves)
+			c.generated(len(moves))
 			for _, m := range moves {
 				k := m.To.Key()
 				if seen[k] {
@@ -79,9 +78,7 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 		if len(next) > width {
 			next = next[:width]
 		}
-		if len(next) > c.stats.MaxFrontier {
-			c.stats.MaxFrontier = len(next)
-		}
+		c.frontier(len(next))
 		frontier = frontier[:0]
 		for _, s := range next {
 			frontier = append(frontier, s.node)
@@ -104,16 +101,14 @@ func WeightedAStarSearch(ctx context.Context, p Problem, h Heuristic, lim Limits
 // weightedBestFirst mirrors AStarSearch but with the already-weighted
 // heuristic; kept separate so plain A* stays textbook-readable.
 func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
-	c := newCounter(ctx, lim)
+	c := newCounter(ctx, "WA*", lim)
 	start := p.Start()
 	seq := 0
 	open := &frontier{{state: start, g: 0, f: h(start), seq: seq}}
 	heap.Init(open)
 	bestG := map[string]int{start.Key(): 0}
 	for open.Len() > 0 {
-		if open.Len() > c.stats.MaxFrontier {
-			c.stats.MaxFrontier = open.Len()
-		}
+		c.frontier(open.Len())
 		n := heap.Pop(open).(*node)
 		if g, ok := bestG[n.state.Key()]; ok && n.g > g {
 			continue
@@ -122,8 +117,7 @@ func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) 
 			return nil, c.fail(err)
 		}
 		if p.IsGoal(n.state) {
-			c.stats.Depth = len(n.path)
-			return &Result{Path: n.path, Goal: n.state, Stats: c.stats}, nil
+			return c.finish(&Result{Path: n.path, Goal: n.state}), nil
 		}
 		if !c.depthOK(n.g + 1) {
 			continue
@@ -132,7 +126,7 @@ func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) 
 		if err != nil {
 			return nil, c.fail(err)
 		}
-		c.stats.Generated += len(moves)
+		c.generated(len(moves))
 		for _, m := range moves {
 			g := n.g + m.Cost
 			k := m.To.Key()

@@ -13,7 +13,7 @@ import (
 // context is checked at every examined state.
 func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	start := p.Start()
-	c := newCounter(ctx, lim)
+	c := newCounter(ctx, "IDA", lim)
 	bound := h(start)
 	for {
 		c.stats.Iterations++
@@ -25,9 +25,7 @@ func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, 
 			return nil, c.fail(err)
 		}
 		if res != nil {
-			res.Stats = c.stats
-			res.Stats.Depth = len(res.Path)
-			return res, nil
+			return c.finish(res), nil
 		}
 		if next >= inf {
 			return nil, c.fail(ErrNotFound)
@@ -57,7 +55,7 @@ func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[
 	if err != nil {
 		return 0, nil, err
 	}
-	c.stats.Generated += len(moves)
+	c.generated(len(moves))
 	// Successor ordering: probe children in increasing (f, h) order. This
 	// is the standard move-ordering enhancement for iterative deepening;
 	// with the non-monotone heuristics of §3 (f can decrease along good
@@ -83,6 +81,7 @@ func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[
 		}
 		onPath[k] = true
 		*path = append(*path, m)
+		c.frontier(len(*path))
 		t, res, err := idaProbe(p, h, c, m.To, g+m.Cost, bound, path, onPath)
 		if err != nil || res != nil {
 			return t, res, err

@@ -1,0 +1,159 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tupelo/internal/obs"
+)
+
+// TestDeadlineVsContextDeadlineStableCause pins the precedence when
+// Limits.Deadline and a context deadline race each other in
+// counter.examine: the context is checked first, so whichever deadline
+// mechanism fired, every algorithm reports the same wrapped cause
+// (context.DeadlineExceeded) with partial stats attached.
+func TestDeadlineVsContextDeadlineStableCause(t *testing.T) {
+	p := lineProblem{n: 100}
+	past := time.Now().Add(-time.Second)
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			ctx, cancel := context.WithDeadline(context.Background(), past)
+			defer cancel()
+			_, err := RunContext(ctx, algo, p, lineHeuristic(p), Limits{Deadline: past})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			var serr *Error
+			if !errors.As(err, &serr) {
+				t.Fatalf("err = %T, want *search.Error", err)
+			}
+			if serr.Cause() != "deadline" {
+				t.Fatalf("Cause() = %q, want \"deadline\"", serr.Cause())
+			}
+			if serr.Stats.Examined == 0 {
+				t.Fatal("deadline abort must report partial stats")
+			}
+		})
+	}
+}
+
+// TestCancelBeatsLimitsDeadline pins the other half of the interplay: an
+// already-cancelled context wins over an expired Limits.Deadline, again
+// uniformly across algorithms, so callers can rely on errors.Is(err,
+// context.Canceled) to distinguish "caller stopped the run" from "the run
+// timed out" no matter which algorithm ran.
+func TestCancelBeatsLimitsDeadline(t *testing.T) {
+	p := lineProblem{n: 100}
+	for _, algo := range allAlgorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := RunContext(ctx, algo, p, lineHeuristic(p),
+				Limits{Deadline: time.Now().Add(-time.Second)})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v must not also match DeadlineExceeded", err)
+			}
+			var serr *Error
+			if !errors.As(err, &serr) || serr.Cause() != "canceled" {
+				t.Fatalf("err = %v, want *Error with cause \"canceled\"", err)
+			}
+		})
+	}
+}
+
+// TestErrorMessageDistinguishesCauses verifies the Error() text names which
+// bound fired instead of a bare "limit exceeded" for every kind of abort.
+func TestErrorMessageDistinguishesCauses(t *testing.T) {
+	p := lineProblem{n: 1000}
+	blind := func(State) int { return 0 }
+
+	_, err := Run(RBFS, p, blind, Limits{MaxStates: 10})
+	if err == nil || !strings.Contains(err.Error(), "state budget") || !strings.Contains(err.Error(), "cause=limit") {
+		t.Fatalf("state-budget abort message = %v", err)
+	}
+
+	_, err = Run(RBFS, p, blind, Limits{Deadline: time.Now().Add(-time.Second)})
+	if err == nil || !strings.Contains(err.Error(), "wall-clock deadline") || !strings.Contains(err.Error(), "cause=deadline") {
+		t.Fatalf("deadline abort message = %v", err)
+	}
+
+	_, err = Run(RBFS, lineProblem{n: 3}, blind, Limits{MaxDepth: 1})
+	if err == nil || !strings.Contains(err.Error(), "cause=exhausted") {
+		t.Fatalf("exhausted message = %v", err)
+	}
+}
+
+// TestMaxFrontierTrackedForLinearMemoryAlgorithms: IDA and RBFS now report
+// their peak recursion depth through the previously A*-only MaxFrontier
+// field; on a line problem with an exact heuristic the deepest path held is
+// the solution itself.
+func TestMaxFrontierTrackedForLinearMemoryAlgorithms(t *testing.T) {
+	p := lineProblem{n: 12}
+	for _, algo := range []Algorithm{IDA, RBFS} {
+		t.Run(algo.String(), func(t *testing.T) {
+			res, err := Run(algo, p, lineHeuristic(p), Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.MaxFrontier != 12 {
+				t.Fatalf("MaxFrontier = %d, want 12 (peak path depth)", res.Stats.MaxFrontier)
+			}
+		})
+	}
+}
+
+// TestCounterFeedsMetricsAndTracer is the search-layer half of the
+// observability contract: a context carrying obs hooks yields per-algorithm
+// counters that match the returned Stats exactly, plus a run start/finish
+// event pair.
+func TestCounterFeedsMetricsAndTracer(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := obs.NewCollector()
+	ctx := obs.NewContext(context.Background(), obs.Obs{Metrics: reg, Trace: col})
+	p := lineProblem{n: 30}
+	res, err := RunContext(ctx, RBFS, p, lineHeuristic(p), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	examined := reg.Counter(obs.Name("search.examined", "algo", "RBFS")).Value()
+	generated := reg.Counter(obs.Name("search.generated", "algo", "RBFS")).Value()
+	if examined != int64(res.Stats.Examined) {
+		t.Fatalf("metric examined = %d, Stats.Examined = %d", examined, res.Stats.Examined)
+	}
+	if generated != int64(res.Stats.Generated) {
+		t.Fatalf("metric generated = %d, Stats.Generated = %d", generated, res.Stats.Generated)
+	}
+	if got := reg.Counter(obs.Name("search.runs", "algo", "RBFS")).Value(); got != 1 {
+		t.Fatalf("runs counter = %d, want 1", got)
+	}
+	if col.Count(obs.EvRunStart) != 1 || col.Count(obs.EvRunFinish) != 1 {
+		t.Fatalf("expected one run start/finish pair, got %d/%d",
+			col.Count(obs.EvRunStart), col.Count(obs.EvRunFinish))
+	}
+	events := col.Events()
+	last := events[len(events)-1]
+	if last.Kind != obs.EvRunFinish || !last.Goal || last.N != res.Stats.Examined {
+		t.Fatalf("run-finish event = %+v", last)
+	}
+}
+
+// TestAbortCauseCounted: failed runs land in search.aborts under their
+// cause label.
+func TestAbortCauseCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.NewContext(context.Background(), obs.Obs{Metrics: reg})
+	p := lineProblem{n: 1000}
+	_, err := RunContext(ctx, RBFS, p, func(State) int { return 0 }, Limits{MaxStates: 25})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.Name("search.aborts", "algo", "RBFS", "cause", "limit")).Value(); got != 1 {
+		t.Fatalf("aborts{cause=limit} = %d, want 1", got)
+	}
+}

@@ -13,7 +13,7 @@ import (
 // every examined state.
 func RecursiveBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	start := p.Start()
-	c := newCounter(ctx, lim)
+	c := newCounter(ctx, "RBFS", lim)
 	onPath := map[string]bool{start.Key(): true}
 	var path []Move
 	res, _, err := rbfs(p, h, c, start, 0, h(start), inf, &path, onPath)
@@ -23,9 +23,7 @@ func RecursiveBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits)
 	if res == nil {
 		return nil, c.fail(ErrNotFound)
 	}
-	res.Stats = c.stats
-	res.Stats.Depth = len(res.Path)
-	return res, nil
+	return c.finish(res), nil
 }
 
 // rbfsChild is a successor with its backed-up f-value. The raw h-value is
@@ -56,7 +54,7 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 	if err != nil {
 		return nil, 0, err
 	}
-	c.stats.Generated += len(moves)
+	c.generated(len(moves))
 	children := make([]rbfsChild, 0, len(moves))
 	for _, m := range moves {
 		if onPath[m.To.Key()] {
@@ -101,6 +99,7 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 		k := best.move.To.Key()
 		onPath[k] = true
 		*path = append(*path, best.move)
+		c.frontier(len(*path))
 		res, revised, err := rbfs(p, h, c, best.move.To, best.g, best.f, alt, path, onPath)
 		if err != nil || res != nil {
 			return res, 0, err

@@ -27,6 +27,8 @@ import (
 	"math"
 	"runtime"
 	"time"
+
+	"tupelo/internal/obs"
 )
 
 // State is a node of the search space. Implementations must provide a
@@ -84,7 +86,10 @@ type Stats struct {
 	Examined int
 	// Generated is the number of successor states produced.
 	Generated int
-	// MaxFrontier is the peak size of algorithm-managed state (for A*).
+	// MaxFrontier is the peak size of algorithm-managed state: the open
+	// list for A*, greedy, and beam search, and the deepest search path
+	// held (recursion depth) for the linear-memory IDA and RBFS — the
+	// quantity their linear-memory guarantee bounds.
 	MaxFrontier int
 	// Iterations counts IDA depth-bound iterations (0 for other methods).
 	Iterations int
@@ -108,6 +113,16 @@ var ErrNotFound = errors.New("search: no goal state found")
 // ErrLimit reports an aborted search (state or depth budget exhausted).
 var ErrLimit = errors.New("search: limit exceeded")
 
+// errStateBudget and errWallDeadline refine the generic sentinels so that
+// error text states which bound fired: a MaxStates abort and a
+// Limits.Deadline abort previously surfaced as an undifferentiated "limit
+// exceeded" / "context deadline exceeded". errors.Is still matches ErrLimit
+// and context.DeadlineExceeded respectively.
+var (
+	errStateBudget  = fmt.Errorf("%w (state budget exhausted)", ErrLimit)
+	errWallDeadline = fmt.Errorf("%w (wall-clock deadline passed)", context.DeadlineExceeded)
+)
+
 // Error is the error type returned by every algorithm in this package: it
 // wraps the cause (ErrNotFound, ErrLimit, context.Canceled,
 // context.DeadlineExceeded, or a Problem error) together with the partial
@@ -121,8 +136,28 @@ type Error struct {
 	Stats Stats
 }
 
+// Cause classifies the wrapped error into a small stable vocabulary —
+// "deadline", "canceled", "limit", "exhausted", or "error" — used in the
+// error text and as the metrics label for aborted runs. Deadlines are
+// checked before limits so a run that trips both reports the same cause the
+// errors.Is chain resolves first.
+func (e *Error) Cause() string {
+	switch {
+	case errors.Is(e.Err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(e.Err, context.Canceled):
+		return "canceled"
+	case errors.Is(e.Err, ErrLimit):
+		return "limit"
+	case errors.Is(e.Err, ErrNotFound):
+		return "exhausted"
+	default:
+		return "error"
+	}
+}
+
 func (e *Error) Error() string {
-	return fmt.Sprintf("%v (after %d states examined)", e.Err, e.Stats.Examined)
+	return fmt.Sprintf("%v (cause=%s, after %d states examined)", e.Err, e.Cause(), e.Stats.Examined)
 }
 
 func (e *Error) Unwrap() error { return e.Err }
@@ -196,18 +231,41 @@ func RunContext(ctx context.Context, a Algorithm, p Problem, h Heuristic, lim Li
 
 const inf = math.MaxInt / 4
 
-// counter enforces Limits and context cancellation and accumulates Stats.
+// counter enforces Limits and context cancellation, accumulates Stats, and
+// feeds the observability layer: per-algorithm examined/generated/yield
+// counters resolved once at construction (so the hot path touches only
+// atomics), plus run start/finish trace events. A run without metrics or
+// tracer in its context pays a nil check per event and nothing else.
 type counter struct {
 	stats Stats
 	lim   Limits
 	ctx   context.Context
+	algo  string
+	o     obs.Obs
+	start time.Time
+
+	// Pre-resolved instruments; nil (and therefore no-ops) without metrics.
+	mExamined  *obs.Counter
+	mGenerated *obs.Counter
+	mYields    *obs.Counter
 }
 
-func newCounter(ctx context.Context, lim Limits) *counter {
+func newCounter(ctx context.Context, algo string, lim Limits) *counter {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &counter{lim: lim, ctx: ctx}
+	c := &counter{lim: lim, ctx: ctx, algo: algo, o: obs.FromContext(ctx)}
+	if c.o.Enabled() {
+		c.start = time.Now()
+		if m := c.o.Metrics; m != nil {
+			c.mExamined = m.Counter(obs.Name("search.examined", "algo", algo))
+			c.mGenerated = m.Counter(obs.Name("search.generated", "algo", algo))
+			c.mYields = m.Counter(obs.Name("search.yields", "algo", algo))
+			m.Counter(obs.Name("search.runs", "algo", algo)).Inc()
+		}
+		c.o.Tracer().Event(obs.Event{Kind: obs.EvRunStart, Label: algo})
+	}
+	return c
 }
 
 // examine counts one goal test and reports why the run must stop, if it
@@ -215,8 +273,9 @@ func newCounter(ctx context.Context, lim Limits) *counter {
 // single cancellation point shared by every algorithm.
 func (c *counter) examine() error {
 	c.stats.Examined++
+	c.mExamined.Inc()
 	if c.lim.MaxStates > 0 && c.stats.Examined > c.lim.MaxStates {
-		return ErrLimit
+		return errStateBudget
 	}
 	if c.stats.Examined&15 == 0 {
 		// Searches are CPU-bound loops with no natural scheduling points.
@@ -226,22 +285,63 @@ func (c *counter) examine() error {
 		// is scheduled at all, making the race slower than the winner
 		// alone. Yielding every 16 states bounds that starvation; with an
 		// empty run queue Gosched is nearly free.
+		c.mYields.Inc()
 		runtime.Gosched()
 	}
 	if err := c.ctx.Err(); err != nil {
 		return err
 	}
 	if !c.lim.Deadline.IsZero() && time.Now().After(c.lim.Deadline) {
-		return context.DeadlineExceeded
+		return errWallDeadline
 	}
 	return nil
+}
+
+// generated records n successor states produced by one expansion.
+func (c *counter) generated(n int) {
+	c.stats.Generated += n
+	c.mGenerated.Add(int64(n))
+}
+
+// frontier raises the peak algorithm-managed state size: open-list length
+// for the best-first searches, recursion (path) depth for IDA/RBFS.
+func (c *counter) frontier(n int) {
+	if n > c.stats.MaxFrontier {
+		c.stats.MaxFrontier = n
+	}
 }
 
 func (c *counter) depthOK(g int) bool {
 	return c.lim.MaxDepth == 0 || g <= c.lim.MaxDepth
 }
 
-// fail wraps err with the partial statistics of the run so far.
+// fail wraps err with the partial statistics of the run so far, counts the
+// abort under its cause ("deadline", "canceled", "limit", ...), and emits
+// the run-finish event.
 func (c *counter) fail(err error) error {
-	return &Error{Err: err, Stats: c.stats}
+	e := &Error{Err: err, Stats: c.stats}
+	if c.o.Enabled() {
+		if m := c.o.Metrics; m != nil {
+			m.Counter(obs.Name("search.aborts", "algo", c.algo, "cause", e.Cause())).Inc()
+		}
+		c.o.Tracer().Event(obs.Event{
+			Kind: obs.EvRunFinish, Label: c.algo,
+			N: c.stats.Examined, Err: err, Elapsed: time.Since(c.start),
+		})
+	}
+	return e
+}
+
+// finish stamps the final statistics on a successful result and emits the
+// run-finish event.
+func (c *counter) finish(res *Result) *Result {
+	res.Stats = c.stats
+	res.Stats.Depth = len(res.Path)
+	if c.o.Enabled() {
+		c.o.Tracer().Event(obs.Event{
+			Kind: obs.EvRunFinish, Label: c.algo, Goal: true,
+			N: res.Stats.Examined, Elapsed: time.Since(c.start),
+		})
+	}
+	return res
 }

@@ -41,6 +41,7 @@ import (
 	"tupelo/internal/fira"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
+	"tupelo/internal/obs"
 	"tupelo/internal/postproc"
 	"tupelo/internal/relation"
 	"tupelo/internal/search"
@@ -216,6 +217,62 @@ func DefaultPortfolio() []PortfolioConfig { return core.DefaultPortfolio() }
 // NewHeuristicCache returns a concurrency-safe heuristic cache suitable
 // for Options.Cache, for sharing TNF encodings across related discoveries.
 func NewHeuristicCache() HeuristicCache { return heuristic.NewSyncCache() }
+
+// Observability (package internal/obs): a race-safe metrics registry and a
+// structured trace-event stream, attached to runs through Options.Metrics
+// and Options.Tracer.
+type (
+	// Metrics is a race-safe registry of counters, gauges, and timers.
+	// Attach one through Options.Metrics (or PortfolioOptions.Options);
+	// expose it with WriteJSON (expvar-style), WritePrometheus (text
+	// exposition), or Handler (HTTP, Prometheus by default and JSON with
+	// ?format=json).
+	Metrics = obs.Registry
+	// Tracer receives structured trace events from a run. Implementations
+	// must be safe for concurrent use.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// TraceEventKind classifies a TraceEvent.
+	TraceEventKind = obs.EventKind
+	// TraceCollector is a Tracer that records the event stream in memory.
+	TraceCollector = obs.Collector
+)
+
+// Trace event kinds emitted during discovery and portfolio races.
+const (
+	// EvRunStart and EvRunFinish bracket one search run.
+	EvRunStart  = obs.EvRunStart
+	EvRunFinish = obs.EvRunFinish
+	// EvGoalTest, EvExpand and EvMove narrate the search-space exploration.
+	EvGoalTest = obs.EvGoalTest
+	EvExpand   = obs.EvExpand
+	EvMove     = obs.EvMove
+	// EvCacheHit and EvCacheMiss report heuristic-cache traffic.
+	EvCacheHit  = obs.EvCacheHit
+	EvCacheMiss = obs.EvCacheMiss
+	// EvMemberStart, EvMemberWin, EvMemberLose and EvMemberCancel narrate a
+	// portfolio race.
+	EvMemberStart  = obs.EvMemberStart
+	EvMemberWin    = obs.EvMemberWin
+	EvMemberLose   = obs.EvMemberLose
+	EvMemberCancel = obs.EvMemberCancel
+)
+
+// NewMetrics returns an empty metrics registry for Options.Metrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewWriterTracer returns a Tracer rendering events as a human-readable
+// transcript on w — the adapter for code that previously set the
+// Options.TraceWriter field.
+func NewWriterTracer(w io.Writer) Tracer { return obs.NewWriterTracer(w) }
+
+// NewTraceCollector returns a Tracer that records the event stream in
+// memory for programmatic inspection.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// MultiTracer fans trace events out to several tracers.
+func MultiTracer(tracers ...Tracer) Tracer { return obs.MultiTracer(tracers...) }
 
 // Verify checks the discovery contract: evaluating expr on source yields a
 // database containing target.
