@@ -20,8 +20,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof-addr
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
+	"sync"
 
 	"tupelo/internal/experiments"
 	"tupelo/internal/obs"
@@ -35,19 +40,49 @@ func main() {
 	budget := flag.Int("budget", 50000, "state budget per run")
 	seed := flag.Int64("seed", 2006, "workload generator seed")
 	sample := flag.Int("sample", 1, "exp 2: map every n-th sibling schema only")
+	ks := flag.String("ks", "", "calibrate: comma-separated candidate scaling constants (default 1..30)")
 	workers := flag.Int("workers", 0, "successor-generation worker pool size (0 = GOMAXPROCS)")
 	tsv := flag.Bool("tsv", false, "emit raw measurements as TSV instead of tables")
 	verbose := flag.Bool("v", false, "print per-run progress to stderr")
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, gauges, timers) to FILE when done")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP at HOST:PORT (/metrics; ?format=json) while running")
+	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark report (schema "+experiments.BenchSchema+") to FILE when done")
+	checkBench := flag.String("check-bench", "", "validate FILE as a benchmark report and exit (used by CI)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at HOST:PORT (/debug/pprof/) while running")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memprofile := flag.String("memprofile", "", "write a heap profile to FILE when done")
 	flag.Parse()
+
+	if *checkBench != "" {
+		data, err := os.ReadFile(*checkBench)
+		if err == nil {
+			err = experiments.ValidateBenchReport(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *checkBench, experiments.BenchSchema)
+		return
+	}
 
 	cfg := experiments.Config{Budget: *budget, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
-	if *metricsOut != "" || *metricsAddr != "" {
+	if *metricsOut != "" || *metricsAddr != "" || *benchOut != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	var (
+		collectMu sync.Mutex
+		collected []experiments.Measurement
+	)
+	if *benchOut != "" {
+		cfg.Collect = func(m experiments.Measurement) {
+			collectMu.Lock()
+			collected = append(collected, m)
+			collectMu.Unlock()
+		}
 	}
 	if *metricsAddr != "" {
 		ln, lerr := net.Listen("tcp", *metricsAddr)
@@ -60,6 +95,30 @@ func main() {
 		mux.Handle("/metrics", cfg.Metrics.Handler())
 		go func() { _ = http.Serve(ln, mux) }()
 	}
+	if *pprofAddr != "" {
+		ln, lerr := net.Listen("tcp", *pprofAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: pprof-addr: %v\n", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tupelo-bench: serving pprof on http://%s/debug/pprof/\n", ln.Addr())
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux, kept separate from the metrics mux above.
+		go func() { _ = http.Serve(ln, http.DefaultServeMux) }()
+	}
+	if *cpuprofile != "" {
+		f, perr := os.Create(*cpuprofile)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: cpuprofile: %v\n", perr)
+			os.Exit(1)
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: cpuprofile: %v\n", perr)
+			os.Exit(1)
+		}
+		// Stopped explicitly after the experiments: os.Exit on the error
+		// paths below would skip a defer.
+	}
 
 	var err error
 	switch *exp {
@@ -70,7 +129,7 @@ func main() {
 	case "3":
 		err = runExp3(*domain, cfg, *tsv, os.Stdout)
 	case "calibrate":
-		err = runCalibrate(cfg, os.Stdout)
+		err = runCalibrate(*ks, cfg, os.Stdout)
 	case "scaling":
 		err = runScaling(cfg, os.Stdout)
 	case "hybrid":
@@ -82,7 +141,7 @@ func main() {
 			func() error { return runExp1(*algoName, cfg, *tsv, os.Stdout) },
 			func() error { return runExp2(cfg, *sample, *tsv, os.Stdout) },
 			func() error { return runExp3(*domain, cfg, *tsv, os.Stdout) },
-			func() error { return runCalibrate(cfg, os.Stdout) },
+			func() error { return runCalibrate(*ks, cfg, os.Stdout) },
 			func() error { return runScaling(cfg, os.Stdout) },
 			func() error { return runHybrid(cfg, os.Stdout) },
 			func() error { return runPortfolio(cfg, 0, os.Stdout) },
@@ -94,6 +153,15 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if werr := writeHeapProfile(*memprofile); werr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 	// Written even after a failed experiment so partial counters (runs
 	// completed before the failure, abort causes) are not lost.
 	if *metricsOut != "" {
@@ -102,10 +170,49 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *benchOut != "" {
+		collectMu.Lock()
+		ms := collected
+		collectMu.Unlock()
+		if werr := writeBenchFile(*benchOut, *exp, cfg, ms); werr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// writeBenchFile assembles and writes the machine-readable benchmark report.
+func writeBenchFile(path, exp string, cfg experiments.Config, ms []experiments.Measurement) error {
+	r := experiments.NewBenchReport(exp, cfg, ms)
+	r.AttachMetrics(cfg.Metrics)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeHeapProfile forces a GC (so the profile reflects live objects, as
+// the runtime/pprof docs recommend) and writes the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetricsFile dumps the registry's JSON snapshot to path.
@@ -252,9 +359,19 @@ func runPortfolio(cfg experiments.Config, sample int, w io.Writer) error {
 	return nil
 }
 
-func runCalibrate(cfg experiments.Config, w io.Writer) error {
+func runCalibrate(ks string, cfg experiments.Config, w io.Writer) error {
 	fmt.Fprintln(w, "== Calibration (§5 setup): scaling constants k ==")
-	rs, err := experiments.RunCalibrate(experiments.CalibrateOptions{}, cfg)
+	opts := experiments.CalibrateOptions{}
+	if ks != "" {
+		for _, part := range strings.Split(ks, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-ks: %v", err)
+			}
+			opts.Ks = append(opts.Ks, k)
+		}
+	}
+	rs, err := experiments.RunCalibrate(opts, cfg)
 	if err != nil {
 		return err
 	}

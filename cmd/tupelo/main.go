@@ -17,8 +17,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr: registers profiling handlers on the default mux
 	"os"
 	"strconv"
 	"strings"
@@ -64,7 +66,9 @@ func usage() {
                   [-heuristic h0|h1|h2|h3|levenshtein|euclid|euclid-norm|cosine]
                   [-k N] [-max-states N] [-timeout DUR] [-workers N]
                   [-portfolio default|SPEC,SPEC,...] [-simplify] [-pretty] [-stats]
-                  [-trace] [-metrics] [-metrics-addr HOST:PORT]
+                  [-trace] [-trace-json FILE] [-trace-sample N]
+                  [-profile FILE] [-trace-chrome FILE]
+                  [-metrics] [-metrics-addr HOST:PORT] [-pprof-addr HOST:PORT]
                   (a portfolio SPEC is algo/heuristic or algo/heuristic/K,
                    e.g. -portfolio rbfs/cosine,ida/h1,rbfs/levenshtein/15)
   tupelo apply    -mapping map.txt -input db.txt [-where PRED -on REL]
@@ -149,8 +153,13 @@ func cmdDiscover(args []string) error {
 	pretty := fs.Bool("pretty", false, "also print paper-style notation")
 	stats := fs.Bool("stats", false, "print search statistics to stderr")
 	trace := fs.Bool("trace", false, "print a search transcript (goal tests, expansions, portfolio members) to stderr")
+	traceJSON := fs.String("trace-json", "", "write the full structured event stream as JSON Lines to FILE")
+	profilePath := fs.String("profile", "", "write a per-run performance profile (text report) to FILE")
+	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event JSON profile (chrome://tracing, Perfetto) to FILE")
+	sampleN := fs.Int("trace-sample", 0, "forward only every Nth high-frequency trace event (0 or 1 = all)")
 	metrics := fs.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) to stderr after the run")
 	metricsAddr := fs.String("metrics-addr", "", "serve metrics over HTTP at HOST:PORT (/metrics; ?format=json) for the run's duration")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof at HOST:PORT (/debug/pprof/) for the run's duration")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,8 +192,51 @@ func cmdDiscover(args []string) error {
 		// is available to the mapper.
 		Correspondences: append(append([]tupelo.Correspondence(nil), src.Corrs...), tgt.Corrs...),
 	}
+	var tracers []tupelo.Tracer
 	if *trace {
-		opts.Tracer = tupelo.NewWriterTracer(os.Stderr)
+		tracers = append(tracers, tupelo.NewWriterTracer(os.Stderr))
+	}
+	if *traceJSON != "" {
+		f, ferr := os.Create(*traceJSON)
+		if ferr != nil {
+			return fmt.Errorf("trace-json: %v", ferr)
+		}
+		defer f.Close()
+		tracers = append(tracers, tupelo.NewJSONTracer(f))
+	}
+	if *profilePath != "" || *traceChrome != "" {
+		prof := tupelo.NewProfile()
+		tracers = append(tracers, prof)
+		// Deferred so an aborted run (deadline, budget) still yields its
+		// partial profile.
+		defer func() {
+			if *profilePath != "" {
+				if werr := writeFileWith(*profilePath, prof.WriteReport); werr != nil {
+					fmt.Fprintf(os.Stderr, "tupelo: profile: %v\n", werr)
+				}
+			}
+			if *traceChrome != "" {
+				if werr := writeFileWith(*traceChrome, prof.WriteChromeTrace); werr != nil {
+					fmt.Fprintf(os.Stderr, "tupelo: trace-chrome: %v\n", werr)
+				}
+			}
+		}()
+	}
+	switch len(tracers) {
+	case 1:
+		opts.Tracer = tracers[0]
+	default:
+		if len(tracers) > 1 {
+			opts.Tracer = tupelo.MultiTracer(tracers...)
+		}
+	}
+	if *sampleN > 1 && opts.Tracer != nil {
+		opts.Tracer = tupelo.SampleTracer(opts.Tracer, *sampleN)
+	}
+	if *pprofAddr != "" {
+		if err := servePprof(*pprofAddr); err != nil {
+			return err
+		}
 	}
 	if *metrics || *metricsAddr != "" {
 		reg := tupelo.NewMetrics()
@@ -265,6 +317,32 @@ func serveMetrics(addr string, reg *tupelo.Metrics) error {
 	mux.Handle("/metrics", reg.Handler())
 	go func() { _ = http.Serve(ln, mux) }()
 	return nil
+}
+
+// servePprof exposes net/http/pprof (registered on the default mux by the
+// blank import above) on its own listener, bound synchronously so address
+// errors surface before the search starts.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof-addr: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tupelo: serving pprof on http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, http.DefaultServeMux) }()
+	return nil
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdApply(args []string) error {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"tupelo/internal/fira"
 	"tupelo/internal/heuristic"
@@ -83,7 +84,11 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		// counter names coincide in the registry.
 		cache = heuristic.Instrument(cache, opts.Metrics, cacheLabel(opts), opts.Tracer)
 	}
-	prob.est, prob.cache = est, cache
+	var hEval *obs.Histogram
+	if opts.Metrics != nil {
+		hEval = opts.Metrics.Histogram(obs.Name("heuristic.eval.seconds", "heuristic", cacheLabel(opts)))
+	}
+	prob.est, prob.cache, prob.hEval = est, cache, hEval
 	var sp search.Problem = prob
 	if opts.DisableCycleCheck {
 		// Ablation: give every generated state a unique key, defeating the
@@ -91,10 +96,7 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		// A*. Only sensible together with a small Limits.MaxStates.
 		sp = &uniqueKeyProblem{inner: prob}
 	}
-	if opts.Tracer != nil {
-		sp = traceProblem(sp, opts.Tracer)
-	}
-	res, err := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache), opts.Limits)
+	res, err := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache, hEval), opts.Limits)
 	return finish(res, err, opts)
 }
 
@@ -154,13 +156,21 @@ func BranchingFactor(source, target *relation.Database, opts Options) (int, erro
 // into TNF. The successor worker pool pre-warms the same cache, so in the
 // common case this is a pure lookup; a portfolio shares one cache across
 // members with the same (heuristic, k), making their lookups mutual hits.
-func cachedEstimator(est *heuristic.Estimator, cache heuristic.Cache) search.Heuristic {
+// Cache misses — the actual evaluations — are timed into hEval when set.
+func cachedEstimator(est *heuristic.Estimator, cache heuristic.Cache, hEval *obs.Histogram) search.Heuristic {
 	return func(s search.State) int {
 		ds := s.(*dbState)
 		if v, ok := cache.Get(ds.key); ok {
 			return v
 		}
+		if hEval == nil {
+			v := est.Estimate(ds.db)
+			cache.Put(ds.key, v)
+			return v
+		}
+		start := time.Now()
 		v := est.Estimate(ds.db)
+		hEval.Observe(time.Since(start))
 		cache.Put(ds.key, v)
 		return v
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"tupelo/internal/fira"
 	"tupelo/internal/obs"
 )
@@ -50,6 +52,7 @@ func opKind(op fira.Op) string {
 type opMetrics struct {
 	proposed map[string]*obs.Counter
 	applied  map[string]*obs.Counter
+	applySec map[string]*obs.Histogram
 	// poolParallel / poolSerial count expansions dispatched to the worker
 	// pool vs. applied inline (too few candidates or Workers == 1);
 	// poolOps counts operator applications that went through the pool and
@@ -69,6 +72,7 @@ func newOpMetrics(reg *obs.Registry) *opMetrics {
 	m := &opMetrics{
 		proposed:     make(map[string]*obs.Counter, len(opKindNames)),
 		applied:      make(map[string]*obs.Counter, len(opKindNames)),
+		applySec:     make(map[string]*obs.Histogram, len(opKindNames)),
 		poolParallel: reg.Counter("core.pool.expansions.parallel"),
 		poolSerial:   reg.Counter("core.pool.expansions.serial"),
 		poolOps:      reg.Counter("core.pool.ops"),
@@ -77,8 +81,18 @@ func newOpMetrics(reg *obs.Registry) *opMetrics {
 	for _, k := range opKindNames {
 		m.proposed[k] = reg.Counter(obs.Name("core.ops.proposed", "op", k))
 		m.applied[k] = reg.Counter(obs.Name("core.ops.applied", "op", k))
+		m.applySec[k] = reg.Histogram(obs.Name("core.op.apply.seconds", "op", k))
 	}
 	return m
+}
+
+// applyLatency records one operator application's latency into its kind's
+// histogram.
+func (m *opMetrics) applyLatency(op fira.Op, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.applySec[opKind(op)].Observe(d)
 }
 
 // count records one proposed candidate operator and, when it yielded a

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"tupelo/internal/datagen"
@@ -154,5 +157,93 @@ func TestPortfolioEventStreamAndMetrics(t *testing.T) {
 	}
 	if proposed == 0 {
 		t.Fatal("no proposed-operator counts recorded")
+	}
+}
+
+// TestLatencyHistogramsRecorded is the acceptance check for the profiling
+// layer's registry half: an instrumented run populates the goal-test,
+// expansion, heuristic-evaluation, and operator-apply latency histograms.
+func TestLatencyHistogramsRecorded(t *testing.T) {
+	src, tgt := datagen.MatchingPair(6)
+	reg := obs.NewRegistry()
+	res, err := Discover(src, tgt, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goalTests := reg.Histogram(obs.Name("search.goaltest.seconds", "algo", "RBFS"))
+	if goalTests.Count() != int64(res.Stats.Examined) {
+		t.Fatalf("goal-test histogram count = %d, want %d (one per examined state)",
+			goalTests.Count(), res.Stats.Examined)
+	}
+	if reg.Histogram(obs.Name("search.expand.seconds", "algo", "RBFS")).Count() == 0 {
+		t.Fatal("expansion histogram empty")
+	}
+	var applies int64
+	for _, k := range opKindNames {
+		applies += reg.Histogram(obs.Name("core.op.apply.seconds", "op", k)).Count()
+	}
+	if applies == 0 {
+		t.Fatal("operator-apply histograms empty")
+	}
+	s := reg.Snapshot()
+	if len(s.Histograms) == 0 {
+		t.Fatal("snapshot carries no histograms")
+	}
+	// The eval label carries the resolved (heuristic, k) cache identity;
+	// match by family rather than hard-coding the published constant.
+	var evals int64
+	for name, hs := range s.Histograms {
+		if strings.HasPrefix(name, "heuristic.eval.seconds{") {
+			evals += hs.Count
+		}
+	}
+	if evals == 0 {
+		t.Fatalf("heuristic-evaluation histogram empty; snapshot has %v", histNames(s))
+	}
+}
+
+func histNames(s obs.Snapshot) []string {
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TestSharedProfileAcrossPortfolio is meaningful under -race: every
+// portfolio member (and its worker pool) emits into one shared Profile, the
+// intended CLI wiring of tupelo discover -profile -portfolio. The profile
+// must survive the concurrency and still describe the race.
+func TestSharedProfileAcrossPortfolio(t *testing.T) {
+	src, tgt := datagen.MatchingPair(8)
+	prof := obs.NewProfile()
+	opts := PortfolioOptions{
+		Configs: []PortfolioConfig{
+			{Algorithm: search.RBFS, Heuristic: heuristic.Cosine},
+			{Algorithm: search.IDA, Heuristic: heuristic.H1},
+		},
+	}
+	opts.Options.Tracer = prof
+	opts.Options.Workers = 4
+	if _, err := DiscoverPortfolio(context.Background(), src, tgt, opts); err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	if err := prof.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "solved") {
+		t.Fatalf("shared profile lost the winning run:\n%s", report.String())
+	}
+	var trace bytes.Buffer
+	if err := prof.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace from a portfolio run is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome trace empty")
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tupelo/internal/fira"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
+	"tupelo/internal/obs"
 	"tupelo/internal/relation"
 	"tupelo/internal/search"
 )
@@ -45,9 +47,17 @@ type mappingProblem struct {
 	cache   heuristic.Cache
 
 	// met, when non-nil, records per-operator-kind proposal/application
-	// counts and worker-pool utilization. Nil when the run has no metrics
-	// registry, keeping the hot path free of map lookups.
+	// counts, apply-latency histograms, and worker-pool utilization. Nil
+	// when the run has no metrics registry, keeping the hot path free of
+	// map lookups.
 	met *opMetrics
+	// tracer, when non-nil, receives one EvOpApply event per candidate
+	// operator application, carrying the operator and its apply latency.
+	tracer obs.Tracer
+	// hEval, when non-nil, times heuristic evaluations done while
+	// pre-warming the cache (the search loop's misses are timed by
+	// cachedEstimator into the same histogram).
+	hEval *obs.Histogram
 }
 
 func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
@@ -64,6 +74,7 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		tAttrVals: make(map[string]map[string]bool),
 		tRelVals:  make(map[string]map[string]bool),
 		met:       newOpMetrics(opts.Metrics),
+		tracer:    opts.Tracer,
 	}
 	p.tAttrsSorted = sortedKeys(p.tAttrs)
 	for _, r := range target.Relations() {
@@ -156,8 +167,28 @@ const minParallelOps = 8
 // cache (concurrency-safe by contract when workers > 1).
 func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) []*dbState {
 	states := make([]*dbState, len(ops))
+	timed := p.met != nil || p.tracer != nil
 	apply := func(i int) {
+		if !timed {
+			next, err := ops[i].Apply(db, p.reg)
+			if err != nil {
+				return
+			}
+			ns := newState(next)
+			p.prewarm(ns)
+			states[i] = ns
+			return
+		}
+		start := time.Now()
 		next, err := ops[i].Apply(db, p.reg)
+		elapsed := time.Since(start)
+		p.met.applyLatency(ops[i], elapsed)
+		if p.tracer != nil {
+			p.tracer.Event(obs.Event{
+				Kind: obs.EvOpApply, Label: ops[i].String(),
+				Goal: err == nil, Elapsed: elapsed,
+			})
+		}
 		if err != nil {
 			return
 		}
@@ -205,7 +236,14 @@ func (p *mappingProblem) prewarm(ns *dbState) {
 	if _, ok := p.cache.Get(ns.key); ok {
 		return
 	}
-	p.cache.Put(ns.key, p.est.Estimate(ns.db))
+	if p.hEval == nil {
+		p.cache.Put(ns.key, p.est.Estimate(ns.db))
+		return
+	}
+	start := time.Now()
+	v := p.est.Estimate(ns.db)
+	p.hEval.Observe(time.Since(start))
+	p.cache.Put(ns.key, v)
 }
 
 // stateAttrs returns the set of attribute names in the state.

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"tupelo/internal/obs"
+)
+
+// BenchSchema identifies the machine-readable benchmark report format. The
+// schema is stable: fields may be added in later versions, but existing
+// fields keep their names and meanings so the repo's recorded BENCH_*.json
+// trajectory stays comparable across versions.
+const BenchSchema = "tupelo-bench/v1"
+
+// BenchEnv records the toolchain and machine shape a report was produced
+// under — the context needed to compare states/sec numbers across commits.
+type BenchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// BenchConfig is the resolved experiment configuration.
+type BenchConfig struct {
+	Budget  int   `json:"budget"`
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+}
+
+// BenchMeasurement is one experimental run in wire form.
+type BenchMeasurement struct {
+	Experiment string `json:"experiment"`
+	Label      string `json:"label,omitempty"`
+	Param      int    `json:"param"`
+	Algorithm  string `json:"algorithm"`
+	Heuristic  string `json:"heuristic"`
+	States     int    `json:"states"`
+	Solved     bool   `json:"solved"`
+	Censored   bool   `json:"censored"`
+	PathLen    int    `json:"path_len,omitempty"`
+	ElapsedNS  int64  `json:"elapsed_ns"`
+}
+
+// BenchAggregate summarizes a report's measurements; StatesPerSec is the
+// headline throughput number perf PRs compare.
+type BenchAggregate struct {
+	Measurements   int     `json:"measurements"`
+	Solved         int     `json:"solved"`
+	Censored       int     `json:"censored"`
+	TotalStates    int64   `json:"total_states"`
+	TotalElapsedNS int64   `json:"total_elapsed_ns"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+}
+
+// BenchReport is the complete machine-readable record of one tupelo-bench
+// invocation: what ran, on what, what happened, and the full metrics
+// snapshot (including the latency histograms).
+type BenchReport struct {
+	Schema       string             `json:"schema"`
+	Experiment   string             `json:"experiment"`
+	GeneratedAt  time.Time          `json:"generated_at"`
+	Env          BenchEnv           `json:"env"`
+	Config       BenchConfig        `json:"config"`
+	Measurements []BenchMeasurement `json:"measurements"`
+	Aggregate    BenchAggregate     `json:"aggregate"`
+	Metrics      *obs.Snapshot      `json:"metrics,omitempty"`
+}
+
+// NewBenchReport assembles a report from an experiment's measurements and
+// the run's configuration, stamping the current environment and time.
+func NewBenchReport(experiment string, cfg Config, ms []Measurement) *BenchReport {
+	r := &BenchReport{
+		Schema:      BenchSchema,
+		Experiment:  experiment,
+		GeneratedAt: time.Now().UTC(),
+		Env: BenchEnv{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Config: BenchConfig{
+			Budget:  cfg.Budget,
+			Seed:    cfg.Seed,
+			Workers: cfg.Workers,
+		},
+		Measurements: make([]BenchMeasurement, 0, len(ms)),
+	}
+	for _, m := range ms {
+		r.Measurements = append(r.Measurements, BenchMeasurement{
+			Experiment: m.Experiment,
+			Label:      m.Label,
+			Param:      m.Param,
+			Algorithm:  m.Algorithm.String(),
+			Heuristic:  m.Heuristic.String(),
+			States:     m.States,
+			Solved:     !m.Censored,
+			Censored:   m.Censored,
+			PathLen:    m.PathLen,
+			ElapsedNS:  int64(m.Duration),
+		})
+		r.Aggregate.TotalStates += int64(m.States)
+		r.Aggregate.TotalElapsedNS += int64(m.Duration)
+		if m.Censored {
+			r.Aggregate.Censored++
+		} else {
+			r.Aggregate.Solved++
+		}
+	}
+	r.Aggregate.Measurements = len(r.Measurements)
+	if r.Aggregate.TotalElapsedNS > 0 {
+		r.Aggregate.StatesPerSec = float64(r.Aggregate.TotalStates) /
+			(float64(r.Aggregate.TotalElapsedNS) / float64(time.Second))
+	}
+	return r
+}
+
+// AttachMetrics snapshots the registry into the report.
+func (r *BenchReport) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := reg.Snapshot()
+	r.Metrics = &s
+}
+
+// WriteJSON writes the report, indented for diff-friendly trajectory files.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ValidateBenchReport checks that data is a schema-valid BenchReport: the
+// schema tag matches, the environment and experiment id are present, every
+// measurement names its configuration, the aggregate is consistent with the
+// measurement list, and the metrics snapshot carries at least one latency
+// histogram (the profiling layer's output — its absence means the bench ran
+// without instrumentation). It is the check behind tupelo-bench
+// -check-bench and the CI benchmark-smoke step.
+func ValidateBenchReport(data []byte) error {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench report: not valid JSON: %w", err)
+	}
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if r.Experiment == "" {
+		return fmt.Errorf("bench report: missing experiment id")
+	}
+	if r.GeneratedAt.IsZero() {
+		return fmt.Errorf("bench report: missing generated_at")
+	}
+	if r.Env.GoVersion == "" || r.Env.GOMAXPROCS <= 0 {
+		return fmt.Errorf("bench report: incomplete env: %+v", r.Env)
+	}
+	if len(r.Measurements) == 0 {
+		return fmt.Errorf("bench report: no measurements")
+	}
+	var states, elapsed int64
+	for i, m := range r.Measurements {
+		if m.Algorithm == "" || m.Heuristic == "" {
+			return fmt.Errorf("bench report: measurement %d missing algorithm/heuristic", i)
+		}
+		if m.States < 0 || m.ElapsedNS < 0 {
+			return fmt.Errorf("bench report: measurement %d has negative states/elapsed", i)
+		}
+		if m.Solved == m.Censored {
+			return fmt.Errorf("bench report: measurement %d: solved and censored must disagree", i)
+		}
+		states += int64(m.States)
+		elapsed += m.ElapsedNS
+	}
+	if r.Aggregate.Measurements != len(r.Measurements) {
+		return fmt.Errorf("bench report: aggregate counts %d measurements, found %d",
+			r.Aggregate.Measurements, len(r.Measurements))
+	}
+	if r.Aggregate.TotalStates != states || r.Aggregate.TotalElapsedNS != elapsed {
+		return fmt.Errorf("bench report: aggregate totals disagree with measurements")
+	}
+	if r.Metrics == nil {
+		return fmt.Errorf("bench report: missing metrics snapshot")
+	}
+	if len(r.Metrics.Histograms) == 0 {
+		return fmt.Errorf("bench report: metrics snapshot has no histograms")
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"time"
 
 	"tupelo/internal/core"
 	"tupelo/internal/datagen"
@@ -93,8 +94,19 @@ func RunCalibrate(opts CalibrateOptions, cfg Config) ([]CalibrationResult, error
 }
 
 // calibrateOne runs one discovery with an explicit k and returns the states
-// examined (the budget when censored).
+// examined (the budget when censored). Each run also feeds Config.Collect
+// as a Measurement with Param = k, so a calibration sweep produces a
+// machine-readable record even though RunCalibrate's return type only
+// carries the per-k totals.
 func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task calibrationTask, cfg Config) (int, error) {
+	m := Measurement{
+		Experiment: "calibrate",
+		Label:      "calibration",
+		Param:      int(k),
+		Algorithm:  algo,
+		Heuristic:  kind,
+	}
+	start := time.Now()
 	res, err := core.Discover(task.src, task.tgt, core.Options{
 		Algorithm: algo,
 		Heuristic: kind,
@@ -102,11 +114,19 @@ func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task ca
 		Limits:    search.Limits{MaxStates: cfg.Budget},
 		Metrics:   cfg.Metrics,
 	})
-	if err != nil {
-		if errors.Is(err, search.ErrLimit) {
-			return cfg.Budget, nil
-		}
+	m.Duration = time.Since(start)
+	switch {
+	case err == nil:
+		m.States = res.Stats.Examined
+		m.PathLen = len(res.Expr)
+	case errors.Is(err, search.ErrLimit):
+		m.States = cfg.Budget
+		m.Censored = true
+	default:
 		return 0, err
 	}
-	return res.Stats.Examined, nil
+	if cfg.Collect != nil {
+		cfg.Collect(m)
+	}
+	return m.States, nil
 }

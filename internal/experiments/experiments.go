@@ -62,6 +62,12 @@ type Config struct {
 	// across every run of the experiment. The registry is race-safe, so one
 	// registry may span all experiments of a bench invocation.
 	Metrics *obs.Registry
+	// Collect, when non-nil, receives every completed Measurement —
+	// including those of experiments whose return type aggregates them away
+	// (calibration sweeps) — so callers can assemble machine-readable
+	// reports (tupelo-bench -bench-out) without changing each experiment's
+	// signature.
+	Collect func(Measurement)
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +117,9 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 		}
 		fmt.Fprintf(cfg.Progress, "%s %-10s %-5s %-12s param=%-3d %s (%s)\n",
 			exp, label, algo, kind, param, status, m.Duration.Round(time.Millisecond))
+	}
+	if cfg.Collect != nil {
+		cfg.Collect(m)
 	}
 	return m, nil
 }

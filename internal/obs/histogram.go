@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log-spaced (base-2) latency buckets. The
+// first bucket's upper bound is histMinNS nanoseconds and every subsequent
+// bound doubles, so 34 finite buckets span 64ns .. ~9.4 minutes — below the
+// first bound nothing in this codebase is distinguishable from timer
+// overhead, above the last a "latency" is really a whole experiment. The
+// final bucket is the +Inf overflow. Fixed bounds keep Observe lock-free
+// (one atomic add into a flat array, no resizing, no mutex) and make every
+// histogram in a registry mergeable sample-by-sample.
+const (
+	histMinNS         = 64
+	histFiniteBuckets = 34
+	histBucketCount   = histFiniteBuckets + 1 // + overflow (+Inf)
+)
+
+// histBound returns the upper bound, in nanoseconds, of finite bucket i.
+func histBound(i int) int64 { return histMinNS << uint(i) }
+
+// histIndex maps a duration in nanoseconds to its bucket index.
+func histIndex(ns int64) int {
+	if ns <= histMinNS {
+		return 0
+	}
+	// Smallest i with histMinNS<<i >= ns: the bit length of (ns-1)/histMinNS
+	// rounded up to the next power of two.
+	i := bits.Len64(uint64(ns-1) >> 6) // 6 = log2(histMinNS)
+	if i >= histFiniteBuckets {
+		return histBucketCount - 1
+	}
+	return i
+}
+
+// Histogram is a latency distribution over log-spaced fixed buckets. All
+// updates are single atomic adds, so a Histogram is lock-free and safe for
+// concurrent use; the zero value is ready to use and a nil *Histogram is a
+// no-op, matching the other instruments.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBucketCount]atomic.Int64
+}
+
+// Observe records one duration. Negative durations count into the first
+// bucket (they are clock-adjustment noise, not data).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[histIndex(ns)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Total returns the accumulated duration.
+func (h *Histogram) Total() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution: it finds the bucket holding the target rank and
+// interpolates linearly inside it. Overflow observations report the last
+// finite bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.snapshotBuckets().quantile(q)
+}
+
+// histCounts is a point-in-time copy of the bucket array.
+type histCounts struct {
+	count   int64
+	buckets [histBucketCount]int64
+}
+
+func (h *Histogram) snapshotBuckets() histCounts {
+	var s histCounts
+	s.count = h.count.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+func (s histCounts) quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.count)
+	var cum float64
+	for i, n := range s.buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < rank {
+			continue
+		}
+		if i >= histFiniteBuckets {
+			return time.Duration(histBound(histFiniteBuckets - 1))
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = histBound(i - 1)
+		}
+		hi := histBound(i)
+		frac := (rank - prev) / float64(n)
+		return time.Duration(float64(lo) + frac*float64(hi-lo))
+	}
+	return time.Duration(histBound(histFiniteBuckets - 1))
+}
+
+// HistogramBucket is one cumulative bucket of a HistogramSnapshot: Count
+// observations were <= UpperNS nanoseconds.
+type HistogramBucket struct {
+	UpperNS int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of one Histogram: totals, the
+// estimated 50th/90th/99th percentiles, and the non-empty finite buckets
+// with cumulative counts (the +Inf bucket is implied by Count). Buckets with
+// no new observations are omitted, so the JSON stays proportional to the
+// spread of the data rather than the bucket grid.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	TotalNS int64             `json:"total_ns"`
+	P50NS   int64             `json:"p50_ns"`
+	P90NS   int64             `json:"p90_ns"`
+	P99NS   int64             `json:"p99_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the current distribution.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := h.snapshotBuckets()
+	out := HistogramSnapshot{
+		Count:   s.count,
+		TotalNS: h.sum.Load(),
+		P50NS:   int64(s.quantile(0.50)),
+		P90NS:   int64(s.quantile(0.90)),
+		P99NS:   int64(s.quantile(0.99)),
+	}
+	var cum int64
+	for i := 0; i < histFiniteBuckets; i++ {
+		if s.buckets[i] == 0 {
+			continue
+		}
+		cum += s.buckets[i]
+		out.Buckets = append(out.Buckets, HistogramBucket{UpperNS: histBound(i), Count: cum})
+	}
+	return out
+}
+
+// boundSeconds renders a bucket's upper bound as a Prometheus le value.
+func boundSeconds(ns int64) float64 {
+	return float64(ns) / float64(time.Second)
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonEvent is the wire form of one Event: kind as its String name, error
+// as its message, elapsed in nanoseconds, zero-valued fields omitted.
+type jsonEvent struct {
+	Kind      string `json:"kind"`
+	Label     string `json:"label,omitempty"`
+	Seq       int    `json:"seq,omitempty"`
+	N         int    `json:"n,omitempty"`
+	Depth     int    `json:"depth,omitempty"`
+	Goal      bool   `json:"goal,omitempty"`
+	Err       string `json:"err,omitempty"`
+	ElapsedNS int64  `json:"elapsed_ns,omitempty"`
+}
+
+// JSONTracer writes the full event stream — including the cache and
+// operator-apply events that transcripts omit — as one JSON object per
+// line, so traces are machine-parseable without writing a custom Tracer.
+// A mutex serializes writes; a JSONTracer is safe for concurrent use.
+type JSONTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONTracer returns a Tracer streaming JSON event objects to w.
+func NewJSONTracer(w io.Writer) *JSONTracer {
+	return &JSONTracer{enc: json.NewEncoder(w)}
+}
+
+// Event implements Tracer.
+func (t *JSONTracer) Event(e Event) {
+	rec := jsonEvent{
+		Kind:      e.Kind.String(),
+		Label:     e.Label,
+		Seq:       e.Seq,
+		N:         e.N,
+		Depth:     e.Depth,
+		Goal:      e.Goal,
+		ElapsedNS: int64(e.Elapsed),
+	}
+	if e.Err != nil {
+		rec.Err = e.Err.Error()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(rec)
+}

@@ -165,18 +165,20 @@ func (t *Timer) MaxValue() time.Duration {
 // instruments once and then touch only atomics. A nil *Registry hands out
 // nil instruments, which are themselves no-ops.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -240,6 +242,27 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // TimerSnapshot is the exported state of one Timer.
 type TimerSnapshot struct {
 	Count   int64         `json:"count"`
@@ -252,18 +275,20 @@ type TimerSnapshot struct {
 // Snapshot is a point-in-time copy of every instrument in a registry; it
 // marshals to the expvar-style JSON exposition.
 type Snapshot struct {
-	Counters map[string]int64         `json:"counters"`
-	Gauges   map[string]int64         `json:"gauges"`
-	Timers   map[string]TimerSnapshot `json:"timers"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Timers     map[string]TimerSnapshot     `json:"timers"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot copies the current value of every instrument. A nil registry
 // yields an empty (but non-nil-mapped) snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: make(map[string]int64),
-		Gauges:   make(map[string]int64),
-		Timers:   make(map[string]TimerSnapshot),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Timers:     make(map[string]TimerSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
 	}
 	if r == nil {
 		return s
@@ -285,6 +310,9 @@ func (r *Registry) Snapshot() Snapshot {
 			Max:     t.MaxValue(),
 		}
 	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
 	return s
 }
 
@@ -304,7 +332,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // adjacently (labels follow the base name lexically), so emitting the
 // header on each base-name change yields exactly one per family. Timers
 // emit _count and _seconds_total samples as the counter pair of a
-// Prometheus summary.
+// Prometheus summary, plus a _max_seconds gauge for the largest single
+// observation. Histograms emit the standard _bucket{le=...}/_sum/_count
+// triple with cumulative bucket counts in seconds.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	var b strings.Builder
@@ -331,8 +361,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		timerNames = append(timerNames, name)
 	}
 	sort.Strings(timerNames)
-	// Two passes keep each derived family's samples contiguous under its
-	// own header, as the format requires.
+	// Separate passes keep each derived family's samples contiguous under
+	// its own header, as the format requires.
 	last = ""
 	for _, name := range timerNames {
 		base, labels := promName(name)
@@ -345,8 +375,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		typeHeader(&last, base+"_seconds_total", "counter")
 		fmt.Fprintf(&b, "%s_seconds_total%s %g\n", base, labels, time.Duration(s.Timers[name].TotalNS).Seconds())
 	}
+	last = ""
+	for _, name := range timerNames {
+		base, labels := promName(name)
+		typeHeader(&last, base+"_max_seconds", "gauge")
+		fmt.Fprintf(&b, "%s_max_seconds%s %g\n", base, labels, time.Duration(s.Timers[name].MaxNS).Seconds())
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	last = ""
+	for _, name := range histNames {
+		base, labels := promName(name)
+		typeHeader(&last, base, "histogram")
+		h := s.Histograms[name]
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, withLE(labels, fmt.Sprintf("%g", boundSeconds(bk.UpperNS))), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, withLE(labels, "+Inf"), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %g\n", base, labels, time.Duration(h.TotalNS).Seconds())
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, h.Count)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// withLE splices an le="..." pair into an existing {label="value"} block
+// (or synthesizes the block when there are no other labels), keeping le
+// last as the Prometheus convention expects.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", labels[:len(labels)-1], le)
 }
 
 func sortedKeys(m map[string]int64) []string {

@@ -1,0 +1,489 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)            // bucket 0 (<= 64ns)
+	h.Observe(-time.Second) // clamped to 0, bucket 0
+	h.Observe(64 * time.Nanosecond)
+	h.Observe(65 * time.Nanosecond) // bucket 1 (<= 128ns)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Hour) // beyond the last finite bound: overflow
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Total() != time.Hour+time.Millisecond+129*time.Nanosecond {
+		t.Fatalf("total = %s", h.Total())
+	}
+	s := h.snapshotBuckets()
+	if s.buckets[0] != 3 || s.buckets[1] != 1 {
+		t.Fatalf("low buckets = %d, %d", s.buckets[0], s.buckets[1])
+	}
+	if s.buckets[histBucketCount-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.buckets[histBucketCount-1])
+	}
+	// Every observation must land in a bucket whose bound brackets it.
+	for _, d := range []time.Duration{1, 63, 64, 65, 127, 128, 129, 1 << 20, 1 << 30} {
+		i := histIndex(int64(d))
+		if i > 0 && int64(d) <= histBound(i-1) {
+			t.Fatalf("histIndex(%d) = %d: below bucket's lower bound", d, i)
+		}
+		if i < histFiniteBuckets && int64(d) > histBound(i) {
+			t.Fatalf("histIndex(%d) = %d: above bucket's upper bound", d, i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 100 observations spread uniformly inside the (512ns, 1024ns] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(600 * time.Nanosecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 512*time.Nanosecond || p50 > 1024*time.Nanosecond {
+		t.Fatalf("p50 = %s, want within the (512ns, 1024ns] bucket", p50)
+	}
+	// Quantiles are monotone in q.
+	if h.Quantile(0.99) < h.Quantile(0.5) || h.Quantile(0.5) < h.Quantile(0.1) {
+		t.Fatal("quantiles must be monotone")
+	}
+	// Overflow observations report the last finite bound, not +Inf.
+	o := &Histogram{}
+	o.Observe(time.Hour)
+	if got := o.Quantile(0.5); got != time.Duration(histBound(histFiniteBuckets-1)) {
+		t.Fatalf("overflow quantile = %s", got)
+	}
+}
+
+func TestHistogramNilAndConcurrent(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Total() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+
+	live := &Histogram{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				live.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if live.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", live.Count())
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(50 * time.Nanosecond)  // bucket 0
+	h.Observe(100 * time.Nanosecond) // bucket 1
+	h.Observe(100 * time.Nanosecond) // bucket 1
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("snapshot buckets = %+v, want 2 non-empty", s.Buckets)
+	}
+	if s.Buckets[0].UpperNS != 64 || s.Buckets[0].Count != 1 {
+		t.Fatalf("bucket 0 = %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].UpperNS != 128 || s.Buckets[1].Count != 3 {
+		t.Fatalf("bucket 1 = %+v (counts must be cumulative)", s.Buckets[1])
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("search.expand.seconds")
+	h.Observe(time.Millisecond)
+	if r.Histogram("search.expand.seconds") != h {
+		t.Fatal("histogram lookup not stable")
+	}
+	var nilReg *Registry
+	if nilReg.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+	s := r.Snapshot()
+	hs, ok := s.Histograms["search.expand.seconds"]
+	if !ok || hs.Count != 1 {
+		t.Fatalf("snapshot histograms = %+v", s.Histograms)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON exposition: %v", err)
+	}
+	if round.Histograms["search.expand.seconds"].Count != 1 {
+		t.Fatal("histogram lost in JSON round trip")
+	}
+}
+
+func TestWritePrometheusHistogramAndTimerMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Name("search.expand.seconds", "algo", "RBFS"))
+	h.Observe(100 * time.Nanosecond) // bucket le=1.28e-07
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Hour) // overflow: only in +Inf
+	r.Timer("portfolio.race").Observe(1500 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tupelo_search_expand_seconds histogram",
+		`tupelo_search_expand_seconds_bucket{algo="RBFS",le="1.28e-07"} 2`,
+		`tupelo_search_expand_seconds_bucket{algo="RBFS",le="+Inf"} 3`,
+		`tupelo_search_expand_seconds_count{algo="RBFS"} 3`,
+		`tupelo_search_expand_seconds_sum{algo="RBFS"} 3600.0000002`,
+		"tupelo_portfolio_race_max_seconds 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriterTracerGoldenTranscript pins the full transcript for every
+// EventKind: the rendered lines are a compatibility surface (tests and
+// scripts grep them), and the high-frequency kinds must stay silent.
+func TestWriterTracerGoldenTranscript(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewWriterTracer(&buf)
+	for _, e := range []Event{
+		{Kind: EvRunStart, Label: "RBFS"},
+		{Kind: EvGoalTest, Seq: 1},
+		{Kind: EvExpand, N: 2, Depth: 0},
+		{Kind: EvMove, Label: "rename_att[Emp,nm->Name]"},
+		{Kind: EvMove, Label: "drop[Emp,dept]"},
+		{Kind: EvOpApply, Label: "rename_att[Emp,nm->Name]", Goal: true, Elapsed: time.Microsecond}, // silent
+		{Kind: EvCacheMiss, Label: "cosine"}, // silent
+		{Kind: EvCacheHit, Label: "cosine"},  // silent
+		{Kind: EvGoalTest, Seq: 2, Goal: true},
+		{Kind: EvExpand, Err: errors.New("bad state")},
+		{Kind: EvRunFinish, Label: "RBFS", Goal: true, N: 2, Elapsed: 5 * time.Millisecond},
+		{Kind: EvRunFinish, Label: "IDA", N: 7, Err: errors.New("limit")},
+		{Kind: EvMemberStart, Label: "RBFS/cosine"},
+		{Kind: EvMemberWin, Label: "RBFS/cosine", N: 2, Elapsed: 5 * time.Millisecond},
+		{Kind: EvMemberLose, Label: "IDA/h1", Err: errors.New("boom")},
+		{Kind: EvMemberCancel, Label: "IDA/h2", Elapsed: 6 * time.Millisecond},
+	} {
+		tr.Event(e)
+	}
+	const want = `run RBFS: start
+examine 1
+expand: 2 moves
+  move rename_att[Emp,nm->Name]
+  move drop[Emp,dept]
+examine 2: GOAL
+expand: error: bad state
+run RBFS: solved after 2 states (5ms)
+run IDA: failed after 7 states: limit
+member RBFS/cosine: start
+member RBFS/cosine: WIN after 2 states (5ms)
+member IDA/h1: lost: boom
+member IDA/h2: cancelled (6ms)
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("transcript drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONTracerStream(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONTracer(&buf)
+	tr.Event(Event{Kind: EvRunStart, Label: "RBFS"})
+	tr.Event(Event{Kind: EvGoalTest, Seq: 3, Depth: 2, Goal: true})
+	tr.Event(Event{Kind: EvOpApply, Label: "drop[Emp,dept]", Goal: true, Elapsed: 250 * time.Nanosecond})
+	tr.Event(Event{Kind: EvRunFinish, Label: "RBFS", Err: errors.New("limit"), N: 9})
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d JSON lines, want 4", len(lines))
+	}
+	if lines[0]["kind"] != "run-start" || lines[0]["label"] != "RBFS" {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if lines[1]["kind"] != "goal-test" || lines[1]["seq"] != float64(3) ||
+		lines[1]["depth"] != float64(2) || lines[1]["goal"] != true {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+	if lines[2]["elapsed_ns"] != float64(250) {
+		t.Fatalf("line 2 = %v", lines[2])
+	}
+	if lines[3]["err"] != "limit" {
+		t.Fatalf("line 3 = %v", lines[3])
+	}
+	if _, present := lines[0]["seq"]; present {
+		t.Fatal("zero fields must be omitted")
+	}
+}
+
+func TestSampleTracer(t *testing.T) {
+	c := NewCollector()
+	s := Sample(c, 3)
+	for i := 0; i < 9; i++ {
+		s.Event(Event{Kind: EvGoalTest, Seq: i})
+	}
+	if got := c.Count(EvGoalTest); got != 3 {
+		t.Fatalf("forwarded %d of 9 goal tests at n=3, want 3", got)
+	}
+	// Structural events always pass.
+	s.Event(Event{Kind: EvRunStart})
+	s.Event(Event{Kind: EvRunFinish})
+	s.Event(Event{Kind: EvMemberWin})
+	if got := c.Count(EvRunStart, EvRunFinish, EvMemberWin); got != 3 {
+		t.Fatalf("structural events dropped: %d of 3", got)
+	}
+	// Kinds are counted independently: the first event of a fresh kind passes.
+	s.Event(Event{Kind: EvExpand})
+	if c.Count(EvExpand) != 1 {
+		t.Fatal("first event of a kind must pass")
+	}
+	if Sample(nil, 5) != Nop || Sample(Nop, 5) != Nop {
+		t.Fatal("sampling nothing must be Nop")
+	}
+	if Sample(c, 1) != Tracer(c) || Sample(c, 0) != Tracer(c) {
+		t.Fatal("n <= 1 must return the tracer unchanged")
+	}
+}
+
+// profileClock is a deterministic time source for Profile tests.
+type profileClock struct {
+	mu sync.Mutex
+	at time.Time
+}
+
+func (c *profileClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at = c.at.Add(time.Millisecond)
+	return c.at
+}
+
+func newTestProfile() *Profile {
+	p := NewProfile()
+	p.now = (&profileClock{at: time.Unix(1000, 0)}).now
+	return p
+}
+
+func TestProfileAggregation(t *testing.T) {
+	p := newTestProfile()
+	p.Event(Event{Kind: EvRunStart, Label: "RBFS"})
+	for i := 1; i <= 20; i++ {
+		p.Event(Event{Kind: EvGoalTest, Seq: i, Goal: i == 20})
+		p.Event(Event{Kind: EvExpand, Seq: i, Depth: i % 3, N: 4, Elapsed: 200 * time.Microsecond})
+		p.Event(Event{Kind: EvOpApply, Label: "rename_att[Emp,nm->Name]", Goal: true, Elapsed: 40 * time.Microsecond})
+		p.Event(Event{Kind: EvOpApply, Label: "drop[Emp,dept]", Goal: false, Elapsed: 10 * time.Microsecond})
+		p.Event(Event{Kind: EvCacheMiss, Label: "cosine"})
+		p.Event(Event{Kind: EvCacheHit, Label: "cosine"})
+	}
+	p.Event(Event{Kind: EvRunFinish, Label: "RBFS", Goal: true, N: 20, Elapsed: 123 * time.Millisecond})
+
+	if p.Elapsed() != 123*time.Millisecond {
+		t.Fatalf("Elapsed = %s", p.Elapsed())
+	}
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"profile: RBFS — solved, 20 states examined",
+		"expansions: 20 (total 4ms); moves offered: 0",
+		"heuristic cache: 20 hits / 20 misses (50.0% hit rate)",
+		"rename_att", "drop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Per-operator aggregation keys by family and keeps proposed vs applied.
+	p.mu.Lock()
+	ra, dr := p.ops["rename_att"], p.ops["drop"]
+	p.mu.Unlock()
+	if ra == nil || ra.Proposed != 20 || ra.Applied != 20 || ra.ApplyMaxNS != int64(40*time.Microsecond) {
+		t.Fatalf("rename_att profile = %+v", ra)
+	}
+	if dr == nil || dr.Proposed != 20 || dr.Applied != 0 {
+		t.Fatalf("drop profile = %+v", dr)
+	}
+}
+
+func TestProfileLabelPortfolio(t *testing.T) {
+	p := newTestProfile()
+	p.Event(Event{Kind: EvRunStart, Label: "RBFS"})
+	p.Event(Event{Kind: EvRunStart, Label: "IDA"})
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "profile: portfolio") {
+		t.Fatalf("mixed-algorithm profile should label itself portfolio:\n%s", buf.String())
+	}
+}
+
+func TestProfileCheckpointCompaction(t *testing.T) {
+	p := newTestProfile()
+	for i := 1; i <= 3*profMaxCheckpoints; i++ {
+		p.Event(Event{Kind: EvGoalTest, Seq: i})
+	}
+	p.mu.Lock()
+	n, stride := len(p.checkpoints), p.stride
+	p.mu.Unlock()
+	if n >= profMaxCheckpoints {
+		t.Fatalf("checkpoints = %d, must stay under the %d cap", n, profMaxCheckpoints)
+	}
+	if stride < 2 {
+		t.Fatalf("stride = %d, must have doubled", stride)
+	}
+	// Offsets stay strictly increasing after compaction.
+	p.mu.Lock()
+	for i := 1; i < len(p.checkpoints); i++ {
+		if p.checkpoints[i].OffsetNS <= p.checkpoints[i-1].OffsetNS {
+			p.mu.Unlock()
+			t.Fatalf("checkpoint offsets not increasing at %d", i)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// TestProfileChromeTraceValid decodes the export as a strict trace_event
+// JSON array: every record has a name, a phase, a pid, and non-negative
+// timestamps — the contract chrome://tracing and Perfetto load.
+func TestProfileChromeTraceValid(t *testing.T) {
+	p := newTestProfile()
+	p.Event(Event{Kind: EvRunStart, Label: "RBFS"})
+	for i := 1; i <= 50; i++ {
+		p.Event(Event{Kind: EvGoalTest, Seq: i})
+		p.Event(Event{Kind: EvExpand, Seq: i, Depth: i % 4, N: 3, Elapsed: 100 * time.Microsecond})
+		p.Event(Event{Kind: EvCacheMiss})
+	}
+	p.Event(Event{Kind: EvRunFinish, Label: "RBFS", Goal: true, N: 50, Elapsed: 300 * time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&events); err != nil {
+		t.Fatalf("not a valid trace_event JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	var slices, counters, meta int
+	for i, e := range events {
+		if e.Name == "" || e.PID == 0 {
+			t.Fatalf("event %d missing name/pid: %+v", i, e)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("slice %d has negative ts/dur: %+v", i, e)
+			}
+		case "C":
+			counters++
+			if len(e.Args) == 0 {
+				t.Fatalf("counter %d has no args: %+v", i, e)
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	if meta < 2 || slices < 50 || counters == 0 {
+		t.Fatalf("trace shape: %d meta, %d slices, %d counters", meta, slices, counters)
+	}
+}
+
+func TestProfileEmptyReport(t *testing.T) {
+	p := NewProfile()
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no events)") {
+		t.Fatalf("empty report: %s", buf.String())
+	}
+	buf.Reset()
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty chrome trace must still be a JSON array: %v", err)
+	}
+}
+
+// TestProfileConcurrent is meaningful under -race: portfolio members share
+// one Profile.
+func TestProfileConcurrent(t *testing.T) {
+	p := NewProfile()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 1; j <= 500; j++ {
+				p.Event(Event{Kind: EvGoalTest, Seq: j})
+				p.Event(Event{Kind: EvExpand, Depth: id, N: 2, Elapsed: time.Microsecond})
+				p.Event(Event{Kind: EvOpApply, Label: "drop[R,a]", Goal: true, Elapsed: time.Microsecond})
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	examined := p.examined
+	p.mu.Unlock()
+	if examined != 2000 {
+		t.Fatalf("examined = %d, want 2000", examined)
+	}
+}

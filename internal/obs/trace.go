@@ -39,6 +39,11 @@ const (
 	// EvMemberCancel marks a member stopped because another member won (or
 	// the caller cancelled the race).
 	EvMemberCancel
+	// EvOpApply is one candidate-operator application during a successor
+	// expansion; Label is the operator, Goal reports whether it yielded a
+	// successor, Elapsed the apply duration. Like the cache events it is
+	// high-frequency and omitted from transcripts.
+	EvOpApply
 )
 
 // String names the kind for transcripts and debugging.
@@ -66,6 +71,8 @@ func (k EventKind) String() string {
 		return "member-lose"
 	case EvMemberCancel:
 		return "member-cancel"
+	case EvOpApply:
+		return "op-apply"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -84,6 +91,9 @@ type Event struct {
 	Seq int
 	// N is a count: moves generated, states examined, members racing.
 	N int
+	// Depth is the search depth (g) of the state on goal tests, expansions,
+	// and moves.
+	Depth int
 	// Goal marks a successful goal test, run, or winning member.
 	Goal bool
 	// Err is the failure cause on EvRunFinish and EvMemberLose.
@@ -161,9 +171,10 @@ func (t *WriterTracer) Event(e Event) {
 		fmt.Fprintf(t.w, "member %s: lost: %v\n", e.Label, e.Err)
 	case EvMemberCancel:
 		fmt.Fprintf(t.w, "member %s: cancelled (%s)\n", e.Label, e.Elapsed)
-	case EvCacheHit, EvCacheMiss:
-		// Omitted: one line per heuristic evaluation would drown the
-		// transcript. Counters carry the aggregate; Collector the stream.
+	case EvCacheHit, EvCacheMiss, EvOpApply:
+		// Omitted: one line per heuristic evaluation or operator apply
+		// would drown the transcript. Counters and histograms carry the
+		// aggregate; Collector, JSONTracer, or Profile carry the stream.
 	}
 }
 

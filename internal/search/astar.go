@@ -68,17 +68,16 @@ func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy b
 		if err := c.examine(); err != nil {
 			return nil, c.fail(err)
 		}
-		if p.IsGoal(n.state) {
+		if c.isGoal(p, n.state, n.g) {
 			return c.finish(&Result{Path: n.path, Goal: n.state}), nil
 		}
 		if !c.depthOK(n.g + 1) {
 			continue
 		}
-		moves, err := p.Successors(n.state)
+		moves, err := c.expand(p, n.state, n.g)
 		if err != nil {
 			return nil, c.fail(err)
 		}
-		c.generated(len(moves))
 		for _, m := range moves {
 			g := n.g + m.Cost
 			k := m.To.Key()

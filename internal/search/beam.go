@@ -30,7 +30,7 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 			if err := c.examine(); err != nil {
 				return nil, c.fail(err)
 			}
-			if p.IsGoal(n.state) {
+			if c.isGoal(p, n.state, n.g) {
 				return c.finish(&Result{Path: n.path, Goal: n.state}), nil
 			}
 		}
@@ -46,11 +46,10 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 			if !c.depthOK(n.g + 1) {
 				continue
 			}
-			moves, err := p.Successors(n.state)
+			moves, err := c.expand(p, n.state, n.g)
 			if err != nil {
 				return nil, c.fail(err)
 			}
-			c.generated(len(moves))
 			for _, m := range moves {
 				k := m.To.Key()
 				if seen[k] {
@@ -116,17 +115,16 @@ func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) 
 		if err := c.examine(); err != nil {
 			return nil, c.fail(err)
 		}
-		if p.IsGoal(n.state) {
+		if c.isGoal(p, n.state, n.g) {
 			return c.finish(&Result{Path: n.path, Goal: n.state}), nil
 		}
 		if !c.depthOK(n.g + 1) {
 			continue
 		}
-		moves, err := p.Successors(n.state)
+		moves, err := c.expand(p, n.state, n.g)
 		if err != nil {
 			return nil, c.fail(err)
 		}
-		c.generated(len(moves))
 		for _, m := range moves {
 			g := n.g + m.Cost
 			k := m.To.Key()

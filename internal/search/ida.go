@@ -45,17 +45,16 @@ func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[
 	if err := c.examine(); err != nil {
 		return 0, nil, err
 	}
-	if p.IsGoal(s) {
+	if c.isGoal(p, s, g) {
 		return 0, &Result{Path: append([]Move(nil), *path...), Goal: s}, nil
 	}
 	if !c.depthOK(g + 1) {
 		return inf, nil, nil
 	}
-	moves, err := p.Successors(s)
+	moves, err := c.expand(p, s, g)
 	if err != nil {
 		return 0, nil, err
 	}
-	c.generated(len(moves))
 	// Successor ordering: probe children in increasing (f, h) order. This
 	// is the standard move-ordering enhancement for iterative deepening;
 	// with the non-monotone heuristics of §3 (f can decrease along good

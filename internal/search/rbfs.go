@@ -44,17 +44,16 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 	if err := c.examine(); err != nil {
 		return nil, 0, err
 	}
-	if p.IsGoal(s) {
+	if c.isGoal(p, s, g) {
 		return &Result{Path: append([]Move(nil), *path...), Goal: s}, 0, nil
 	}
 	if !c.depthOK(g + 1) {
 		return nil, inf, nil
 	}
-	moves, err := p.Successors(s)
+	moves, err := c.expand(p, s, g)
 	if err != nil {
 		return nil, 0, err
 	}
-	c.generated(len(moves))
 	children := make([]rbfsChild, 0, len(moves))
 	for _, m := range moves {
 		if onPath[m.To.Key()] {

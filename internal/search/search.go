@@ -248,6 +248,8 @@ type counter struct {
 	mExamined  *obs.Counter
 	mGenerated *obs.Counter
 	mYields    *obs.Counter
+	hGoalTest  *obs.Histogram
+	hExpand    *obs.Histogram
 }
 
 func newCounter(ctx context.Context, algo string, lim Limits) *counter {
@@ -261,6 +263,8 @@ func newCounter(ctx context.Context, algo string, lim Limits) *counter {
 			c.mExamined = m.Counter(obs.Name("search.examined", "algo", algo))
 			c.mGenerated = m.Counter(obs.Name("search.generated", "algo", algo))
 			c.mYields = m.Counter(obs.Name("search.yields", "algo", algo))
+			c.hGoalTest = m.Histogram(obs.Name("search.goaltest.seconds", "algo", algo))
+			c.hExpand = m.Histogram(obs.Name("search.expand.seconds", "algo", algo))
 			m.Counter(obs.Name("search.runs", "algo", algo)).Inc()
 		}
 		c.o.Tracer().Event(obs.Event{Kind: obs.EvRunStart, Label: algo})
@@ -301,6 +305,51 @@ func (c *counter) examine() error {
 func (c *counter) generated(n int) {
 	c.stats.Generated += n
 	c.mGenerated.Add(int64(n))
+}
+
+// isGoal runs the goal test at search depth g, timing it into the
+// per-algorithm goal-test latency histogram and emitting the per-state
+// trace event. Seq is the examined ordinal — examine() has already counted
+// this state, so the event numbering matches Stats.Examined exactly. An
+// un-instrumented run takes the first branch and pays one bool check.
+func (c *counter) isGoal(p Problem, s State, g int) bool {
+	if !c.o.Enabled() {
+		return p.IsGoal(s)
+	}
+	start := time.Now()
+	goal := p.IsGoal(s)
+	c.hGoalTest.Observe(time.Since(start))
+	c.o.Tracer().Event(obs.Event{Kind: obs.EvGoalTest, Seq: c.stats.Examined, Depth: g, Goal: goal})
+	return goal
+}
+
+// expand produces the successors of s at search depth g, timing the
+// expansion into the per-algorithm latency histogram, counting the states
+// generated, and emitting the expand and per-move trace events.
+func (c *counter) expand(p Problem, s State, g int) ([]Move, error) {
+	if !c.o.Enabled() {
+		moves, err := p.Successors(s)
+		if err != nil {
+			return nil, err
+		}
+		c.generated(len(moves))
+		return moves, nil
+	}
+	start := time.Now()
+	moves, err := p.Successors(s)
+	elapsed := time.Since(start)
+	c.hExpand.Observe(elapsed)
+	tr := c.o.Tracer()
+	if err != nil {
+		tr.Event(obs.Event{Kind: obs.EvExpand, Seq: c.stats.Examined, Depth: g, Err: err, Elapsed: elapsed})
+		return nil, err
+	}
+	c.generated(len(moves))
+	tr.Event(obs.Event{Kind: obs.EvExpand, Seq: c.stats.Examined, Depth: g, N: len(moves), Elapsed: elapsed})
+	for _, m := range moves {
+		tr.Event(obs.Event{Kind: obs.EvMove, Label: m.Label, Depth: g})
+	}
+	return moves, nil
 }
 
 // frontier raises the peak algorithm-managed state size: open-list length

@@ -237,6 +237,11 @@ type (
 	TraceEventKind = obs.EventKind
 	// TraceCollector is a Tracer that records the event stream in memory.
 	TraceCollector = obs.Collector
+	// Profile is a Tracer that aggregates a run's event stream into a
+	// performance profile: per-depth expansion counts, per-operator apply
+	// latencies, and a states/sec timeline. Render it with WriteReport
+	// (text) or WriteChromeTrace (chrome://tracing / Perfetto JSON).
+	Profile = obs.Profile
 )
 
 // Trace event kinds emitted during discovery and portfolio races.
@@ -251,6 +256,8 @@ const (
 	// EvCacheHit and EvCacheMiss report heuristic-cache traffic.
 	EvCacheHit  = obs.EvCacheHit
 	EvCacheMiss = obs.EvCacheMiss
+	// EvOpApply reports one operator application with its latency.
+	EvOpApply = obs.EvOpApply
 	// EvMemberStart, EvMemberWin, EvMemberLose and EvMemberCancel narrate a
 	// portfolio race.
 	EvMemberStart  = obs.EvMemberStart
@@ -273,6 +280,20 @@ func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
 
 // MultiTracer fans trace events out to several tracers.
 func MultiTracer(tracers ...Tracer) Tracer { return obs.MultiTracer(tracers...) }
+
+// NewJSONTracer returns a Tracer writing one JSON object per event to w
+// (JSON Lines), for machine-readable transcripts (tupelo discover
+// -trace-json).
+func NewJSONTracer(w io.Writer) Tracer { return obs.NewJSONTracer(w) }
+
+// NewProfile returns an empty run profile; attach it through Options.Tracer
+// (compose with MultiTracer to keep other tracers).
+func NewProfile() *Profile { return obs.NewProfile() }
+
+// SampleTracer forwards every n-th high-frequency event (goal tests,
+// expansions, moves, operator applies, cache traffic) to t, passing
+// structural run/portfolio events through unchanged. n <= 1 returns t.
+func SampleTracer(t Tracer, n int) Tracer { return obs.Sample(t, n) }
 
 // Verify checks the discovery contract: evaluating expr on source yields a
 // database containing target.
