@@ -38,6 +38,9 @@ func main() {
 	algoName := flag.String("algo", "", "restrict exp 1 to one algorithm (ida or rbfs)")
 	domain := flag.String("domain", "Inventory", "exp 3 domain: Inventory or RealEstateII")
 	budget := flag.Int("budget", 50000, "state budget per run")
+	maxMem := flag.Uint64("max-mem", 0, "heap budget per run in bytes (0 = none); aborted runs count as censored")
+	bestEffort := flag.Bool("best-effort", false, "budget-aborted runs report actual states examined (censored) instead of failing")
+	retries := flag.Int("retries", 0, "portfolio experiment: restart budget for panicked or failed members")
 	seed := flag.Int64("seed", 2006, "workload generator seed")
 	sample := flag.Int("sample", 1, "exp 2: map every n-th sibling schema only")
 	ks := flag.String("ks", "", "calibrate: comma-separated candidate scaling constants (default 1..30)")
@@ -66,7 +69,14 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Budget: *budget, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{
+		Budget:       *budget,
+		Seed:         *seed,
+		Workers:      *workers,
+		MaxHeapBytes: *maxMem,
+		BestEffort:   *bestEffort,
+		Retries:      *retries,
+	}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}

@@ -64,8 +64,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tupelo discover -source src.txt -target tgt.txt [-algo ida|rbfs|astar|greedy]
                   [-heuristic h0|h1|h2|h3|levenshtein|euclid|euclid-norm|cosine]
-                  [-k N] [-max-states N] [-timeout DUR] [-workers N]
-                  [-portfolio default|SPEC,SPEC,...] [-simplify] [-pretty] [-stats]
+                  [-k N] [-max-states N] [-timeout DUR] [-max-mem SIZE]
+                  [-best-effort] [-workers N]
+                  [-portfolio default|SPEC,SPEC,...] [-retries N]
+                  [-simplify] [-pretty] [-stats]
                   [-trace] [-trace-json FILE] [-trace-sample N]
                   [-profile FILE] [-trace-chrome FILE]
                   [-metrics] [-metrics-addr HOST:PORT] [-pprof-addr HOST:PORT]
@@ -147,6 +149,9 @@ func cmdDiscover(args []string) error {
 	k := fs.Float64("k", 0, "scaling constant (0 = paper default for algo/heuristic)")
 	maxStates := fs.Int("max-states", 0, "state budget (0 = 1,000,000)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for discovery (0 = none)")
+	maxMem := fs.String("max-mem", "", "heap budget for discovery, e.g. 64M or 2G (empty = none)")
+	bestEffort := fs.Bool("best-effort", false, "on a budget/deadline abort, emit the closest partial mapping instead of failing")
+	retries := fs.Int("retries", 0, "with -portfolio: restart budget for panicked or failed members")
 	workers := fs.Int("workers", 0, "successor-generation worker pool size (0 = GOMAXPROCS)")
 	portfolio := fs.String("portfolio", "", `race configurations: "default" or "algo/heur[/k],..." (overrides -algo/-heuristic/-k)`)
 	simplify := fs.Bool("simplify", false, "simplify the discovered expression")
@@ -182,12 +187,20 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
+	heapBudget, err := parseByteSize(*maxMem)
+	if err != nil {
+		return fmt.Errorf("max-mem: %v", err)
+	}
 	opts := tupelo.Options{
 		Algorithm: algo,
 		Heuristic: heur,
 		K:         *k,
-		Limits:    search.Limits{MaxStates: *maxStates},
-		Workers:   *workers,
+		Limits: search.Limits{
+			MaxStates:    *maxStates,
+			MaxHeapBytes: heapBudget,
+			BestEffort:   *bestEffort,
+		},
+		Workers: *workers,
 		// Correspondences may be declared on either instance; the union
 		// is available to the mapper.
 		Correspondences: append(append([]tupelo.Correspondence(nil), src.Corrs...), tgt.Corrs...),
@@ -265,8 +278,9 @@ func cmdDiscover(args []string) error {
 			return fmt.Errorf("discover: %v", perr)
 		}
 		pres, perr := tupelo.DiscoverPortfolio(ctx, src.DB, tgt.DB, tupelo.PortfolioOptions{
-			Configs: configs,
-			Options: opts,
+			Configs:    configs,
+			Options:    opts,
+			MaxRetries: *retries,
 		})
 		if perr != nil {
 			return perr
@@ -278,8 +292,12 @@ func cmdDiscover(args []string) error {
 				if run.Err != nil {
 					status = "lost: " + run.Err.Error()
 				}
-				fmt.Fprintf(os.Stderr, "portfolio %-24s states=%-8d time=%-12s %s\n",
-					run.Config, run.Stats.Examined, run.Duration.Round(time.Microsecond), status)
+				attempts := ""
+				if run.Attempts > 1 {
+					attempts = fmt.Sprintf(" attempts=%d", run.Attempts)
+				}
+				fmt.Fprintf(os.Stderr, "portfolio %-24s states=%-8d time=%-12s %s%s\n",
+					run.Config, run.Stats.Examined, run.Duration.Round(time.Microsecond), status, attempts)
 			}
 		}
 	} else {
@@ -287,6 +305,12 @@ func cmdDiscover(args []string) error {
 		if err != nil {
 			return err
 		}
+	}
+	if res.Partial {
+		// Best-effort degradation: the run was aborted but -best-effort asked
+		// for the closest state reached instead of an error.
+		fmt.Fprintf(os.Stderr, "tupelo: discovery aborted (%v); emitting best-effort partial mapping (heuristic distance %d from target)\n",
+			res.AbortErr, res.PartialH)
 	}
 	expr := res.Expr
 	if *simplify {
@@ -330,6 +354,37 @@ func servePprof(addr string) error {
 	fmt.Fprintf(os.Stderr, "tupelo: serving pprof on http://%s/debug/pprof/\n", ln.Addr())
 	go func() { _ = http.Serve(ln, http.DefaultServeMux) }()
 	return nil
+}
+
+// parseByteSize reads a byte size with an optional K/M/G suffix (powers of
+// 1024) and optional trailing "B", e.g. "512M", "2g", "65536", "1GiB".
+func parseByteSize(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	mult := uint64(1)
+	if n := len(upper); n > 0 {
+		switch upper[n-1] {
+		case 'K':
+			mult, upper = 1<<10, upper[:n-1]
+		case 'M':
+			mult, upper = 1<<20, upper[:n-1]
+		case 'G':
+			mult, upper = 1<<30, upper[:n-1]
+		}
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	if mult > 1 && v > ^uint64(0)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return v * mult, nil
 }
 
 // writeFileWith creates path and streams fn's output into it.

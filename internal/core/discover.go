@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"tupelo/internal/faults"
 	"tupelo/internal/fira"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/obs"
@@ -13,11 +15,13 @@ import (
 	"tupelo/internal/search"
 )
 
-// Result is a successful mapping discovery.
+// Result is a successful mapping discovery — or, when Partial is set, the
+// best approximation an aborted best-effort run could produce.
 type Result struct {
 	// Expr is the discovered mapping expression in L: applied to instances
 	// of the source schema it produces (a superset of) the corresponding
-	// target instances.
+	// target instances. For a partial result it is instead the path to the
+	// closest state seen — an L prefix of a hypothetical complete mapping.
 	Expr fira.Expr
 	// Stats reports the search effort; Stats.Examined is the paper's
 	// performance measure.
@@ -26,6 +30,22 @@ type Result struct {
 	Algorithm search.Algorithm
 	Heuristic heuristic.Kind
 	K         float64
+	// Partial marks a best-effort result (Limits.BestEffort): the search
+	// was aborted by a budget, deadline, or cancellation before reaching
+	// the target, and Expr reaches the lowest-heuristic frontier state seen
+	// instead of a complete mapping.
+	Partial bool
+	// PartialState is the database Expr produces from the source critical
+	// instance — the approximate target. Nil for complete results.
+	PartialState *relation.Database
+	// PartialH is PartialState's heuristic estimate under this run's
+	// (Heuristic, K); comparable only between runs sharing both.
+	PartialH int
+	// AbortErr is the *search.Error that truncated a best-effort run,
+	// carrying the abort cause (errors.Is: ErrLimit, ErrMemory,
+	// context.DeadlineExceeded, context.Canceled) and the full Stats. Nil
+	// for complete results.
+	AbortErr error
 }
 
 // Discover searches for a mapping expression from the source critical
@@ -60,7 +80,23 @@ func DiscoverContext(ctx context.Context, source, target *relation.Database, opt
 // discoverNormalized runs discovery on already-normalized options. Split
 // from DiscoverContext so the portfolio runner, which normalizes each
 // member configuration up front, can launch members directly.
-func discoverNormalized(ctx context.Context, source, target *relation.Database, opts Options) (*Result, error) {
+//
+// A panic anywhere in the run — a heuristic evaluated on the search
+// goroutine, the goal test, move generation — is recovered here and
+// returned as a *search.Error wrapping a *search.PanicError, so discovery
+// never takes down the caller. (Worker-pool panics are recovered closer to
+// the site, in applyAll, and arrive as ordinary expansion errors.)
+func discoverNormalized(ctx context.Context, source, target *relation.Database, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := search.NewPanicError(fmt.Sprintf("discover %s/%s", opts.Algorithm, cacheLabel(opts)), r)
+			if opts.Tracer != nil {
+				opts.Tracer.Event(obs.Event{Kind: obs.EvPanic, Label: pe.Origin, Err: pe})
+			}
+			opts.Metrics.Counter(obs.Name("search.panics", "origin", "discover")).Inc()
+			res, err = nil, &search.Error{Err: pe}
+		}
+	}()
 	hooks := obs.Obs{Metrics: opts.Metrics, Trace: opts.Tracer}
 	if hooks.Enabled() {
 		// Hand metrics and tracing down to the search algorithms (run
@@ -96,8 +132,8 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		// A*. Only sensible together with a small Limits.MaxStates.
 		sp = &uniqueKeyProblem{inner: prob}
 	}
-	res, err := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache, hEval), opts.Limits)
-	return finish(res, err, opts)
+	sres, serr := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache, hEval, opts.FaultHook, cacheLabel(opts)), opts.Limits)
+	return finish(sres, serr, opts)
 }
 
 // cacheLabel names a run's heuristic cache for metrics: members of a
@@ -108,18 +144,21 @@ func cacheLabel(opts Options) string {
 	return fmt.Sprintf("%s/k=%g", opts.Heuristic, opts.K)
 }
 
-// finish converts a search result into a mapping result.
+// finish converts a search result into a mapping result. Under
+// Limits.BestEffort a degradable abort — budget, deadline, cancellation —
+// converts into a nil-error partial Result instead of a failure.
 func finish(res *search.Result, err error, opts Options) (*Result, error) {
 	if err != nil {
+		if opts.Limits.BestEffort {
+			if pr, ok := bestEffortResult(err, opts); ok {
+				return pr, nil
+			}
+		}
 		return nil, err
 	}
-	labels := make([]string, len(res.Path))
-	for i, m := range res.Path {
-		labels[i] = m.Label
-	}
-	expr, perr := fira.Parse(strings.Join(labels, "\n"))
+	expr, perr := pathExpr(res.Path)
 	if perr != nil {
-		return nil, fmt.Errorf("core: internal error reconstructing expression: %v", perr)
+		return nil, perr
 	}
 	return &Result{
 		Expr:      expr,
@@ -128,6 +167,56 @@ func finish(res *search.Result, err error, opts Options) (*Result, error) {
 		Heuristic: opts.Heuristic,
 		K:         opts.K,
 	}, nil
+}
+
+// pathExpr reconstructs the L expression from a move path.
+func pathExpr(path []search.Move) (fira.Expr, error) {
+	labels := make([]string, len(path))
+	for i, m := range path {
+		labels[i] = m.Label
+	}
+	expr, err := fira.Parse(strings.Join(labels, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("core: internal error reconstructing expression: %v", err)
+	}
+	return expr, nil
+}
+
+// bestEffortResult converts a degradable search failure into a partial
+// Result: the aborted run's lowest-heuristic frontier state becomes the
+// approximate target and the path to it the (prefix) mapping expression.
+// Only aborts are degradable — an exhausted space (ErrNotFound) is a
+// verdict that no mapping exists, and unclassified errors (including
+// recovered panics) mean the partial cannot be trusted.
+func bestEffortResult(err error, opts Options) (*Result, bool) {
+	var serr *search.Error
+	if !errors.As(err, &serr) || serr.Partial == nil {
+		return nil, false
+	}
+	switch serr.Cause() {
+	case "limit", "memory", "deadline", "canceled":
+	default:
+		return nil, false
+	}
+	ds, ok := serr.Partial.State.(*dbState)
+	if !ok {
+		return nil, false
+	}
+	expr, perr := pathExpr(serr.Partial.Path)
+	if perr != nil {
+		return nil, false
+	}
+	return &Result{
+		Expr:         expr,
+		Stats:        serr.Stats,
+		Algorithm:    opts.Algorithm,
+		Heuristic:    opts.Heuristic,
+		K:            opts.K,
+		Partial:      true,
+		PartialState: ds.db,
+		PartialH:     serr.Partial.H,
+		AbortErr:     err,
+	}, true
 }
 
 // BranchingFactor returns the number of successor moves of the source
@@ -156,12 +245,18 @@ func BranchingFactor(source, target *relation.Database, opts Options) (int, erro
 // into TNF. The successor worker pool pre-warms the same cache, so in the
 // common case this is a pure lookup; a portfolio shares one cache across
 // members with the same (heuristic, k), making their lookups mutual hits.
-// Cache misses — the actual evaluations — are timed into hEval when set.
-func cachedEstimator(est *heuristic.Estimator, cache heuristic.Cache, hEval *obs.Histogram) search.Heuristic {
+// Cache misses — the actual evaluations — are timed into hEval when set,
+// and are a fault-injection site (the hook fires only on misses, mirroring
+// the pre-warm path: an injected heuristic fault fires where the heuristic
+// actually runs).
+func cachedEstimator(est *heuristic.Estimator, cache heuristic.Cache, hEval *obs.Histogram, fault func(faults.Site, string), label string) search.Heuristic {
 	return func(s search.State) int {
 		ds := s.(*dbState)
 		if v, ok := cache.Get(ds.key); ok {
 			return v
+		}
+		if fault != nil {
+			fault(faults.SiteHeuristicEval, label)
 		}
 		if hEval == nil {
 			v := est.Estimate(ds.db)

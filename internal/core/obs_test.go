@@ -55,7 +55,7 @@ func TestDerefCandidateCount(t *testing.T) {
 // -race); normalization now wraps the cache in a mutex. Run under -race this
 // exercises the wrapped path with real pool traffic.
 func TestMapCacheAutoWrappedForParallelRun(t *testing.T) {
-	src, tgt := datagen.MatchingPair(8)
+	src, tgt := datagen.MustMatchingPair(8)
 	cache := heuristic.NewMapCache()
 	res, err := Discover(src, tgt, Options{
 		Workers: 4,
@@ -78,7 +78,7 @@ func TestMapCacheAutoWrappedForParallelRun(t *testing.T) {
 // constant), and the resolved values — not the zero sentinels — are what
 // PortfolioRun.Config reports.
 func TestZeroValuedPortfolioConfigResolved(t *testing.T) {
-	src, tgt := datagen.MatchingPair(4)
+	src, tgt := datagen.MustMatchingPair(4)
 	res, err := DiscoverPortfolio(context.Background(), src, tgt, PortfolioOptions{
 		Configs: []PortfolioConfig{{}},
 	})
@@ -110,7 +110,7 @@ func TestZeroValuedPortfolioConfigResolved(t *testing.T) {
 // cache traffic; the registry carries the win counter and per-member
 // duration timers.
 func TestPortfolioEventStreamAndMetrics(t *testing.T) {
-	src, tgt := datagen.MatchingPair(8)
+	src, tgt := datagen.MustMatchingPair(8)
 	reg := obs.NewRegistry()
 	col := obs.NewCollector()
 	opts := PortfolioOptions{
@@ -164,7 +164,7 @@ func TestPortfolioEventStreamAndMetrics(t *testing.T) {
 // layer's registry half: an instrumented run populates the goal-test,
 // expansion, heuristic-evaluation, and operator-apply latency histograms.
 func TestLatencyHistogramsRecorded(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	reg := obs.NewRegistry()
 	res, err := Discover(src, tgt, Options{Metrics: reg})
 	if err != nil {
@@ -215,7 +215,7 @@ func histNames(s obs.Snapshot) []string {
 // intended CLI wiring of tupelo discover -profile -portfolio. The profile
 // must survive the concurrency and still describe the race.
 func TestSharedProfileAcrossPortfolio(t *testing.T) {
-	src, tgt := datagen.MatchingPair(8)
+	src, tgt := datagen.MustMatchingPair(8)
 	prof := obs.NewProfile()
 	opts := PortfolioOptions{
 		Configs: []PortfolioConfig{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"tupelo/internal/faults"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
 	"tupelo/internal/obs"
@@ -71,6 +72,14 @@ type Options struct {
 	// pool utilization. The registry is race-safe and may be shared across
 	// runs; expose it with its WriteJSON/WritePrometheus/Handler methods.
 	Metrics *obs.Registry
+	// FaultHook, when non-nil, is called at the fault-injection sites of
+	// the discovery hot path: heuristic evaluation (cache misses and
+	// worker-pool pre-warms, labelled with the run's cache label) and
+	// candidate-operator application (labelled with the operator's textual
+	// form). It exists solely for the deterministic fault-injection test
+	// harness (internal/faults) — the hook runs inline on search and worker
+	// goroutines and must not be set in production.
+	FaultHook func(faults.Site, string)
 }
 
 // DefaultOptions returns the paper's overall best configuration: RBFS with

@@ -29,7 +29,7 @@ func TestZeroOptionsMeansPaperBest(t *testing.T) {
 }
 
 func TestDiscoverContextCancelled(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, algo := range []search.Algorithm{search.IDA, search.RBFS, search.AStar, search.Greedy} {
@@ -50,7 +50,7 @@ func TestDiscoverContextCancelled(t *testing.T) {
 }
 
 func TestDiscoverDeadline(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	opts := Options{Limits: search.Limits{Deadline: time.Now().Add(-time.Second)}}
 	_, err := Discover(src, tgt, opts)
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -94,7 +94,7 @@ func TestParallelSuccessorsEquivalent(t *testing.T) {
 }
 
 func TestParallelDiscoverIdentical(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	seq, err := Discover(src, tgt, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +133,7 @@ func (c *countingCache) Put(key string, v int) {
 }
 
 func TestSharedCacheAvoidsRecomputation(t *testing.T) {
-	src, tgt := datagen.MatchingPair(5)
+	src, tgt := datagen.MustMatchingPair(5)
 	cache := &countingCache{inner: heuristic.NewSyncCache()}
 	if _, err := Discover(src, tgt, Options{Cache: cache}); err != nil {
 		t.Fatal(err)

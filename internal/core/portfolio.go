@@ -58,24 +58,49 @@ type PortfolioOptions struct {
 	// produces one interleaved event stream with member start/win/lose/
 	// cancel markers delimiting each member's run events.
 	Options Options
+	// MaxRetries is the total number of member restarts the race may spend
+	// recovering failed members before conceding, shared across all member
+	// slots. A member that fails with a recovered panic is relaunched on a
+	// hedge configuration — the first DefaultPortfolio entry not already
+	// racing, when one exists — because a deterministic panic would simply
+	// recur on the same (heuristic, k); other unclassified member errors
+	// relaunch the same configuration. Deterministic verdicts (exhausted
+	// space, budget and deadline aborts) and cancellations are never
+	// retried. 0 disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before a member's first restart, doubling
+	// with each further restart of the same slot and capped at 100ms so a
+	// crashy member cannot stall the race. 0 means 5ms.
+	RetryBackoff time.Duration
 }
 
-// PortfolioRun reports one member's outcome.
+// PortfolioRun reports one member slot's outcome.
 type PortfolioRun struct {
-	// Config is the member's configuration with K resolved.
+	// Config is the member's configuration with K resolved. Under the
+	// retry policy a slot relaunched on a hedge reports the hedge — the
+	// configuration that actually produced Stats and Err.
 	Config PortfolioConfig
-	// Stats is the member's search effort — partial if the member was
-	// cancelled when another won.
+	// Stats is the member's search effort on its last attempt — partial if
+	// the member was cancelled when another won.
 	Stats search.Stats
 	// Err is nil for the winner, a wrapped context.Canceled for members
-	// cancelled by the winner, and the member's own failure otherwise.
+	// cancelled by the winner, and the member's own failure otherwise. A
+	// best-effort member that degraded to a partial mapping reports the
+	// abort that truncated it.
 	Err error
-	// Duration is the member's wall-clock time until return.
+	// Duration is the slot's wall-clock time until return, summed over
+	// attempts (excluding retry backoff).
 	Duration time.Duration
+	// Attempts is the number of times the slot ran; greater than 1 only
+	// under the retry policy.
+	Attempts int
 }
 
 // PortfolioResult is a successful portfolio discovery: the winning member's
-// Result plus the outcome of every member.
+// Result plus the outcome of every member. Under Limits.BestEffort a race
+// with no complete winner degrades to the best partial mapping any member
+// produced (Result.Partial is set and Winner names the member it came
+// from).
 type PortfolioResult struct {
 	*Result
 	// Winner is the configuration that produced Result.
@@ -133,9 +158,8 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		cfg  PortfolioConfig
 		opts Options
 	}
-	members := make([]member, len(configs))
 	caches := make(map[cacheKey]heuristic.Cache)
-	for i, cfg := range configs {
+	buildMember := func(cfg PortfolioConfig) (member, error) {
 		o := base
 		o.Algorithm = cfg.Algorithm
 		o.Heuristic = cfg.Heuristic
@@ -143,7 +167,7 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		o.Workers = perMember
 		o, err := o.normalize()
 		if err != nil {
-			return nil, fmt.Errorf("core: portfolio member %s: %w", cfg, err)
+			return member{}, fmt.Errorf("core: portfolio member %s: %w", cfg, err)
 		}
 		key := cacheKey{kind: o.Heuristic, k: o.K}
 		cache := caches[key]
@@ -152,70 +176,164 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 			caches[key] = cache
 		}
 		o.Cache = cache
-		members[i] = member{
+		return member{
 			cfg:  PortfolioConfig{Algorithm: o.Algorithm, Heuristic: o.Heuristic, K: o.K},
 			opts: o,
+		}, nil
+	}
+	members := make([]member, len(configs))
+	for i, cfg := range configs {
+		m, err := buildMember(cfg)
+		if err != nil {
+			return nil, err
 		}
+		members[i] = m
 	}
 
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	type outcome struct {
-		idx int
-		res *Result
-		err error
-		dur time.Duration
+		idx     int
+		attempt int
+		res     *Result
+		err     error
+		dur     time.Duration
 	}
-	ch := make(chan outcome, len(members))
+	// Buffered for every possible send — one per attempt — so no goroutine
+	// ever blocks on a collector that has already returned.
+	ch := make(chan outcome, len(members)+popts.MaxRetries)
+	launch := func(idx, attempt int, m member, delay time.Duration) {
+		go func() {
+			var start time.Time
+			defer func() {
+				// Belt over applyAll's and discoverNormalized's braces: a
+				// panic in this goroutine's own spine (tracing, timing) must
+				// also lose the race, not kill the process.
+				if r := recover(); r != nil {
+					pe := search.NewPanicError("portfolio member "+m.cfg.String(), r)
+					tracer.Event(obs.Event{Kind: obs.EvPanic, Label: m.cfg.String(), Err: pe})
+					var dur time.Duration
+					if !start.IsZero() {
+						dur = time.Since(start)
+					}
+					ch <- outcome{idx: idx, attempt: attempt, err: &search.Error{Err: pe}, dur: dur}
+				}
+			}()
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-raceCtx.Done():
+					t.Stop()
+					ch <- outcome{idx: idx, attempt: attempt, err: &search.Error{Err: raceCtx.Err()}}
+					return
+				case <-t.C:
+				}
+			}
+			tracer.Event(obs.Event{Kind: obs.EvMemberStart, Label: m.cfg.String(), N: len(members)})
+			start = time.Now()
+			res, err := discoverNormalized(raceCtx, source, target, m.opts)
+			if err == nil && !res.Partial {
+				// End the race from the winning goroutine itself: waiting
+				// for the collector below to be scheduled can cost a full
+				// preemption interval while every CPU runs losing members,
+				// dwarfing the search time on small instances. A partial
+				// (best-effort) result is not a win and must not end the
+				// race — another member may still find a complete mapping.
+				cancel()
+			}
+			ch <- outcome{idx: idx, attempt: attempt, res: res, err: err, dur: time.Since(start)}
+		}()
+	}
 	// Spawn in reverse order: the scheduler favors the most recently
 	// spawned goroutine, and earlier configs are listed first because they
 	// are expected to win, so they should reach a CPU first when the
 	// machine has fewer CPUs than members.
 	for i := len(members) - 1; i >= 0; i-- {
-		m := members[i]
-		go func(i int, m member) {
-			tracer.Event(obs.Event{Kind: obs.EvMemberStart, Label: m.cfg.String(), N: len(members)})
-			start := time.Now()
-			res, err := discoverNormalized(raceCtx, source, target, m.opts)
-			if err == nil {
-				// End the race from the winning goroutine itself: waiting
-				// for the collector below to be scheduled can cost a full
-				// preemption interval while every CPU runs losing members,
-				// dwarfing the search time on small instances.
-				cancel()
+		launch(i, 0, members[i], 0)
+	}
+
+	inUse := func(cfg PortfolioConfig) bool {
+		for _, m := range members {
+			if m.cfg == cfg {
+				return true
 			}
-			ch <- outcome{idx: i, res: res, err: err, dur: time.Since(start)}
-		}(i, m)
+		}
+		return false
+	}
+	// hedge builds a replacement member for a panicked slot: the first
+	// default-lineup configuration not already racing. Rerunning the exact
+	// (heuristic, k) that just panicked only helps when the panic was
+	// transient; a hedge also covers the deterministic case.
+	hedge := func() (member, bool) {
+		for _, cfg := range DefaultPortfolio() {
+			m, err := buildMember(cfg)
+			if err != nil || inUse(m.cfg) {
+				continue
+			}
+			return m, true
+		}
+		return member{}, false
+	}
+	retryDelay := popts.RetryBackoff
+	if retryDelay <= 0 {
+		retryDelay = defaultRetryBackoff
 	}
 
 	runs := make([]PortfolioRun, len(members))
+	partials := make([]*Result, len(members))
+	retriesLeft := popts.MaxRetries
+	outstanding := len(members)
 	var winner *Result
 	var winnerCfg PortfolioConfig
 	var bestErr error
-	for range members {
+	for outstanding > 0 {
 		o := <-ch
 		run := &runs[o.idx]
 		run.Config = members[o.idx].cfg
-		run.Duration = o.dur
+		run.Attempts = o.attempt + 1
+		run.Duration += o.dur
 		memberTimer(run.Config).Observe(o.dur)
-		if o.err != nil {
-			run.Err = o.err
+		// A best-effort member that degraded reports the abort that
+		// truncated it; for race bookkeeping it is a failed member whose
+		// partial is kept aside for the no-winner fallback.
+		fail := o.err
+		if fail == nil && o.res.Partial {
+			fail = o.res.AbortErr
+			partials[o.idx] = o.res
+		}
+		if fail != nil {
+			run.Err = fail
 			var serr *search.Error
-			if errors.As(o.err, &serr) {
+			if errors.As(fail, &serr) {
 				run.Stats = serr.Stats
 			}
-			if errors.Is(o.err, context.Canceled) {
+			if winner == nil && retriesLeft > 0 && raceCtx.Err() == nil && retriable(fail) {
+				retriesLeft--
+				next := members[o.idx]
+				if isPanicErr(fail) {
+					if hm, ok := hedge(); ok {
+						next = hm
+						members[o.idx] = hm
+					}
+				}
+				base.Metrics.Counter(obs.Name("portfolio.retries", "member", next.cfg.String())).Inc()
+				launch(o.idx, o.attempt+1, next, retryBackoff(retryDelay, o.attempt))
+				continue // outstanding unchanged: the slot runs again
+			}
+			if errors.Is(fail, context.Canceled) {
 				tracer.Event(obs.Event{Kind: obs.EvMemberCancel, Label: run.Config.String(), N: run.Stats.Examined, Elapsed: o.dur})
 			} else {
-				tracer.Event(obs.Event{Kind: obs.EvMemberLose, Label: run.Config.String(), N: run.Stats.Examined, Err: o.err, Elapsed: o.dur})
+				tracer.Event(obs.Event{Kind: obs.EvMemberLose, Label: run.Config.String(), N: run.Stats.Examined, Err: fail, Elapsed: o.dur})
 			}
-			if bestErr == nil || preferError(o.err, bestErr) {
-				bestErr = o.err
+			if bestErr == nil || preferError(fail, bestErr) {
+				bestErr = fail
 			}
+			outstanding--
 			continue
 		}
 		run.Stats = o.res.Stats
+		outstanding--
 		if winner != nil {
 			// A slower member also succeeded before noticing the cancel; it
 			// still lost the race, so mark it cancelled in the stream.
@@ -238,6 +356,12 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 	}
 
 	if winner == nil {
+		if base.Limits.BestEffort {
+			if best, ok := bestPartial(partials, target, base); ok {
+				base.Metrics.Counter(obs.Name("portfolio.partial", "member", members[best].cfg.String())).Inc()
+				return &PortfolioResult{Result: partials[best], Winner: members[best].cfg, Runs: runs}, nil
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, &search.Error{Err: err}
 		}
@@ -247,6 +371,74 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		return nil, bestErr
 	}
 	return &PortfolioResult{Result: winner, Winner: winnerCfg, Runs: runs}, nil
+}
+
+const (
+	// defaultRetryBackoff is the delay before a member's first restart when
+	// PortfolioOptions.RetryBackoff is unset.
+	defaultRetryBackoff = 5 * time.Millisecond
+	// maxRetryBackoff caps the exponential restart delay.
+	maxRetryBackoff = 100 * time.Millisecond
+)
+
+// retryBackoff is the delay before relaunching a slot whose attempt-th run
+// (0-based) just failed: base doubled per prior attempt, capped.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	if attempt >= 10 {
+		return maxRetryBackoff
+	}
+	d := base << attempt
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// isPanicErr reports whether the member failure is a recovered panic.
+func isPanicErr(err error) bool {
+	var pe *search.PanicError
+	return errors.As(err, &pe)
+}
+
+// retriable reports whether a member failure is worth a restart: recovered
+// panics and unclassified problem errors are (the fault may be transient,
+// and a panicked slot restarts on a hedge config for the deterministic
+// case); a member's own verdict — exhausted space, budget, deadline — is
+// deterministic and would only recur, and cancellations mean the race is
+// already over.
+func retriable(err error) bool {
+	if isPanicErr(err) {
+		return true
+	}
+	if errors.Is(err, search.ErrNotFound) || errors.Is(err, search.ErrLimit) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// bestPartial picks the index of the best member partial. Members ran
+// different heuristics, whose values are mutually incomparable, so every
+// partial state is re-scored under one estimator — the base options'
+// resolved heuristic against the shared target — and the lowest estimate
+// wins; ties keep the earliest member, matching lineup priority.
+func bestPartial(partials []*Result, target *relation.Database, base Options) (int, bool) {
+	b, err := base.normalize()
+	if err != nil {
+		return 0, false
+	}
+	est := heuristic.New(b.Heuristic, target, b.K)
+	best, bestScore := -1, 0
+	for i, p := range partials {
+		if p == nil || p.PartialState == nil {
+			continue
+		}
+		score := est.Estimate(p.PartialState)
+		if best < 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best, best >= 0
 }
 
 // preferError ranks member failures by how informative they are to the

@@ -16,7 +16,7 @@ import (
 // the loser must be observed cancelled with partial stats. Stable under
 // -count=10 -race.
 func TestPortfolioWinnerAndCancelledLosers(t *testing.T) {
-	src, tgt := datagen.MatchingPair(8)
+	src, tgt := datagen.MustMatchingPair(8)
 	res, err := DiscoverPortfolio(context.Background(), src, tgt, PortfolioOptions{
 		Configs: []PortfolioConfig{
 			{Algorithm: search.RBFS, Heuristic: heuristic.Cosine},
@@ -56,7 +56,7 @@ func TestPortfolioWinnerAndCancelledLosers(t *testing.T) {
 // whichever member wins, applying its expression must produce the same
 // database as the sequential run's.
 func TestPortfolioMatchesSequential(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	seq, err := Discover(src, tgt, Options{Algorithm: search.RBFS, Heuristic: heuristic.Cosine})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestPortfolioMatchesSequential(t *testing.T) {
 // so they share one concurrency-safe cache; run under -race this validates
 // the shared-cache path.
 func TestPortfolioSharedCache(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	res, err := DiscoverPortfolio(context.Background(), src, tgt, PortfolioOptions{
 		Configs: []PortfolioConfig{
 			{Algorithm: search.RBFS, Heuristic: heuristic.Cosine, K: 24},
@@ -102,7 +102,7 @@ func TestPortfolioSharedCache(t *testing.T) {
 }
 
 func TestPortfolioParentCancelled(t *testing.T) {
-	src, tgt := datagen.MatchingPair(6)
+	src, tgt := datagen.MustMatchingPair(6)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := DiscoverPortfolio(ctx, src, tgt, PortfolioOptions{})
@@ -112,7 +112,7 @@ func TestPortfolioParentCancelled(t *testing.T) {
 }
 
 func TestPortfolioNilInstances(t *testing.T) {
-	src, _ := datagen.MatchingPair(2)
+	src, _ := datagen.MustMatchingPair(2)
 	if _, err := DiscoverPortfolio(context.Background(), src, nil, PortfolioOptions{}); err == nil {
 		t.Fatal("want error for nil target")
 	}

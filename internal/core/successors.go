@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tupelo/internal/faults"
 	"tupelo/internal/fira"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/lambda"
@@ -58,6 +60,11 @@ type mappingProblem struct {
 	// pre-warming the cache (the search loop's misses are timed by
 	// cachedEstimator into the same histogram).
 	hEval *obs.Histogram
+	// fault, when non-nil, is the test-only fault-injection hook
+	// (Options.FaultHook); hLabel is the label it receives at heuristic
+	// evaluations.
+	fault  func(faults.Site, string)
+	hLabel string
 }
 
 func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
@@ -75,6 +82,8 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		tRelVals:  make(map[string]map[string]bool),
 		met:       newOpMetrics(opts.Metrics),
 		tracer:    opts.Tracer,
+		fault:     opts.FaultHook,
+		hLabel:    cacheLabel(opts),
 	}
 	p.tAttrsSorted = sortedKeys(p.tAttrs)
 	for _, r := range target.Relations() {
@@ -117,7 +126,10 @@ func (p *mappingProblem) IsGoal(s search.State) bool {
 func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 	db := s.(*dbState).db
 	ops := p.candidateOps(db)
-	states := p.applyAll(db, ops)
+	states, err := p.applyAll(db, ops)
+	if err != nil {
+		return nil, err
+	}
 	moves := make([]search.Move, 0, len(ops))
 	for i, ns := range states {
 		if ns == nil || ns.key == s.Key() {
@@ -165,10 +177,20 @@ const minParallelOps = 8
 // copy-on-write structures and the Estimator is immutable, so the only
 // shared mutable state is the results slice (disjoint indices) and the
 // cache (concurrency-safe by contract when workers > 1).
-func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) []*dbState {
+//
+// A panic inside an operator apply or a heuristic pre-warm is recovered on
+// the worker that hit it and returned as a *search.PanicError — never
+// propagated, so a poisoned operator or heuristic fails the expansion (and
+// through it the run) instead of killing the process. The first panic wins;
+// remaining workers drain their queued operators and exit normally.
+func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) ([]*dbState, error) {
 	states := make([]*dbState, len(ops))
 	timed := p.met != nil || p.tracer != nil
+	var panicked atomic.Pointer[search.PanicError]
 	apply := func(i int) {
+		if p.fault != nil {
+			p.fault(faults.SiteOpApply, ops[i].String())
+		}
 		if !timed {
 			next, err := ops[i].Apply(db, p.reg)
 			if err != nil {
@@ -196,6 +218,18 @@ func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) []*dbSta
 		p.prewarm(ns)
 		states[i] = ns
 	}
+	applySafe := func(worker, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := search.NewPanicError(fmt.Sprintf("successor worker %d (op %s)", worker, ops[i]), r)
+				panicked.CompareAndSwap(nil, pe)
+				if p.tracer != nil {
+					p.tracer.Event(obs.Event{Kind: obs.EvPanic, Label: pe.Origin, Err: pe})
+				}
+			}
+		}()
+		apply(i)
+	}
 	workers := p.workers
 	if workers > len(ops) {
 		workers = len(ops)
@@ -203,28 +237,37 @@ func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) []*dbSta
 	if workers <= 1 || len(ops) < minParallelOps {
 		p.met.poolExpansion(1, len(ops))
 		for i := range ops {
-			apply(i)
+			applySafe(0, i)
+			if panicked.Load() != nil {
+				break
+			}
 		}
-		return states
+		if pe := panicked.Load(); pe != nil {
+			return nil, pe
+		}
+		return states, nil
 	}
 	p.met.poolExpansion(workers, len(ops))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(ops) {
+				if i >= len(ops) || panicked.Load() != nil {
 					return
 				}
-				apply(i)
+				applySafe(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return states
+	if pe := panicked.Load(); pe != nil {
+		return nil, pe
+	}
+	return states, nil
 }
 
 // prewarm computes the heuristic estimate of a freshly generated state into
@@ -235,6 +278,9 @@ func (p *mappingProblem) prewarm(ns *dbState) {
 	}
 	if _, ok := p.cache.Get(ns.key); ok {
 		return
+	}
+	if p.fault != nil {
+		p.fault(faults.SiteHeuristicEval, p.hLabel)
 	}
 	if p.hEval == nil {
 		p.cache.Put(ns.key, p.est.Estimate(ns.db))

@@ -37,7 +37,7 @@ func TestFlightsFixtures(t *testing.T) {
 
 func TestMatchingPairShape(t *testing.T) {
 	for _, n := range []int{1, 2, 8, 32} {
-		src, tgt := MatchingPair(n)
+		src, tgt := MustMatchingPair(n)
 		s, _ := src.Relation("S")
 		g, _ := tgt.Relation("S")
 		if s.Arity() != n || g.Arity() != n || s.Len() != 1 || g.Len() != 1 {
@@ -52,17 +52,20 @@ func TestMatchingPairShape(t *testing.T) {
 	}
 }
 
-func TestMatchingPairPanicsOnZero(t *testing.T) {
+func TestMatchingPairRejectsZero(t *testing.T) {
+	if _, _, err := MatchingPair(0); err == nil {
+		t.Fatal("MatchingPair(0) should return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("MatchingPair(0) should panic")
+			t.Fatal("MustMatchingPair(0) should panic")
 		}
 	}()
-	MatchingPair(0)
+	MustMatchingPair(0)
 }
 
 func TestMatchingPairDiscoverable(t *testing.T) {
-	src, tgt := MatchingPair(4)
+	src, tgt := MustMatchingPair(4)
 	res, err := core.Discover(src, tgt, core.Options{
 		Algorithm: search.RBFS,
 		Heuristic: heuristic.H1,

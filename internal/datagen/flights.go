@@ -40,10 +40,12 @@ func FlightsB() *relation.Database {
 // one attribute per route. The mapping is Example 2's regardless of size
 // (promote, two drops, merge, two renames), so the pair isolates how
 // critical-instance *size* — the |s| + |t| of §2.3 — affects branching and
-// states examined. Used by the scaling extension experiment.
-func FlightsScaled(routes, carriers int) (src, tgt *relation.Database) {
+// states examined. Used by the scaling extension experiment. Invalid sizes
+// are errors, not panics, so library callers can propagate them;
+// MustFlightsScaled keeps the panicking form for tests and fixtures.
+func FlightsScaled(routes, carriers int) (src, tgt *relation.Database, err error) {
 	if routes < 1 || carriers < 1 {
-		panic("datagen: FlightsScaled needs at least one route and carrier")
+		return nil, nil, fmt.Errorf("datagen: FlightsScaled(%d, %d) needs at least one route and carrier", routes, carriers)
 	}
 	routeNames := make([]string, routes)
 	for i := range routeNames {
@@ -60,13 +62,12 @@ func FlightsScaled(routes, carriers int) (src, tgt *relation.Database) {
 	srcRel := relation.MustNew("Prices", []string{"Carrier", "Route", "Cost", "AgentFee"})
 	for c := range carrierNames {
 		for r := range routeNames {
-			var err error
 			srcRel, err = srcRel.Insert(relation.Tuple{
 				carrierNames[c], routeNames[r],
 				fmt.Sprintf("%d", cost(c, r)), fmt.Sprintf("%d", fees[c]),
 			})
 			if err != nil {
-				panic(err)
+				return nil, nil, fmt.Errorf("datagen: FlightsScaled source: %w", err)
 			}
 		}
 	}
@@ -76,13 +77,22 @@ func FlightsScaled(routes, carriers int) (src, tgt *relation.Database) {
 		for r := range routeNames {
 			row = append(row, fmt.Sprintf("%d", cost(c, r)))
 		}
-		var err error
 		tgtRel, err = tgtRel.Insert(row)
 		if err != nil {
-			panic(err)
+			return nil, nil, fmt.Errorf("datagen: FlightsScaled target: %w", err)
 		}
 	}
-	return relation.MustDatabase(srcRel), relation.MustDatabase(tgtRel)
+	return relation.MustDatabase(srcRel), relation.MustDatabase(tgtRel), nil
+}
+
+// MustFlightsScaled is FlightsScaled panicking on error, for tests and
+// fixtures with known-good sizes.
+func MustFlightsScaled(routes, carriers int) (src, tgt *relation.Database) {
+	src, tgt, err := FlightsScaled(routes, carriers)
+	if err != nil {
+		panic(err)
+	}
+	return src, tgt
 }
 
 // FlightsC returns Fig. 1's FlightsC: carriers as relation names, with the

@@ -18,7 +18,7 @@ func TestFlightsScaledConsistent(t *testing.T) {
 		rename_rel[Prices->Flights]
 	`)
 	for _, g := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {5, 4}, {8, 3}} {
-		src, tgt := FlightsScaled(g[0], g[1])
+		src, tgt := MustFlightsScaled(g[0], g[1])
 		got, err := expr.Eval(src, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", g, err)
@@ -30,7 +30,7 @@ func TestFlightsScaledConsistent(t *testing.T) {
 }
 
 func TestFlightsScaledSizes(t *testing.T) {
-	src, tgt := FlightsScaled(7, 5)
+	src, tgt := MustFlightsScaled(7, 5)
 	s, _ := src.Relation("Prices")
 	g, _ := tgt.Relation("Flights")
 	if s.Len() != 35 || g.Len() != 5 || g.Arity() != 9 {
@@ -43,11 +43,14 @@ func TestFlightsScaledSizes(t *testing.T) {
 	}
 }
 
-func TestFlightsScaledCarrierPanics(t *testing.T) {
+func TestFlightsScaledRejectsZeroCarriers(t *testing.T) {
+	if _, _, err := FlightsScaled(1, 0); err == nil {
+		t.Fatal("FlightsScaled(1, 0) should return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("FlightsScaled(1, 0) should panic")
+			t.Fatal("MustFlightsScaled(1, 0) should panic")
 		}
 	}()
-	FlightsScaled(1, 0)
+	MustFlightsScaled(1, 0)
 }

@@ -13,10 +13,13 @@ import (
 //	⟨ A1 … An        B1 … Bn ⟩
 //	  a1 … an   ,    a1 … an
 //
-// The correct mapping is the n attribute renames A_i → B_i.
-func MatchingPair(n int) (src, tgt *relation.Database) {
+// The correct mapping is the n attribute renames A_i → B_i. A non-positive
+// n is an error: library callers (experiment runners, services) get a value
+// they can propagate instead of a panic the resilience layer would have to
+// catch; MustMatchingPair keeps the panicking form for tests and fixtures.
+func MatchingPair(n int) (src, tgt *relation.Database, err error) {
 	if n < 1 {
-		panic(fmt.Sprintf("datagen: MatchingPair(%d): n must be positive", n))
+		return nil, nil, fmt.Errorf("datagen: MatchingPair(%d): n must be positive", n)
 	}
 	aAttrs := make([]string, n)
 	bAttrs := make([]string, n)
@@ -28,5 +31,15 @@ func MatchingPair(n int) (src, tgt *relation.Database) {
 	}
 	src = relation.MustDatabase(relation.MustNew("S", aAttrs, row.Clone()))
 	tgt = relation.MustDatabase(relation.MustNew("S", bAttrs, row.Clone()))
+	return src, tgt, nil
+}
+
+// MustMatchingPair is MatchingPair panicking on error, for tests and
+// fixtures with known-good sizes.
+func MustMatchingPair(n int) (src, tgt *relation.Database) {
+	src, tgt, err := MatchingPair(n)
+	if err != nil {
+		panic(err)
+	}
 	return src, tgt
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"tupelo/internal/core"
@@ -40,10 +41,13 @@ type calibrationTask struct {
 
 // calibrationSuite mixes synthetic matching pairs with BAMM samples, the
 // workload families behind the paper's reported constants.
-func calibrationSuite(seed int64) []calibrationTask {
+func calibrationSuite(seed int64) ([]calibrationTask, error) {
 	var suite []calibrationTask
 	for _, n := range []int{2, 4, 6} {
-		src, tgt := datagen.MatchingPair(n)
+		src, tgt, err := datagen.MatchingPair(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: calibration suite: %w", err)
+		}
 		suite = append(suite, calibrationTask{src, tgt})
 	}
 	for _, d := range datagen.BAMM(seed) {
@@ -51,7 +55,7 @@ func calibrationSuite(seed int64) []calibrationTask {
 			suite = append(suite, calibrationTask{d.Fixed, d.Targets[i]})
 		}
 	}
-	return suite
+	return suite, nil
 }
 
 // RunCalibrate re-derives the paper's scaling constants: for each scaled
@@ -67,7 +71,10 @@ func RunCalibrate(opts CalibrateOptions, cfg Config) ([]CalibrationResult, error
 	if opts.Heuristics == nil {
 		opts.Heuristics = []heuristic.Kind{heuristic.EuclidNorm, heuristic.Cosine, heuristic.Levenshtein}
 	}
-	suite := calibrationSuite(cfg.Seed)
+	suite, err := calibrationSuite(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	var out []CalibrationResult
 	for _, algo := range BothAlgorithms() {
 		for _, kind := range opts.Heuristics {
@@ -111,11 +118,15 @@ func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task ca
 		Algorithm: algo,
 		Heuristic: kind,
 		K:         k,
-		Limits:    search.Limits{MaxStates: cfg.Budget},
+		Limits:    cfg.limits(),
 		Metrics:   cfg.Metrics,
 	})
 	m.Duration = time.Since(start)
 	switch {
+	case err == nil && res.Partial:
+		m.States = res.Stats.Examined
+		m.Censored = true
+		m.PathLen = len(res.Expr)
 	case err == nil:
 		m.States = res.Stats.Examined
 		m.PathLen = len(res.Expr)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tupelo/internal/datagen"
 	"tupelo/internal/heuristic"
 	"tupelo/internal/search"
@@ -73,7 +75,10 @@ func RunExp1(opts Exp1Options, cfg Config) ([]Measurement, error) {
 func exp1Series(algo search.Algorithm, kind heuristic.Kind, sizes []int, cfg Config) ([]Measurement, error) {
 	var out []Measurement
 	for _, n := range sizes {
-		src, tgt := datagen.MatchingPair(n)
+		src, tgt, err := datagen.MatchingPair(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exp1 size %d: %w", n, err)
+		}
 		m, err := run("exp1", "synthetic", n, algo, kind, src, tgt, nil, nil, cfg)
 		if err != nil {
 			return nil, err

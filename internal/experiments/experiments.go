@@ -68,6 +68,18 @@ type Config struct {
 	// reports (tupelo-bench -bench-out) without changing each experiment's
 	// signature.
 	Collect func(Measurement)
+	// MaxHeapBytes adds a per-run heap budget (search.Limits.MaxHeapBytes);
+	// 0 means none. Runs aborted by it count as censored, like state-budget
+	// aborts.
+	MaxHeapBytes uint64
+	// BestEffort enables best-effort degradation: a budget- or
+	// deadline-aborted run reports the states it actually examined (still
+	// censored) instead of failing, and the partial path length it reached.
+	BestEffort bool
+	// Retries is the portfolio experiment's member-restart budget
+	// (PortfolioOptions.MaxRetries); ignored by the single-config
+	// experiments.
+	Retries int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +87,16 @@ func (c Config) withDefaults() Config {
 		c.Budget = 50000
 	}
 	return c
+}
+
+// limits builds the per-run search limits the configuration implies. Every
+// experiment runner uses it so -max-mem and -best-effort apply uniformly.
+func (c Config) limits() search.Limits {
+	return search.Limits{
+		MaxStates:    c.Budget,
+		MaxHeapBytes: c.MaxHeapBytes,
+		BestEffort:   c.BestEffort,
+	}
 }
 
 // run performs one discovery and records the outcome.
@@ -95,12 +117,20 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 		Heuristic:       kind,
 		Registry:        reg,
 		Correspondences: corrs,
-		Limits:          search.Limits{MaxStates: cfg.Budget},
+		Limits:          cfg.limits(),
 		Workers:         cfg.Workers,
 		Metrics:         cfg.Metrics,
 	})
 	m.Duration = time.Since(start)
 	switch {
+	case err == nil && res.Partial:
+		// Best-effort degradation: the run was aborted but reports its
+		// actual effort and the partial path it reached. Still censored —
+		// the mapping is incomplete — but the states axis stays honest
+		// instead of saturating at the budget.
+		m.States = res.Stats.Examined
+		m.Censored = true
+		m.PathLen = len(res.Expr)
 	case err == nil:
 		m.States = res.Stats.Examined
 		m.PathLen = len(res.Expr)

@@ -36,10 +36,13 @@ type comparisonTask struct {
 
 // comparisonSuite mixes the three workload families of §5: synthetic
 // matching, BAMM samples, and complex semantic mapping.
-func comparisonSuite(seed int64) []comparisonTask {
+func comparisonSuite(seed int64) ([]comparisonTask, error) {
 	var suite []comparisonTask
 	for _, n := range []int{4, 8, 16} {
-		src, tgt := datagen.MatchingPair(n)
+		src, tgt, err := datagen.MatchingPair(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: comparison suite: %w", err)
+		}
 		suite = append(suite, comparisonTask{name: fmt.Sprintf("match%d", n), src: src, tgt: tgt})
 	}
 	for _, d := range datagen.BAMM(seed) {
@@ -53,13 +56,13 @@ func comparisonSuite(seed int64) []comparisonTask {
 	for _, n := range []int{2, 4} {
 		src, tgt, corrs, err := inv.Task(n)
 		if err != nil {
-			panic(err) // static task sizes within range
+			return nil, fmt.Errorf("experiments: comparison suite: inventory task %d: %w", n, err)
 		}
 		suite = append(suite, comparisonTask{
 			name: fmt.Sprintf("inventory%d", n), src: src, tgt: tgt, corrs: corrs, reg: inv.Registry,
 		})
 	}
-	return suite
+	return suite, nil
 }
 
 // RunHeuristicComparison evaluates the given heuristics — typically the
@@ -70,7 +73,10 @@ func RunHeuristicComparison(kinds []heuristic.Kind, cfg Config) ([]ComparisonRow
 	if kinds == nil {
 		kinds = []heuristic.Kind{heuristic.H3, heuristic.Cosine, heuristic.Hybrid, heuristic.Jaccard}
 	}
-	suite := comparisonSuite(cfg.Seed)
+	suite, err := comparisonSuite(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	var out []ComparisonRow
 	for _, algo := range BothAlgorithms() {
 		for _, kind := range kinds {
@@ -81,10 +87,13 @@ func RunHeuristicComparison(kinds []heuristic.Kind, cfg Config) ([]ComparisonRow
 					Heuristic:       kind,
 					Registry:        task.reg,
 					Correspondences: task.corrs,
-					Limits:          search.Limits{MaxStates: cfg.Budget},
+					Limits:          cfg.limits(),
 					Metrics:         cfg.Metrics,
 				})
 				switch {
+				case err == nil && res.Partial:
+					// Best-effort abort: count the actual effort, not solved.
+					row.Total += res.Stats.Examined
 				case err == nil:
 					row.Total += res.Stats.Examined
 					row.Solved++

@@ -74,7 +74,7 @@ func RunPortfolio(opts PortfolioOptions, cfg Config) ([]PortfolioRow, error) {
 func portfolioTask(domain string, target int, src, tgt *relation.Database, opts PortfolioOptions, cfg Config) (PortfolioRow, error) {
 	row := PortfolioRow{Domain: domain, Target: target}
 	base := core.Options{
-		Limits:  search.Limits{MaxStates: cfg.Budget},
+		Limits:  cfg.limits(),
 		Workers: cfg.Workers,
 		Metrics: cfg.Metrics,
 	}
@@ -93,8 +93,9 @@ func portfolioTask(domain string, target int, src, tgt *relation.Database, opts 
 
 	start = time.Now()
 	port, err := core.DiscoverPortfolio(context.Background(), src, tgt, core.PortfolioOptions{
-		Configs: opts.Configs,
-		Options: base,
+		Configs:    opts.Configs,
+		Options:    base,
+		MaxRetries: cfg.Retries,
 	})
 	row.PortTime = time.Since(start)
 	if err != nil {

@@ -57,11 +57,14 @@ func RunScaling(opts ScalingOptions, cfg Config) ([]ScalingRow, error) {
 	}
 	var out []ScalingRow
 	for _, g := range opts.Grid {
-		src, tgt := datagen.FlightsScaled(g[0], g[1])
+		src, tgt, err := datagen.FlightsScaled(g[0], g[1])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling %dx%d: %w", g[0], g[1], err)
+		}
 		discOpts := core.Options{
 			Algorithm: algo,
 			Heuristic: kind,
-			Limits:    search.Limits{MaxStates: cfg.Budget},
+			Limits:    cfg.limits(),
 			Metrics:   cfg.Metrics,
 		}
 		rootB, err := core.BranchingFactor(src, tgt, discOpts)

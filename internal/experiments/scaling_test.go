@@ -9,7 +9,7 @@ import (
 )
 
 func TestFlightsScaledShape(t *testing.T) {
-	src, tgt := datagen.FlightsScaled(3, 2)
+	src, tgt := datagen.MustFlightsScaled(3, 2)
 	s, _ := src.Relation("Prices")
 	g, _ := tgt.Relation("Flights")
 	if s.Len() != 6 || s.Arity() != 4 {
@@ -19,19 +19,16 @@ func TestFlightsScaledShape(t *testing.T) {
 		t.Fatalf("target is %d×%d, want 2×5", g.Len(), g.Arity())
 	}
 	// The 2×2 instance is exactly Fig. 1 modulo names.
-	src2, tgt2 := datagen.FlightsScaled(2, 2)
+	src2, tgt2 := datagen.MustFlightsScaled(2, 2)
 	if src2.Size() != 16 || tgt2.Size() != 8 {
 		t.Fatalf("2×2 sizes: %d, %d", src2.Size(), tgt2.Size())
 	}
 }
 
-func TestFlightsScaledPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("FlightsScaled(0, 1) should panic")
-		}
-	}()
-	datagen.FlightsScaled(0, 1)
+func TestFlightsScaledRejectsZeroRoutes(t *testing.T) {
+	if _, _, err := datagen.FlightsScaled(0, 1); err == nil {
+		t.Fatal("FlightsScaled(0, 1) should return an error")
+	}
 }
 
 func TestRunScalingGrowsLinearlyInBranching(t *testing.T) {

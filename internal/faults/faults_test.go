@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountedFaultFiresOnAfterThHit(t *testing.T) {
+	in := NewInjector(1, Fault{Site: SiteOpApply, After: 3, Kind: Panic, Panic: "boom"})
+	hit := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		in.Hit(SiteOpApply, "drop[R,A]")
+		return false
+	}
+	for i := 1; i <= 5; i++ {
+		got := hit()
+		if want := i == 3; got != want {
+			t.Fatalf("hit %d: panicked=%v, want %v", i, got, want)
+		}
+	}
+	if in.Hits(0) != 5 || in.Fired(0) != 1 {
+		t.Fatalf("hits=%d fired=%d, want 5/1", in.Hits(0), in.Fired(0))
+	}
+}
+
+func TestEveryRefires(t *testing.T) {
+	in := NewInjector(1, Fault{Site: SiteHeuristicEval, After: 2, Every: 3, Kind: Panic})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired = append(fired, i)
+				}
+			}()
+			in.Hit(SiteHeuristicEval, "cosine/k=1000")
+		}()
+	}
+	want := []int{2, 5, 8, 11}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+}
+
+func TestMatchFiltersByLabelSubstring(t *testing.T) {
+	in := NewInjector(1, Fault{Site: SiteHeuristicEval, Match: "cosine", Kind: Panic})
+	in.Hit(SiteHeuristicEval, "h1/k=0") // wrong label: no count
+	in.Hit(SiteOpApply, "cosine-ish")   // wrong site: no count
+	if in.Hits(0) != 0 {
+		t.Fatalf("non-matching hits counted: %d", in.Hits(0))
+	}
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		in.Hit(SiteHeuristicEval, "cosine/k=1000")
+		return false
+	}()
+	if !panicked {
+		t.Fatal("matching hit did not fire")
+	}
+}
+
+func TestDefaultPanicValueNamesSiteAndLabel(t *testing.T) {
+	in := NewInjector(1, Fault{Site: SiteOpApply, Kind: Panic})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		s, ok := v.(string)
+		if !ok || s != "faults: injected panic at op-apply (merge[R,B])" {
+			t.Fatalf("panic value %v", v)
+		}
+	}()
+	in.Hit(SiteOpApply, "merge[R,B]")
+}
+
+func TestCancelFault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := NewInjector(1, Fault{Site: SiteOpApply, After: 2, Kind: Cancel, Cancel: cancel})
+	in.Hit(SiteOpApply, "x")
+	if ctx.Err() != nil {
+		t.Fatal("cancelled too early")
+	}
+	in.Hit(SiteOpApply, "x")
+	if ctx.Err() == nil {
+		t.Fatal("not cancelled on the After-th hit")
+	}
+}
+
+func TestDelayFaultSleeps(t *testing.T) {
+	in := NewInjector(1, Fault{Site: SiteOpApply, Kind: Delay, Sleep: 20 * time.Millisecond})
+	start := time.Now()
+	in.Hit(SiteOpApply, "x")
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestProbabilisticDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int64 {
+		in := NewInjector(seed, Fault{Site: SiteOpApply, Prob: 0.3, Kind: Delay})
+		for i := 0; i < 200; i++ {
+			in.Hit(SiteOpApply, "x")
+		}
+		return []int64{in.Hits(0), in.Fired(0)}
+	}
+	a, b := run(7), run(7)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a[1] == 0 || a[1] == a[0] {
+		t.Fatalf("prob=0.3 fired %d/%d times — not probabilistic", a[1], a[0])
+	}
+}
+
+// The matching-hit count at which a counted fault fires must not depend on
+// interleaving: under concurrent hits exactly one goroutine takes the
+// After-th hit. Run with -race.
+func TestConcurrentHitsFireExactlyOnce(t *testing.T) {
+	in := NewInjector(1, Fault{Site: SiteOpApply, After: 50, Kind: Panic})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	panics := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				func() {
+					defer func() {
+						if recover() != nil {
+							mu.Lock()
+							panics++
+							mu.Unlock()
+						}
+					}()
+					in.Hit(SiteOpApply, "x")
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panics != 1 {
+		t.Fatalf("fault fired %d times across 200 concurrent hits, want exactly 1", panics)
+	}
+	if in.Hits(0) != 200 {
+		t.Fatalf("hits=%d, want 200", in.Hits(0))
+	}
+}

@@ -44,6 +44,12 @@ const (
 	// successor, Elapsed the apply duration. Like the cache events it is
 	// high-frequency and omitted from transcripts.
 	EvOpApply
+	// EvPanic is a panic recovered inside a search-owned goroutine — a
+	// portfolio member, a successor-pool worker, or the discovery call
+	// itself; Label is the recovering goroutine's identity and Err the
+	// *search.PanicError carrying the captured stack. Structural (at most a
+	// handful per run), so it is never down-sampled.
+	EvPanic
 )
 
 // String names the kind for transcripts and debugging.
@@ -73,6 +79,8 @@ func (k EventKind) String() string {
 		return "member-cancel"
 	case EvOpApply:
 		return "op-apply"
+	case EvPanic:
+		return "panic"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -171,6 +179,8 @@ func (t *WriterTracer) Event(e Event) {
 		fmt.Fprintf(t.w, "member %s: lost: %v\n", e.Label, e.Err)
 	case EvMemberCancel:
 		fmt.Fprintf(t.w, "member %s: cancelled (%s)\n", e.Label, e.Elapsed)
+	case EvPanic:
+		fmt.Fprintf(t.w, "panic in %s: %v\n", e.Label, e.Err)
 	case EvCacheHit, EvCacheMiss, EvOpApply:
 		// Omitted: one line per heuristic evaluation or operator apply
 		// would drown the transcript. Counters and histograms carry the

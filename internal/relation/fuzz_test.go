@@ -1,0 +1,91 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzRelation builds a relation from a compact fuzz encoding: the first
+// line is "name|attr|attr|...", every further line one tuple of |-separated
+// values. Returns nil when the encoding is rejected — rejections are fine,
+// panics are not.
+func fuzzRelation(s string) *Relation {
+	lines := strings.Split(s, "\n")
+	head := strings.Split(lines[0], "|")
+	if len(head) < 2 {
+		return nil
+	}
+	r, err := New(head[0], head[1:])
+	if err != nil {
+		return nil
+	}
+	for _, line := range lines[1:] {
+		vals := strings.Split(line, "|")
+		if len(vals) != r.Arity() {
+			continue
+		}
+		nr, err := r.Insert(Tuple(vals))
+		if err != nil {
+			return nil
+		}
+		r = nr
+	}
+	return r
+}
+
+// FuzzContains drives the containment check — the per-relation half of the
+// paper's goal test — with arbitrary relation pairs. It must never panic,
+// and three properties must hold on every accepted input: containment is
+// reflexive, a row-subset is always contained, and a projection onto a
+// subset of the attributes is contained.
+func FuzzContains(f *testing.F) {
+	f.Add("R|A|B\n1|2\n3|4", "R|A\n1")
+	f.Add("Flights|Carrier|Fee\nAirEast|15\nJetWest|16", "Flights|Fee\n16")
+	f.Add("R|A\nx", "S|B\ny")
+	f.Add("R|A|A\nx|y", "R|A\nx")
+	f.Add("|\n|", "|")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		ra, rb := fuzzRelation(a), fuzzRelation(b)
+		if ra == nil || rb == nil {
+			return
+		}
+		// Containment of an arbitrary pair must be computable both ways
+		// without panicking, whatever it answers.
+		ra.Contains(rb)
+		rb.Contains(ra)
+		// Reflexivity.
+		if !ra.Contains(ra) {
+			t.Fatalf("relation does not contain itself:\n%s", ra)
+		}
+		// Row subsets: a relation over the same attributes holding a prefix
+		// of the rows is contained.
+		if ra.Len() > 0 {
+			sub, err := New(ra.Name(), ra.Attrs(), ra.Rows()[:ra.Len()/2+1]...)
+			if err != nil {
+				t.Fatalf("row subset rejected: %v", err)
+			}
+			if !ra.Contains(sub) {
+				t.Fatalf("relation does not contain its own row subset:\n%s\nvs\n%s", ra, sub)
+			}
+		}
+		// Attribute subsets: the projection onto the first attribute is
+		// contained (every projected tuple agrees with its source tuple).
+		if ra.Arity() > 1 && ra.Len() > 0 {
+			attr := ra.Attrs()[0]
+			proj, err := New(ra.Name(), []string{attr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals, _ := ra.ValuesOf(attr)
+			for _, v := range vals {
+				proj, err = proj.Insert(Tuple{v})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !ra.Contains(proj) {
+				t.Fatalf("relation does not contain its projection:\n%s\nvs\n%s", ra, proj)
+			}
+		}
+	})
+}

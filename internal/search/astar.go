@@ -56,6 +56,7 @@ func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy b
 	start := p.Start()
 	seq := 0
 	f := h(start)
+	c.candidate(start, f, func() []Move { return nil })
 	open := &frontier{{state: start, g: 0, f: f, seq: seq}}
 	heap.Init(open)
 	bestG := map[string]int{start.Key(): 0}
@@ -86,13 +87,17 @@ func bestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, greedy b
 			}
 			bestG[k] = g
 			seq++
-			f := g + h(m.To)
+			hv := h(m.To)
+			f := g + hv
 			if greedy {
-				f = h(m.To)
+				f = hv
 			}
 			path := make([]Move, 0, len(n.path)+1)
 			path = append(path, n.path...)
 			path = append(path, m)
+			// The node owns path and never mutates it, so the best-effort
+			// tracker can hold a reference instead of a copy.
+			c.candidate(m.To, hv, func() []Move { return path })
 			heap.Push(open, &node{state: m.To, g: g, f: f, path: path, seq: seq})
 		}
 	}

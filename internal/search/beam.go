@@ -23,6 +23,9 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 		path  []Move
 	}
 	frontier := []beamNode{{state: p.Start()}}
+	if c.best != nil {
+		c.candidate(p.Start(), h(p.Start()), func() []Move { return nil })
+	}
 	seen := map[string]bool{p.Start().Key(): true}
 	for len(frontier) > 0 {
 		// Examine the current beam.
@@ -61,9 +64,11 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 				path = append(path, m)
 				g := n.g + m.Cost
 				seq++
+				hv := h(m.To)
+				c.candidate(m.To, hv, func() []Move { return path })
 				next = append(next, scored{
 					node: beamNode{state: m.To, g: g, path: path},
-					f:    g + h(m.To),
+					f:    g + hv,
 					seq:  seq,
 				})
 			}
@@ -103,7 +108,11 @@ func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) 
 	c := newCounter(ctx, "WA*", lim)
 	start := p.Start()
 	seq := 0
-	open := &frontier{{state: start, g: 0, f: h(start), seq: seq}}
+	hs := h(start)
+	// Best-effort candidates record the weighted heuristic — the only one
+	// this search evaluates; within one run the ordering is unaffected.
+	c.candidate(start, hs, func() []Move { return nil })
+	open := &frontier{{state: start, g: 0, f: hs, seq: seq}}
 	heap.Init(open)
 	bestG := map[string]int{start.Key(): 0}
 	for open.Len() > 0 {
@@ -136,7 +145,9 @@ func weightedBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) 
 			path := make([]Move, 0, len(n.path)+1)
 			path = append(path, n.path...)
 			path = append(path, m)
-			heap.Push(open, &node{state: m.To, g: g, f: g + h(m.To), path: path, seq: seq})
+			hv := h(m.To)
+			c.candidate(m.To, hv, func() []Move { return path })
+			heap.Push(open, &node{state: m.To, g: g, f: g + hv, path: path, seq: seq})
 		}
 	}
 	return nil, c.fail(ErrNotFound)

@@ -39,6 +39,7 @@ func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, 
 // result if a goal was found on this probe.
 func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[]Move, onPath map[string]bool) (int, *Result, error) {
 	f := g + h(s)
+	c.candidate(s, f-g, func() []Move { return append([]Move(nil), *path...) })
 	if f > bound {
 		return f, nil, nil
 	}

@@ -14,9 +14,11 @@ import (
 func RecursiveBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	start := p.Start()
 	c := newCounter(ctx, "RBFS", lim)
+	hs := h(start)
+	c.candidate(start, hs, func() []Move { return nil })
 	onPath := map[string]bool{start.Key(): true}
 	var path []Move
-	res, _, err := rbfs(p, h, c, start, 0, h(start), inf, &path, onPath)
+	res, _, err := rbfs(p, h, c, start, 0, hs, inf, &path, onPath)
 	if err != nil {
 		return nil, c.fail(err)
 	}
@@ -61,6 +63,11 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 		}
 		cg := g + m.Cost
 		ch := h(m.To)
+		c.candidate(m.To, ch, func() []Move {
+			cp := make([]Move, 0, len(*path)+1)
+			cp = append(cp, *path...)
+			return append(cp, m)
+		})
 		cf := cg + ch
 		// Inherit the parent's backed-up value: if s was previously
 		// explored and backed up to f, its children cannot do better.

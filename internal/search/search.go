@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"tupelo/internal/obs"
@@ -75,8 +77,27 @@ type Limits struct {
 	// Deadline aborts the search once the wall clock passes it; the run
 	// fails with an error wrapping context.DeadlineExceeded. A context
 	// deadline works identically — this field exists for callers that
-	// carry limits as plain data rather than through a context.
+	// carry limits as plain data rather than through a context. The clock
+	// is sampled every wallCheckInterval examined states, so an abort can
+	// overshoot the deadline by the time those states take to examine.
 	Deadline time.Time
+	// MaxHeapBytes aborts the search once the process heap (HeapAlloc)
+	// exceeds this many bytes, failing with an error matching both ErrLimit
+	// and ErrMemory. The heap is sampled via runtime.ReadMemStats every
+	// wallCheckInterval examined states — per-state sampling would dominate
+	// the search — so the abort fires within that many states of the budget
+	// being crossed. The budget is process-wide: portfolio members racing in
+	// one process share the heap and the first to sample past the budget
+	// aborts.
+	MaxHeapBytes uint64
+	// BestEffort makes an aborted run (budget, deadline, or cancellation)
+	// carry the frontier state with the lowest heuristic value seen on
+	// Error.Partial, so callers can degrade to an approximate partial
+	// mapping instead of failing with nothing. Exhausted searches
+	// (ErrNotFound) also carry the partial for diagnostics, but a caller
+	// should not present it as an approximation — the search proved no goal
+	// is reachable.
+	BestEffort bool
 }
 
 // Stats reports what a search run did.
@@ -113,15 +134,62 @@ var ErrNotFound = errors.New("search: no goal state found")
 // ErrLimit reports an aborted search (state or depth budget exhausted).
 var ErrLimit = errors.New("search: limit exceeded")
 
-// errStateBudget and errWallDeadline refine the generic sentinels so that
-// error text states which bound fired: a MaxStates abort and a
-// Limits.Deadline abort previously surfaced as an undifferentiated "limit
-// exceeded" / "context deadline exceeded". errors.Is still matches ErrLimit
-// and context.DeadlineExceeded respectively.
+// ErrMemory refines ErrLimit for heap-budget aborts: an error from a run
+// stopped by Limits.MaxHeapBytes matches both ErrLimit (it is a budget
+// abort) and ErrMemory (it is specifically the memory budget).
+var ErrMemory = errors.New("search: memory budget exceeded")
+
+// errStateBudget, errWallDeadline, and errHeapBudget refine the generic
+// sentinels so that error text states which bound fired: a MaxStates abort
+// and a Limits.Deadline abort previously surfaced as an undifferentiated
+// "limit exceeded" / "context deadline exceeded". errors.Is still matches
+// ErrLimit and context.DeadlineExceeded respectively, and errHeapBudget
+// matches both ErrLimit and ErrMemory.
 var (
 	errStateBudget  = fmt.Errorf("%w (state budget exhausted)", ErrLimit)
 	errWallDeadline = fmt.Errorf("%w (wall-clock deadline passed)", context.DeadlineExceeded)
+	errHeapBudget   = fmt.Errorf("%w (%w)", ErrLimit, ErrMemory)
 )
+
+// PanicError is a panic recovered inside search-owned code: a portfolio
+// member goroutine, a successor-pool worker, or the discovery call itself.
+// The resilience layer converts such panics into ordinary *Error failures so
+// that one poisoned heuristic or operator loses its race instead of killing
+// the process. Value is the recovered panic value, Stack the stack captured
+// at the recovery point, and Origin identifies the recovering goroutine
+// ("successor worker 3 (op ρ_rel[a/b])", "portfolio member RBFS/cosine").
+type PanicError struct {
+	// Value is the value the code panicked with.
+	Value any
+	// Stack is the goroutine stack captured by the recover handler.
+	Stack []byte
+	// Origin identifies the goroutine and site that recovered the panic.
+	Origin string
+}
+
+// NewPanicError captures the current goroutine's stack into a PanicError.
+// Call it directly inside the recover handler so the stack still shows the
+// panic site.
+func NewPanicError(origin string, value any) *PanicError {
+	return &PanicError{Value: value, Stack: debug.Stack(), Origin: origin}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Origin, e.Value)
+}
+
+// Partial is the best-effort payload of an aborted run (Limits.BestEffort):
+// the frontier state with the lowest heuristic value seen before the abort,
+// with the move path that reaches it from the start state.
+type Partial struct {
+	// Path is the move sequence from the start state to State.
+	Path []Move
+	// State is the closest-to-goal state seen, by heuristic value.
+	State State
+	// H is the heuristic value of State under the run's heuristic —
+	// comparable only to values from the same heuristic.
+	H int
+}
 
 // Error is the error type returned by every algorithm in this package: it
 // wraps the cause (ErrNotFound, ErrLimit, context.Canceled,
@@ -134,19 +202,29 @@ type Error struct {
 	Err error
 	// Stats holds the effort spent up to the failure.
 	Stats Stats
+	// Partial is the best frontier state seen before the run stopped. It is
+	// set only when Limits.BestEffort was enabled and at least one state's
+	// heuristic value was observed.
+	Partial *Partial
 }
 
 // Cause classifies the wrapped error into a small stable vocabulary —
-// "deadline", "canceled", "limit", "exhausted", or "error" — used in the
-// error text and as the metrics label for aborted runs. Deadlines are
-// checked before limits so a run that trips both reports the same cause the
-// errors.Is chain resolves first.
+// "panic", "deadline", "canceled", "memory", "limit", "exhausted", or
+// "error" — used in the error text and as the metrics label for aborted
+// runs. Deadlines are checked before limits so a run that trips both reports
+// the same cause the errors.Is chain resolves first; "memory" is checked
+// before "limit" because a heap-budget abort matches both sentinels.
 func (e *Error) Cause() string {
+	var pe *PanicError
 	switch {
+	case errors.As(e.Err, &pe):
+		return "panic"
 	case errors.Is(e.Err, context.DeadlineExceeded):
 		return "deadline"
 	case errors.Is(e.Err, context.Canceled):
 		return "canceled"
+	case errors.Is(e.Err, ErrMemory):
+		return "memory"
 	case errors.Is(e.Err, ErrLimit):
 		return "limit"
 	case errors.Is(e.Err, ErrNotFound):
@@ -244,6 +322,11 @@ type counter struct {
 	o     obs.Obs
 	start time.Time
 
+	// best tracks the lowest-h frontier state for best-effort degradation;
+	// nil unless Limits.BestEffort is set, so the hot path pays one nil
+	// check when the feature is off.
+	best *bestSeen
+
 	// Pre-resolved instruments; nil (and therefore no-ops) without metrics.
 	mExamined  *obs.Counter
 	mGenerated *obs.Counter
@@ -257,6 +340,9 @@ func newCounter(ctx context.Context, algo string, lim Limits) *counter {
 		ctx = context.Background()
 	}
 	c := &counter{lim: lim, ctx: ctx, algo: algo, o: obs.FromContext(ctx)}
+	if lim.BestEffort {
+		c.best = &bestSeen{}
+	}
 	if c.o.Enabled() {
 		c.start = time.Now()
 		if m := c.o.Metrics; m != nil {
@@ -295,10 +381,80 @@ func (c *counter) examine() error {
 	if err := c.ctx.Err(); err != nil {
 		return err
 	}
-	if !c.lim.Deadline.IsZero() && time.Now().After(c.lim.Deadline) {
-		return errWallDeadline
+	// The wall clock and the heap are sampled every wallCheckInterval
+	// states rather than per state: time.Now and especially ReadMemStats
+	// (which stops the world) are far more expensive than the atomic
+	// counting above. The phase is 1, not 0, so the very first examined
+	// state still catches an already-expired deadline or an already-blown
+	// heap budget.
+	if c.stats.Examined&(wallCheckInterval-1) == 1 {
+		if !c.lim.Deadline.IsZero() && time.Now().After(c.lim.Deadline) {
+			return errWallDeadline
+		}
+		if c.lim.MaxHeapBytes > 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > c.lim.MaxHeapBytes {
+				return errHeapBudget
+			}
+		}
 	}
 	return nil
+}
+
+// wallCheckInterval is how often (in examined states) examine samples the
+// wall clock and the heap. Must be a power of two. A deadline or memory
+// abort can therefore overshoot its bound by up to wallCheckInterval-1
+// states — well within the tolerance of the portfolio deadline tests, which
+// allow hundreds of milliseconds of teardown slack.
+const wallCheckInterval = 64
+
+// bestSeen tracks the frontier state with the lowest heuristic value
+// observed during a run, for best-effort degradation. The algorithms offer
+// every state whose h they compute; the path is materialized lazily (the
+// callback is invoked only on improvement) because IDA and RBFS mutate
+// their path slice in place. A mutex keeps the tracker safe should a future
+// algorithm offer candidates from worker goroutines.
+type bestSeen struct {
+	mu   sync.Mutex
+	set  bool
+	h    int
+	s    State
+	path []Move
+}
+
+// offer records s as the best-effort candidate if its heuristic value beats
+// the current best. Ties keep the earlier state, so the result is
+// deterministic for a deterministic search order.
+func (b *bestSeen) offer(s State, h int, path func() []Move) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.set && h >= b.h {
+		return
+	}
+	b.set, b.h, b.s = true, h, s
+	b.path = path()
+}
+
+// take returns the best candidate seen, or nil if none was offered.
+func (b *bestSeen) take() *Partial {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.set {
+		return nil
+	}
+	return &Partial{Path: b.path, State: b.s, H: b.h}
+}
+
+// candidate offers a state with a known heuristic value as a best-effort
+// result. pathFn must return a caller-owned copy of the path from the start
+// state to s; it is invoked only when s improves on the best seen so far.
+// No-op unless Limits.BestEffort is set.
+func (c *counter) candidate(s State, h int, pathFn func() []Move) {
+	if c.best == nil {
+		return
+	}
+	c.best.offer(s, h, pathFn)
 }
 
 // generated records n successor states produced by one expansion.
@@ -364,11 +520,15 @@ func (c *counter) depthOK(g int) bool {
 	return c.lim.MaxDepth == 0 || g <= c.lim.MaxDepth
 }
 
-// fail wraps err with the partial statistics of the run so far, counts the
-// abort under its cause ("deadline", "canceled", "limit", ...), and emits
-// the run-finish event.
+// fail wraps err with the partial statistics of the run so far — plus the
+// best-effort candidate state under Limits.BestEffort — counts the abort
+// under its cause ("deadline", "canceled", "limit", ...), and emits the
+// run-finish event.
 func (c *counter) fail(err error) error {
 	e := &Error{Err: err, Stats: c.stats}
+	if c.best != nil {
+		e.Partial = c.best.take()
+	}
 	if c.o.Enabled() {
 		if m := c.o.Metrics; m != nil {
 			m.Counter(obs.Name("search.aborts", "algo", c.algo, "cause", e.Cause())).Inc()

@@ -76,6 +76,15 @@ type (
 	// context.Canceled, context.DeadlineExceeded) and carries the partial
 	// Stats, recoverable with errors.As.
 	SearchError = search.Error
+	// PanicError is the cause wrapped by a SearchError when a discovery
+	// goroutine panicked: the recovered value, the captured stack, and the
+	// goroutine's identity. Discovery never lets a panic escape to the
+	// caller — recover it with errors.As.
+	PanicError = search.PanicError
+	// PartialMapping is the closest frontier state an aborted best-effort
+	// run reached (Limits.BestEffort); carried on SearchError.Partial and
+	// surfaced through Result.PartialState when the abort is degradable.
+	PartialMapping = search.Partial
 	// PortfolioConfig names one member of a portfolio race.
 	PortfolioConfig = core.PortfolioConfig
 	// PortfolioOptions configures DiscoverPortfolio.
@@ -162,6 +171,10 @@ var (
 	ErrNotFound = search.ErrNotFound
 	// ErrLimit means the search exceeded Limits.MaxStates.
 	ErrLimit = search.ErrLimit
+	// ErrMemory means the search exceeded Limits.MaxHeapBytes. It always
+	// travels with ErrLimit, so errors.Is(err, ErrLimit) still classifies
+	// the run as budget-bound and errors.Is(err, ErrMemory) refines it.
+	ErrMemory = search.ErrMemory
 )
 
 // NewRelation creates a relation from a name, attribute list, and rows.
@@ -264,6 +277,9 @@ const (
 	EvMemberWin    = obs.EvMemberWin
 	EvMemberLose   = obs.EvMemberLose
 	EvMemberCancel = obs.EvMemberCancel
+	// EvPanic reports a recovered panic (successor worker, portfolio
+	// member, or the discovery goroutine itself).
+	EvPanic = obs.EvPanic
 )
 
 // NewMetrics returns an empty metrics registry for Options.Metrics.
