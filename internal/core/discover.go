@@ -240,7 +240,7 @@ func BranchingFactor(source, target *relation.Database, opts Options) (int, erro
 }
 
 // cachedEstimator adapts a heuristic.Estimator to search.Heuristic through
-// the run's cache, keyed by state fingerprint: IDA and RBFS re-examine
+// the run's cache, keyed by the compact state key: IDA and RBFS re-examine
 // states across iterations and every estimate re-encodes the whole database
 // into TNF. The successor worker pool pre-warms the same cache, so in the
 // common case this is a pure lookup; a portfolio shares one cache across

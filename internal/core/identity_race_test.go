@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tupelo/internal/relation"
+)
+
+// TestLazyMemoizationRaceFree drives the lazy canonical-form memoization
+// from many goroutines at once, the way the parallel successor workers do:
+// successors built with WithRelation share every untouched *Relation, and
+// the first worker to key its state races the others to fill each shared
+// relation's memo. Run under -race (CI does), this pins that the sync.Once
+// publication is sound.
+func TestLazyMemoizationRaceFree(t *testing.T) {
+	mk := func() *relation.Database {
+		return relation.MustDatabase(
+			relation.MustNew("R", []string{"A", "B"},
+				relation.Tuple{"1", "2"}, relation.Tuple{"3", "4"}),
+			relation.MustNew("S", []string{"X", "Y"},
+				relation.Tuple{"x", "y"}),
+			relation.MustNew("T", []string{"Q"},
+				relation.Tuple{"q"}),
+		)
+	}
+	for trial := 0; trial < 50; trial++ {
+		base := mk()
+		// Successor-like states sharing base's relations copy-on-write, each
+		// replacing a different relation — exactly the sharing pattern the
+		// worker pool produces.
+		states := []*relation.Database{
+			base,
+			base.WithRelation(relation.MustNew("R", []string{"A"}, relation.Tuple{"1"})),
+			base.WithRelation(relation.MustNew("S", []string{"X"}, relation.Tuple{"x"})),
+			base.WithRelation(relation.MustNew("U", []string{"Z"})),
+		}
+		var wg sync.WaitGroup
+		keys := make([]string, 8*len(states))
+		for w := 0; w < 8; w++ {
+			for i, db := range states {
+				wg.Add(1)
+				go func(slot int, db *relation.Database) {
+					defer wg.Done()
+					// Key, Fingerprint, and Equal all race to canonicalize
+					// the shared relations.
+					keys[slot] = db.Key()
+					_ = db.Fingerprint()
+					_ = db.Equal(base)
+				}(w*len(states)+i, db)
+			}
+		}
+		wg.Wait()
+		for w := 1; w < 8; w++ {
+			for i := range states {
+				if keys[w*len(states)+i] != keys[i] {
+					t.Fatalf("trial %d: goroutines disagree on key of state %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWorkersKeyConsistency runs the real worker pool over the
+// flights expansion and checks every generated state's key against a
+// fresh single-threaded recomputation on an equal database.
+func TestParallelWorkersKeyConsistency(t *testing.T) {
+	par := movesWith(t, 8)
+	for _, m := range par {
+		db := m.To.(*dbState).db
+		if got, want := m.To.Key(), db.Clone().Key(); got != want {
+			t.Fatalf("move %s: memoized key differs from recomputed key", m.Label)
+		}
+	}
+}

@@ -11,15 +11,18 @@ import (
 )
 
 // dbState adapts a relational database to the search.State interface.
-// The canonical fingerprint is computed once and cached, since IDA and RBFS
-// revisit states frequently.
+// The key is the database's compact 128-bit identity (relation.Database.Key),
+// computed once and cached, since IDA and RBFS revisit states frequently.
+// Per-relation canonical forms are memoized on the relations themselves, so
+// keying a successor that replaced one relation copy-on-write only pays for
+// hashing that relation; the shared relations reuse their cached hashes.
 type dbState struct {
 	db  *relation.Database
 	key string
 }
 
 func newState(db *relation.Database) *dbState {
-	return &dbState{db: db, key: db.Fingerprint()}
+	return &dbState{db: db, key: db.Key()}
 }
 
 // Key implements search.State.

@@ -40,6 +40,13 @@ type mappingProblem struct {
 	tAttrVals map[string]map[string]bool
 	tRelVals  map[string]map[string]bool
 
+	// goalIx is the precomputed containment index over the target critical
+	// instance: the goal test runs once per examined state, and the indexed
+	// form replaces Database.Contains's nested-loop tuple scan with hash
+	// lookups. It answers exactly what Database.Contains answers (the scan is
+	// kept as the reference implementation, cross-checked by tests).
+	goalIx *relation.ContainmentIndex
+
 	// Parallel-expansion machinery. workers bounds the pool that applies
 	// candidate operators; est and cache, when set, let the same pool
 	// pre-warm heuristic estimates so the search loop's h() calls become
@@ -84,6 +91,7 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		tracer:    opts.Tracer,
 		fault:     opts.FaultHook,
 		hLabel:    cacheLabel(opts),
+		goalIx:    relation.NewContainmentIndex(target),
 	}
 	p.tAttrsSorted = sortedKeys(p.tAttrs)
 	for _, r := range target.Relations() {
@@ -112,9 +120,10 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 func (p *mappingProblem) Start() search.State { return newState(p.source) }
 
 // IsGoal implements search.Problem: the state is a structurally identical
-// superset of the target critical instance.
+// superset of the target critical instance. The test runs against the
+// precomputed containment index, equivalent to db.Contains(p.target).
 func (p *mappingProblem) IsGoal(s search.State) bool {
-	return s.(*dbState).db.Contains(p.target)
+	return p.goalIx.Contains(s.(*dbState).db)
 }
 
 // Successors implements search.Problem. Operator arguments are instantiated
@@ -410,12 +419,15 @@ func (p *mappingProblem) renameEvidence(r *relation.Relation, a, to string) bool
 	if len(tv) == 0 || r.Len() == 0 {
 		return true
 	}
-	vals, err := r.ValuesOf(a)
-	if err != nil {
+	j := r.AttrIndex(a)
+	if j < 0 {
 		return false
 	}
-	for _, v := range vals {
-		if tv[v] {
+	// Existence check over the column: scan rows directly rather than
+	// materializing the sorted distinct-value set — this runs once per
+	// (column, missing-attribute) pair on every expanded state.
+	for i := 0; i < r.Len(); i++ {
+		if tv[r.Row(i)[j]] {
 			return true
 		}
 	}

@@ -212,7 +212,7 @@ func (o Demote) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Data
 		return nil, fmt.Errorf("fira: demote: %s has no attributes", o.Rel)
 	}
 	attrs := r.Attrs()
-	out, err := relation.New(o.Rel, append(r.Attrs(), DemoteRelCol, DemoteAttCol))
+	out, err := relation.NewBuilder(o.Rel, append(r.Attrs(), DemoteRelCol, DemoteAttCol))
 	if err != nil {
 		return nil, err
 	}
@@ -222,13 +222,12 @@ func (o Demote) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Data
 			ext := make(relation.Tuple, 0, len(row)+2)
 			ext = append(ext, row...)
 			ext = append(ext, o.Rel, a)
-			out, err = out.Insert(ext)
-			if err != nil {
+			if err := out.Add(ext); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return db.WithRelation(out), nil
+	return db.WithRelation(out.Relation()), nil
 }
 
 func (o Demote) String() string { return fmt.Sprintf("demote[%s]", o.Rel) }
@@ -297,6 +296,7 @@ func (o Partition) Apply(db *relation.Database, _ *lambda.Registry) (*relation.D
 		return nil, fmt.Errorf("fira: partition: %s is empty", o.Rel)
 	}
 	rest := db.WithoutRelation(o.Rel)
+	parts := make(map[string]*relation.Builder, len(values))
 	for _, v := range values {
 		if v == "" {
 			return nil, fmt.Errorf("fira: partition: empty value in column %q", o.Attr)
@@ -304,19 +304,23 @@ func (o Partition) Apply(db *relation.Database, _ *lambda.Registry) (*relation.D
 		if _, clash := rest.Relation(v); clash {
 			return nil, fmt.Errorf("fira: partition: relation %q already exists", v)
 		}
-		part, err := relation.New(v, r.Attrs())
+		part, err := relation.NewBuilder(v, r.Attrs())
 		if err != nil {
 			return nil, err
 		}
-		for i := 0; i < r.Len(); i++ {
-			if got, _ := r.Value(i, o.Attr); got == v {
-				part, err = part.Insert(r.Row(i))
-				if err != nil {
-					return nil, err
-				}
-			}
+		parts[v] = part
+	}
+	// One pass over the input assigns every tuple to its partition; the
+	// builders make the whole operator linear in the relation size instead of
+	// one copy-on-write insert (full clone) per tuple.
+	for i := 0; i < r.Len(); i++ {
+		v, _ := r.Value(i, o.Attr)
+		if err := parts[v].Add(r.Row(i)); err != nil {
+			return nil, err
 		}
-		rest = rest.WithRelation(part)
+	}
+	for _, v := range values {
+		rest = rest.WithRelation(parts[v].Relation())
 	}
 	return rest, nil
 }
@@ -349,7 +353,7 @@ func (o Product) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Dat
 			return nil, fmt.Errorf("fira: product: attribute %q appears in both %s and %s", a, o.Left, o.Right)
 		}
 	}
-	out, err := relation.New(o.Left, append(l.Attrs(), r.Attrs()...))
+	out, err := relation.NewBuilder(o.Left, append(l.Attrs(), r.Attrs()...))
 	if err != nil {
 		return nil, err
 	}
@@ -358,13 +362,12 @@ func (o Product) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Dat
 			row := make(relation.Tuple, 0, l.Arity()+r.Arity())
 			row = append(row, l.Row(i)...)
 			row = append(row, r.Row(j)...)
-			out, err = out.Insert(row)
-			if err != nil {
+			if err := out.Add(row); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return db.WithRelation(out), nil
+	return db.WithRelation(out.Relation()), nil
 }
 
 func (o Product) String() string { return fmt.Sprintf("product[%s,%s]", o.Left, o.Right) }
@@ -402,7 +405,7 @@ func (o Merge) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 		groups[k] = append(groups[k], row.Clone())
 	}
 	sort.Strings(keys)
-	out, err := relation.New(o.Rel, r.Attrs())
+	out, err := relation.NewBuilder(o.Rel, r.Attrs())
 	if err != nil {
 		return nil, err
 	}
@@ -411,13 +414,12 @@ func (o Merge) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 		sortTuples(rows)
 		merged := mergeGroup(rows)
 		for _, row := range merged {
-			out, err = out.Insert(row)
-			if err != nil {
+			if err := out.Add(row); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return db.WithRelation(out), nil
+	return db.WithRelation(out.Relation()), nil
 }
 
 // sortTuples orders tuples lexicographically for determinism.

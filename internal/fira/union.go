@@ -40,7 +40,7 @@ func (o Union) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 			attrs = append(attrs, a)
 		}
 	}
-	out, err := relation.New(o.Left, attrs)
+	out, err := relation.NewBuilder(o.Left, attrs)
 	if err != nil {
 		return nil, err
 	}
@@ -54,16 +54,16 @@ func (o Union) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 		return row
 	}
 	for i := 0; i < l.Len(); i++ {
-		if out, err = out.Insert(pad(l, i)); err != nil {
+		if err := out.Add(pad(l, i)); err != nil {
 			return nil, err
 		}
 	}
 	for i := 0; i < r.Len(); i++ {
-		if out, err = out.Insert(pad(r, i)); err != nil {
+		if err := out.Add(pad(r, i)); err != nil {
 			return nil, err
 		}
 	}
-	return db.WithoutRelation(o.Right).WithRelation(out), nil
+	return db.WithoutRelation(o.Right).WithRelation(out.Relation()), nil
 }
 
 func (o Union) String() string { return fmt.Sprintf("union[%s,%s]", o.Left, o.Right) }

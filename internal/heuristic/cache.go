@@ -6,15 +6,16 @@ import (
 	"tupelo/internal/obs"
 )
 
-// Cache memoizes heuristic estimates keyed by state fingerprint. IDA and
-// RBFS re-examine states across iterations and every estimate re-encodes
-// the whole database into TNF, so memoization is load-bearing for both
-// single runs and portfolios. A single search run uses a MapCache; a
-// portfolio shares one SyncCache among all members that evaluate the same
-// (heuristic, scaling constant) pair, so TNF fingerprints encoded by one
-// member are free for the others.
+// Cache memoizes heuristic estimates keyed by the state's compact identity
+// key (a 128-bit hash of the canonical form). IDA and RBFS re-examine
+// states across iterations and every estimate re-encodes the whole database
+// into TNF, so memoization is load-bearing for both single runs and
+// portfolios. A single search run uses a MapCache; a portfolio shares one
+// SyncCache among all members that evaluate the same (heuristic, scaling
+// constant) pair, so TNF fingerprints encoded by one member are free for
+// the others.
 type Cache interface {
-	// Get returns the memoized estimate for the fingerprint, if present.
+	// Get returns the memoized estimate for the state key, if present.
 	Get(key string) (int, bool)
 	// Put memoizes an estimate. Estimates are deterministic per
 	// (heuristic, k, target), so duplicate Puts always agree and may be

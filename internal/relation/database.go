@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strings"
@@ -144,13 +145,42 @@ func (db *Database) Contains(target *Database) bool {
 
 // Fingerprint returns a canonical string identifying the database up to
 // relation, attribute, and tuple ordering. Two databases have equal
-// fingerprints iff they are Equal.
+// fingerprints iff they are Equal. Per-relation fingerprints are memoized,
+// so a successor that replaced one relation via WithRelation pays only for
+// that relation; the untouched relations return their cached strings.
 func (db *Database) Fingerprint() string {
 	parts := make([]string, 0, len(db.rels))
 	for _, r := range db.Relations() {
 		parts = append(parts, r.Fingerprint())
 	}
 	return strings.Join(parts, "\x1b")
+}
+
+// Key returns a compact 16-byte identity for the database, suitable as a
+// map key: SHA-256, truncated to 128 bits, over the concatenation of the
+// per-relation 128-bit hashes in sorted-name order. The per-relation hashes
+// are fixed-width, so the concatenation is unambiguous, and each one covers
+// the relation's full canonical form including its name — two databases
+// with equal keys are Equal up to SHA-256 collisions (see DESIGN.md,
+// "State identity", for the collision-probability argument).
+func (db *Database) Key() string {
+	if len(db.rels) == 1 {
+		// A single relation's hash already covers its name and full
+		// canonical form; re-hashing it adds nothing. This is the common
+		// case for the paper's synthetic matching states.
+		for _, r := range db.rels {
+			h := r.Hash()
+			return string(h[:])
+		}
+	}
+	names := db.Names()
+	buf := make([]byte, 0, 16*len(names))
+	for _, name := range names {
+		h := db.rels[name].Hash()
+		buf = append(buf, h[:]...)
+	}
+	sum := sha256.Sum256(buf)
+	return string(sum[:16])
 }
 
 // RelationNames returns the set of relation names.

@@ -53,6 +53,15 @@ func FuzzContains(f *testing.F) {
 		// without panicking, whatever it answers.
 		ra.Contains(rb)
 		rb.Contains(ra)
+		// The precomputed containment index must agree with the reference
+		// nested-loop scan on every accepted input, in both directions.
+		dba, dbb := MustDatabase(ra), MustDatabase(rb)
+		if got, want := NewContainmentIndex(dbb).Contains(dba), dba.Contains(dbb); got != want {
+			t.Fatalf("index=%v scan=%v for target\n%s\nin state\n%s", got, want, rb, ra)
+		}
+		if got, want := NewContainmentIndex(dba).Contains(dbb), dbb.Contains(dba); got != want {
+			t.Fatalf("index=%v scan=%v for target\n%s\nin state\n%s", got, want, ra, rb)
+		}
 		// Reflexivity.
 		if !ra.Contains(ra) {
 			t.Fatalf("relation does not contain itself:\n%s", ra)

@@ -1,0 +1,119 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDB builds a database shaped like a mid-search exp1 state after
+// demote+partition: rels relations of arity attrs, rows tuples each, with a
+// shared value prefix so tuple comparisons cannot shortcut on the first
+// attribute.
+func benchDB(rels, attrs, rows int) *Database {
+	out := make([]*Relation, rels)
+	for r := 0; r < rels; r++ {
+		names := make([]string, attrs)
+		for a := range names {
+			names[a] = fmt.Sprintf("A%d", a+1)
+		}
+		b, err := NewBuilder(fmt.Sprintf("R%d", r+1), names)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < rows; i++ {
+			row := make(Tuple, attrs)
+			for a := range row {
+				row[a] = "shared"
+			}
+			row[attrs-1] = fmt.Sprintf("v%d", i)
+			if err := b.Add(row); err != nil {
+				panic(err)
+			}
+		}
+		out[r] = b.Relation()
+	}
+	return MustDatabase(out...)
+}
+
+// BenchmarkFingerprintMemoized measures the steady-state cost of
+// re-identifying an already-canonicalized relation — the price every
+// revisit by IDA/RBFS used to pay in full.
+func BenchmarkFingerprintMemoized(b *testing.B) {
+	r := benchDB(1, 14, 16).Relations()[0]
+	r.Fingerprint() // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.Fingerprint()) == 0 {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
+// BenchmarkFingerprintRecompute is the reference arm: a from-scratch
+// canonical render, what Fingerprint cost before memoization.
+func BenchmarkFingerprintRecompute(b *testing.B) {
+	r := benchDB(1, 14, 16).Relations()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, fp := r.computeCanonical(); len(fp) == 0 {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
+// BenchmarkSuccessorKey measures per-successor state identity on an
+// exp1-shaped multi-relation state: the successor replaces one relation
+// copy-on-write, so the memoized arm hashes only that relation while the
+// recompute arm (the old behavior — a full fingerprint render of a state
+// whose relations carry no memo) pays for all of them.
+func BenchmarkSuccessorKey(b *testing.B) {
+	base := benchDB(14, 8, 4)
+	base.Key() // warm the shared relations' memos
+	replacement := MustNew("R1", []string{"A1"}, Tuple{"x"})
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			succ := base.WithRelation(replacement.Clone())
+			if len(succ.Key()) != 16 {
+				b.Fatal("bad key")
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			succ := base.Clone().WithRelation(replacement.Clone())
+			if len(succ.Fingerprint()) == 0 {
+				b.Fatal("bad fingerprint")
+			}
+		}
+	})
+}
+
+// BenchmarkGoalTest compares the indexed containment test against the
+// reference nested-loop scan on a scaled exp1-family instance (shared value
+// prefixes defeat the scan's early-mismatch shortcut, as repeated column
+// values do in real data).
+func BenchmarkGoalTest(b *testing.B) {
+	state := benchDB(1, 8, 128)
+	target := state // containment of the full instance: the scan's worst case
+	ix := NewContainmentIndex(target)
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !ix.Contains(state) {
+				b.Fatal("state must contain target")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !state.Contains(target) {
+				b.Fatal("state must contain target")
+			}
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mutate applies one random copy-on-write operation to the relation,
+// exercising every constructor path that must leave the memoized canonical
+// form consistent. Failed operations (e.g. projecting a missing attribute)
+// return the input unchanged, which is fine: the property below checks the
+// result, whatever it is.
+func mutate(rng *rand.Rand, r *Relation) *Relation {
+	attrs := r.Attrs()
+	switch rng.Intn(6) {
+	case 0:
+		row := make(Tuple, r.Arity())
+		for j := range row {
+			row[j] = string(rune('0' + rng.Intn(10)))
+		}
+		if nr, err := r.Insert(row); err == nil {
+			return nr
+		}
+	case 1:
+		if nr, err := r.WithAttrRenamed(attrs[rng.Intn(len(attrs))], "Zren"); err == nil {
+			return nr
+		}
+	case 2:
+		if r.Arity() > 1 {
+			if nr, err := r.WithoutAttr(attrs[rng.Intn(len(attrs))]); err == nil {
+				return nr
+			}
+		}
+	case 3:
+		if nr, err := r.Project(attrs[:1+rng.Intn(len(attrs))]); err == nil {
+			return nr
+		}
+	case 4:
+		col := make([]string, r.Len())
+		for i := range col {
+			col[i] = string(rune('a' + rng.Intn(26)))
+		}
+		if nr, err := r.WithColumn("Znew", col); err == nil {
+			return nr
+		}
+	case 5:
+		if nr, err := r.WithName("Zname"); err == nil {
+			return nr
+		}
+	}
+	return r
+}
+
+// TestPropertyMemoizedFingerprintMatchesRecompute pins the tentpole's
+// soundness condition: after any sequence of operations, the memoized
+// canonical form equals a from-scratch recomputation.
+func TestPropertyMemoizedFingerprintMatchesRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRelation(rng, "R")
+		for i := 0; i < 4; i++ {
+			r = mutate(rng, r)
+		}
+		// Touch the memo first so a stale cache would be caught.
+		memoRows, memoFP := r.canonicalRows(), r.Fingerprint()
+		rows, fp := r.computeCanonical()
+		if fp != memoFP || len(rows) != len(memoRows) {
+			return false
+		}
+		for i := range rows {
+			if rows[i] != memoRows[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyKeyIffEqual pins the compact key's collision semantics: two
+// databases have equal 128-bit keys iff they are Equal (up to SHA-256
+// collisions, which this test would surface as a miracle).
+func TestPropertyKeyIffEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		dbA := randomDatabase(rand.New(rand.NewSource(a)))
+		dbB := randomDatabase(rand.New(rand.NewSource(b)))
+		return dbA.Equal(dbB) == (dbA.Key() == dbB.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyInsensitiveToConstructionOrder: semantically equal databases built
+// along different construction paths (row order, attribute order) must agree
+// on the key.
+func TestKeyInsensitiveToConstructionOrder(t *testing.T) {
+	a := MustDatabase(
+		MustNew("R", []string{"A", "B"}, Tuple{"1", "2"}, Tuple{"3", "4"}),
+		MustNew("S", []string{"X"}, Tuple{"x"}),
+	)
+	b := MustDatabase(
+		MustNew("S", []string{"X"}, Tuple{"x"}),
+		MustNew("R", []string{"B", "A"}, Tuple{"4", "3"}, Tuple{"2", "1"}),
+	)
+	if !a.Equal(b) {
+		t.Fatal("setup: databases should be equal")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("equal databases disagree on Key")
+	}
+	if len(a.Key()) != 16 {
+		t.Fatalf("Key length = %d, want 16 bytes", len(a.Key()))
+	}
+	c := a.WithRelation(MustNew("T", []string{"Q"}))
+	if a.Key() == c.Key() {
+		t.Fatal("distinct databases share a Key")
+	}
+}
+
+// TestPropertyIndexMatchesScan cross-checks the containment index against
+// the reference nested-loop scan on randomized database pairs, plus derived
+// pairs engineered to answer true (projections/subsets of the state).
+func TestPropertyIndexMatchesScan(t *testing.T) {
+	f := func(a, b int64) bool {
+		dbA := randomDatabase(rand.New(rand.NewSource(a)))
+		dbB := randomDatabase(rand.New(rand.NewSource(b)))
+		for _, pair := range [][2]*Database{{dbA, dbB}, {dbB, dbA}, {dbA, dbA}} {
+			state, target := pair[0], pair[1]
+			if NewContainmentIndex(target).Contains(state) != state.Contains(target) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexMatchesScanOnProjections builds targets that are genuinely
+// contained (attribute projections with fewer rows), so the true branch of
+// the cross-check is exercised, not just random mismatches.
+func TestIndexMatchesScanOnProjections(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		state := randomDatabase(rng)
+		var targetRels []*Relation
+		for _, r := range state.Relations() {
+			attrs := r.Attrs()
+			proj, err := r.Project(attrs[:1+rng.Intn(len(attrs))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if proj.Len() > 1 {
+				proj = MustNew(proj.Name(), proj.Attrs(), proj.Rows()[:proj.Len()/2]...)
+			}
+			targetRels = append(targetRels, proj)
+		}
+		target := MustDatabase(targetRels...)
+		want := state.Contains(target)
+		if !want {
+			t.Fatalf("trial %d: projection target should be contained", trial)
+		}
+		if got := NewContainmentIndex(target).Contains(state); got != want {
+			t.Fatalf("trial %d: index=%v scan=%v", trial, got, want)
+		}
+	}
+}
+
+// TestIndexSeparatorHostileValues pins exact tuple matching: values that
+// contain the canonical-rendering separator bytes must not confuse the
+// index's row encodings (the length-prefixed rowKey makes them unambiguous).
+func TestIndexSeparatorHostileValues(t *testing.T) {
+	state := MustDatabase(MustNew("R", []string{"A", "B"}, Tuple{"x\x1fy", "z"}))
+	// The concatenation "x" + sep + "y\x1fz" renders identically under a
+	// naive separator join but is a different tuple.
+	target := MustDatabase(MustNew("R", []string{"A", "B"}, Tuple{"x", "y\x1fz"}))
+	if got, want := NewContainmentIndex(target).Contains(state), state.Contains(target); got != want {
+		t.Fatalf("index=%v scan=%v on separator-hostile values", got, want)
+	}
+	if NewContainmentIndex(target).Contains(state) {
+		t.Fatal("index matched distinct tuples whose separator-joined renderings collide")
+	}
+	same := MustDatabase(MustNew("R", []string{"A", "B"}, Tuple{"x\x1fy", "z"}))
+	if !NewContainmentIndex(same).Contains(state) {
+		t.Fatal("index rejected an identical tuple with separator bytes")
+	}
+}
+
+// TestIndexEmptyTargetRelation: a target relation with no rows is contained
+// in any state relation that has its attributes.
+func TestIndexEmptyTargetRelation(t *testing.T) {
+	state := MustDatabase(MustNew("R", []string{"A"}, Tuple{"1"}))
+	target := MustDatabase(MustNew("R", []string{"A"}))
+	if !NewContainmentIndex(target).Contains(state) {
+		t.Fatal("empty target relation should be contained")
+	}
+	missing := MustDatabase(MustNew("R", []string{"Z"}))
+	if NewContainmentIndex(missing).Contains(state) {
+		t.Fatal("target attribute missing from state should not be contained")
+	}
+}
+
+func TestBuilderMatchesNew(t *testing.T) {
+	rows := []Tuple{{"1", "2"}, {"3", "4"}, {"1", "2"}, {"", "\x1f"}}
+	b, err := NewBuilder("R", []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := b.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Len(); got != 3 {
+		t.Fatalf("builder Len = %d, want 3 (duplicate dropped)", got)
+	}
+	built := b.Relation()
+	ref := MustNew("R", []string{"A", "B"}, rows...)
+	if !built.Equal(ref) {
+		t.Fatalf("builder relation differs from New:\n%s\nvs\n%s", built, ref)
+	}
+	if err := b.Add(Tuple{"5", "6"}); err == nil {
+		t.Fatal("Add after Relation() should fail")
+	}
+	if b.Len() != 0 {
+		t.Fatal("finalized builder should report zero length")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("", []string{"A"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewBuilder("R", []string{"A", "A"}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	b, err := NewBuilder("R", []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Tuple{"1", "2"}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+// TestBuilderRowsDetached: mutating the caller's tuple after Add must not
+// change the built relation (Add clones).
+func TestBuilderRowsDetached(t *testing.T) {
+	b, err := NewBuilder("R", []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := Tuple{"original"}
+	if err := b.Add(row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = "mutated"
+	r := b.Relation()
+	if got, _ := r.Value(0, "A"); got != "original" {
+		t.Fatalf("builder shared the caller's tuple: got %q", got)
+	}
+}

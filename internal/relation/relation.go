@@ -9,9 +9,11 @@
 package relation
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
 )
 
 // Tuple is a single row of a relation. Its length always equals the number
@@ -47,6 +49,24 @@ type Relation struct {
 	attrs []string
 	index map[string]int // attribute name -> position in attrs
 	rows  []Tuple
+
+	// memo caches the canonical form (sorted rendered rows, fingerprint,
+	// 128-bit hash), computed lazily exactly once. Relations are immutable
+	// once published — every constructor in this package finishes mutating
+	// rows before the value escapes — so the memoization is sound, and the
+	// sync.Once makes the lazy computation safe when parallel successor
+	// workers race to fingerprint states that share a relation. The memo is
+	// held by pointer so a fresh one is allocated wherever a new Relation is
+	// built (New, Clone) and never copied along with in-progress state.
+	memo *canonMemo
+}
+
+// canonMemo is the lazily computed canonical identity of a relation.
+type canonMemo struct {
+	once sync.Once
+	rows []string // canonical rows: sorted-attr rendering, sorted
+	fp   string   // full canonical fingerprint string
+	hash [16]byte // first 16 bytes of SHA-256(fp)
 }
 
 // New creates a relation. It fails if the name or any attribute is empty,
@@ -60,6 +80,7 @@ func New(name string, attrs []string, rows ...Tuple) (*Relation, error) {
 		name:  name,
 		attrs: append([]string(nil), attrs...),
 		index: make(map[string]int, len(attrs)),
+		memo:  &canonMemo{},
 	}
 	for i, a := range attrs {
 		if a == "" {
@@ -70,9 +91,22 @@ func New(name string, attrs []string, rows ...Tuple) (*Relation, error) {
 		}
 		r.index[a] = i
 	}
-	for _, row := range rows {
-		if err := r.insert(row); err != nil {
-			return nil, err
+	switch len(rows) {
+	case 0:
+	case 1:
+		// One row cannot duplicate anything; skip the dedupe set. The
+		// paper's critical instances are single-tuple, so search successors
+		// hit this path constantly.
+		if len(rows[0]) != len(r.attrs) {
+			return nil, fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(rows[0]), len(r.attrs))
+		}
+		r.rows = append(r.rows, rows[0].Clone())
+	default:
+		seen := make(map[string]bool, len(rows))
+		for _, row := range rows {
+			if err := r.appendOwned(row.Clone(), seen); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return r, nil
@@ -100,6 +134,58 @@ func (r *Relation) insert(row Tuple) error {
 	}
 	r.rows = append(r.rows, row.Clone())
 	return nil
+}
+
+// appendValueKey appends v to buf with a length prefix, so concatenated
+// encodings decode unambiguously whatever bytes the values contain —
+// exact tuple equality, unlike separator-joined renderings.
+func appendValueKey(buf []byte, v string) []byte {
+	buf = strconv.AppendInt(buf, int64(len(v)), 10)
+	buf = append(buf, ':')
+	return append(buf, v...)
+}
+
+// rowKey returns the unambiguous encoding of a tuple, used for O(1)
+// duplicate detection in batch construction and for the containment index.
+// Two tuples of the same arity have equal rowKeys iff they are Equal.
+func rowKey(row Tuple) string {
+	buf := make([]byte, 0, 16*len(row))
+	for _, v := range row {
+		buf = appendValueKey(buf, v)
+	}
+	return string(buf)
+}
+
+// appendOwned appends a row the relation takes ownership of, enforcing
+// arity, deduplicating in O(1) via the seen set (keyed by rowKey). It is
+// the batch counterpart of insert: callers constructing many rows use it so
+// that building an n-row relation costs O(n), not the O(n²) of per-row
+// linear duplicate scans. A nil seen set skips deduplication entirely; it
+// is only passed by callers that can prove no duplicate can arise.
+func (r *Relation) appendOwned(row Tuple, seen map[string]bool) error {
+	if len(row) != len(r.attrs) {
+		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), len(r.attrs))
+	}
+	if seen != nil {
+		k := rowKey(row)
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+	}
+	r.rows = append(r.rows, row)
+	return nil
+}
+
+// dedupeSet returns the seen set for a rebuild of n source rows, or nil when
+// n ≤ 1: a single row cannot duplicate anything, so the rebuild skips the
+// rowKey encodings and map entirely. Search successors over the paper's
+// single-tuple critical instances take this path on every expansion.
+func dedupeSet(n int) map[string]bool {
+	if n <= 1 {
+		return nil
+	}
+	return make(map[string]bool, n)
 }
 
 // Name returns the relation's name.
@@ -157,6 +243,7 @@ func (r *Relation) Clone() *Relation {
 		attrs: append([]string(nil), r.attrs...),
 		index: make(map[string]int, len(r.index)),
 		rows:  make([]Tuple, len(r.rows)),
+		memo:  &canonMemo{}, // fresh: the copy may be mutated before publication
 	}
 	for k, v := range r.index {
 		out.index[k] = v
@@ -212,8 +299,11 @@ func (r *Relation) WithColumn(attr string, values []string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Extending distinct rows with a new column cannot create duplicates:
+	// if two extended rows were equal, their prefixes — the original,
+	// already-distinct rows — would be too. So no dedupe set is needed.
 	for i, row := range r.rows {
-		if err := out.insert(append(row.Clone(), values[i])); err != nil {
+		if err := out.appendOwned(append(row.Clone(), values[i]), nil); err != nil {
 			return nil, err
 		}
 	}
@@ -238,6 +328,7 @@ func (r *Relation) WithoutAttr(a string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	seen := dedupeSet(len(r.rows))
 	for _, row := range r.rows {
 		nr := make(Tuple, 0, len(row)-1)
 		for i, v := range row {
@@ -245,7 +336,7 @@ func (r *Relation) WithoutAttr(a string) (*Relation, error) {
 				nr = append(nr, v)
 			}
 		}
-		if err := out.insert(nr); err != nil {
+		if err := out.appendOwned(nr, seen); err != nil {
 			return nil, err
 		}
 	}
@@ -267,12 +358,13 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	seen := dedupeSet(len(r.rows))
 	for _, row := range r.rows {
 		nr := make(Tuple, len(idx))
 		for i, j := range idx {
 			nr[i] = row[j]
 		}
-		if err := out.insert(nr); err != nil {
+		if err := out.appendOwned(nr, seen); err != nil {
 			return nil, err
 		}
 	}
@@ -306,35 +398,73 @@ func (r *Relation) Insert(row Tuple) (*Relation, error) {
 	return out, nil
 }
 
-// canonicalRows returns the rows rendered as strings with attributes in
-// sorted-name order, then sorted; used for order-insensitive comparison.
-func (r *Relation) canonicalRows() []string {
+// computeCanonical renders the canonical form from scratch: each row
+// rendered as its values in sorted-attribute-name order (length-prefixed,
+// so arbitrary value bytes stay unambiguous), rows sorted, plus the full
+// fingerprint built from them. Attribute names appear once in the
+// fingerprint header, not in every row: both sides of any comparison render
+// through the same sorted-name order, so the per-row projection is already
+// aligned. The fingerprint prefixes the attribute and row counts, which
+// makes the flat concatenation parse deterministically — no sequence of
+// (name, attrs, rows) collides with a different one. This function is the
+// single source of truth the memo caches; tests call it directly to
+// cross-check memoized values.
+func (r *Relation) computeCanonical() (rows []string, fp string) {
 	order := make([]int, len(r.attrs))
 	names := r.Attrs()
 	sort.Strings(names)
 	for i, a := range names {
 		order[i] = r.index[a]
 	}
-	out := make([]string, len(r.rows))
+	rows = make([]string, len(r.rows))
+	var buf []byte
 	for i, row := range r.rows {
-		var b strings.Builder
-		for k, j := range order {
-			if k > 0 {
-				b.WriteByte('\x1f')
-			}
-			b.WriteString(names[k])
-			b.WriteByte('\x1e')
-			b.WriteString(row[j])
+		buf = buf[:0]
+		for _, j := range order {
+			buf = appendValueKey(buf, row[j])
 		}
-		out[i] = b.String()
+		rows[i] = string(buf)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(rows)
+	fpBuf := make([]byte, 0, 64+16*len(names)+32*len(rows))
+	fpBuf = appendValueKey(fpBuf, r.name)
+	fpBuf = strconv.AppendInt(fpBuf, int64(len(names)), 10)
+	fpBuf = append(fpBuf, ';')
+	for _, a := range names {
+		fpBuf = appendValueKey(fpBuf, a)
+	}
+	fpBuf = strconv.AppendInt(fpBuf, int64(len(rows)), 10)
+	fpBuf = append(fpBuf, ';')
+	for _, row := range rows {
+		fpBuf = appendValueKey(fpBuf, row)
+	}
+	return rows, string(fpBuf)
+}
+
+// canonicalize computes the canonical form exactly once. Safe for
+// concurrent callers: parallel successor workers fingerprinting states that
+// share this relation synchronize on the memo's sync.Once.
+func (r *Relation) canonicalize() {
+	r.memo.once.Do(func() {
+		r.memo.rows, r.memo.fp = r.computeCanonical()
+		sum := sha256.Sum256([]byte(r.memo.fp))
+		copy(r.memo.hash[:], sum[:16])
+	})
+}
+
+// canonicalRows returns the memoized canonical row rendering; used for
+// order-insensitive comparison.
+func (r *Relation) canonicalRows() []string {
+	r.canonicalize()
+	return r.memo.rows
 }
 
 // Equal reports semantic equality: same name, same attribute set (order
 // insensitive), same set of tuples.
 func (r *Relation) Equal(s *Relation) bool {
+	if r == s {
+		return true
+	}
 	if r.name != s.name || len(r.attrs) != len(s.attrs) || len(r.rows) != len(s.rows) {
 		return false
 	}
@@ -388,15 +518,20 @@ func (r *Relation) Contains(s *Relation) bool {
 }
 
 // Fingerprint returns a canonical string identifying the relation up to
-// attribute order and tuple order.
+// attribute order and tuple order. It is memoized: the first call renders
+// the canonical form, every later call returns the cached string, so a
+// search successor that shares this relation copy-on-write pays nothing to
+// re-identify it.
 func (r *Relation) Fingerprint() string {
-	var b strings.Builder
-	b.WriteString(r.name)
-	b.WriteByte('\x1d')
-	names := r.Attrs()
-	sort.Strings(names)
-	b.WriteString(strings.Join(names, "\x1f"))
-	b.WriteByte('\x1d')
-	b.WriteString(strings.Join(r.canonicalRows(), "\x1c"))
-	return b.String()
+	r.canonicalize()
+	return r.memo.fp
+}
+
+// Hash returns a 128-bit digest of the canonical fingerprint (the first 16
+// bytes of its SHA-256), memoized alongside it. Equal relations have equal
+// hashes; distinct relations collide with probability ~2⁻¹²⁸ per pair —
+// see the collision argument in DESIGN.md ("State identity").
+func (r *Relation) Hash() [16]byte {
+	r.canonicalize()
+	return r.memo.hash
 }

@@ -26,6 +26,11 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 	if c.best != nil {
 		c.candidate(p.Start(), h(p.Start()), func() []Move { return nil })
 	}
+	// seen holds only states that were admitted into a beam. States discarded
+	// by the width truncation are NOT marked: a later path may regenerate
+	// them, and blacklisting them forever made the search strictly more
+	// incomplete than beam pruning requires (a width-1 beam could fail on
+	// problems it is narrow enough to solve).
 	seen := map[string]bool{p.Start().Key(): true}
 	for len(frontier) > 0 {
 		// Examine the current beam.
@@ -40,10 +45,14 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 		// Expand it.
 		type scored struct {
 			node beamNode
+			key  string
 			f    int
 			seq  int
 		}
 		var next []scored
+		// level dedupes candidates within this expansion (key → index in
+		// next), keeping the lowest-f generation of each state.
+		level := make(map[string]int)
 		seq := 0
 		for _, n := range frontier {
 			if !c.depthOK(n.g + 1) {
@@ -58,7 +67,6 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 				if seen[k] {
 					continue
 				}
-				seen[k] = true
 				path := make([]Move, 0, len(n.path)+1)
 				path = append(path, n.path...)
 				path = append(path, m)
@@ -66,11 +74,20 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 				seq++
 				hv := h(m.To)
 				c.candidate(m.To, hv, func() []Move { return path })
-				next = append(next, scored{
+				s := scored{
 					node: beamNode{state: m.To, g: g, path: path},
+					key:  k,
 					f:    g + hv,
 					seq:  seq,
-				})
+				}
+				if i, dup := level[k]; dup {
+					if s.f < next[i].f {
+						next[i] = s
+					}
+					continue
+				}
+				level[k] = len(next)
+				next = append(next, s)
 			}
 		}
 		sort.SliceStable(next, func(i, j int) bool {
@@ -79,12 +96,15 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 			}
 			return next[i].seq < next[j].seq
 		})
+		// The full scored candidate buffer was held in memory, so the
+		// frontier gauge records its size before truncation.
+		c.frontier(len(next))
 		if len(next) > width {
 			next = next[:width]
 		}
-		c.frontier(len(next))
 		frontier = frontier[:0]
 		for _, s := range next {
+			seen[s.key] = true
 			frontier = append(frontier, s.node)
 		}
 	}

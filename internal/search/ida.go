@@ -19,9 +19,11 @@ func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, 
 		c.stats.Iterations++
 		onPath := map[string]bool{start.Key(): true}
 		var path []Move
+		// On abort, Stats.Depth stays 0 like every other algorithm:
+		// Stats.Depth documents the length of the solution path found, and
+		// the in-flight probe depth is not one.
 		next, res, err := idaProbe(p, h, c, start, 0, bound, &path, onPath)
 		if err != nil {
-			c.stats.Depth = len(path)
 			return nil, c.fail(err)
 		}
 		if res != nil {

@@ -34,10 +34,14 @@ import (
 )
 
 // State is a node of the search space. Implementations must provide a
-// canonical key so that semantically equal states collapse; TUPELO uses
-// database fingerprints.
+// canonical key so that semantically equal states collapse; TUPELO uses a
+// compact 128-bit hash of the database's canonical form (raw bytes, not a
+// full fingerprint string), keeping the bestG/seen/onPath maps and the
+// heuristic caches cheap to hash and small in memory.
 type State interface {
 	// Key returns a canonical identifier: equal keys mean equal states.
+	// Keys may be compact hashes, so "equal" holds up to the hash's
+	// collision probability (negligible at 128 bits; see DESIGN.md).
 	Key() string
 }
 

@@ -106,6 +106,30 @@ func TestStartIsGoal(t *testing.T) {
 	}
 }
 
+// TestAbortedRunsReportZeroDepth: Stats.Depth documents "the length of the
+// solution path found", so a failed run reports 0 from every algorithm.
+// IDAStar used to leak the in-flight probe depth into Stats.Depth on abort.
+func TestAbortedRunsReportZeroDepth(t *testing.T) {
+	p := lineProblem{n: 1000}
+	blind := func(State) int { return 0 }
+	for _, algo := range []Algorithm{IDA, RBFS, AStar, Greedy} {
+		t.Run(algo.String(), func(t *testing.T) {
+			_, err := Run(algo, p, blind, Limits{MaxStates: 25})
+			if !errors.Is(err, ErrLimit) {
+				t.Fatalf("err = %v, want ErrLimit", err)
+			}
+			var serr *Error
+			if !errors.As(err, &serr) {
+				t.Fatalf("err = %T, want *Error", err)
+			}
+			if serr.Stats.Depth != 0 {
+				t.Fatalf("aborted %s reported Depth = %d, want 0 (no solution path was found)",
+					algo, serr.Stats.Depth)
+			}
+		})
+	}
+}
+
 // deadEndProblem has no goal at all.
 type deadEndProblem struct{}
 

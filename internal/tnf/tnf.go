@@ -122,7 +122,7 @@ func Decode(t *Table) (*relation.Database, error) {
 			attrs = append(attrs, a)
 		}
 		sort.Strings(attrs)
-		r, err := relation.New(name, attrs)
+		b, err := relation.NewBuilder(name, attrs)
 		if err != nil {
 			return nil, fmt.Errorf("tnf: %v", err)
 		}
@@ -142,12 +142,11 @@ func Decode(t *Table) (*relation.Database, error) {
 				}
 				row[i] = v
 			}
-			r, err = r.Insert(row)
-			if err != nil {
+			if err := b.Add(row); err != nil {
 				return nil, fmt.Errorf("tnf: %v", err)
 			}
 		}
-		rels = append(rels, r)
+		rels = append(rels, b.Relation())
 	}
 	return relation.NewDatabase(rels...)
 }
