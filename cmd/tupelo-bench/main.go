@@ -35,7 +35,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, calibrate, scaling, hybrid, portfolio, all")
-	algoName := flag.String("algo", "", "restrict exp 1 to one algorithm (ida or rbfs)")
+	algoName := flag.String("algo", "", "restrict exp 1 to one algorithm ("+benchAlgoNames(" or ")+")")
 	domain := flag.String("domain", "Inventory", "exp 3 domain: Inventory or RealEstateII")
 	budget := flag.Int("budget", 50000, "state budget per run")
 	maxMem := flag.Uint64("max-mem", 0, "heap budget per run in bytes (0 = none); aborted runs count as censored")
@@ -238,17 +238,27 @@ func writeMetricsFile(path string, reg *obs.Registry) error {
 	return f.Close()
 }
 
-func algos(name string) ([]search.Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "":
-		return []search.Algorithm{search.IDA, search.RBFS}, nil
-	case "ida":
-		return []search.Algorithm{search.IDA}, nil
-	case "rbfs":
-		return []search.Algorithm{search.RBFS}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
+// benchAlgoNames joins the CLI names of the experiment algorithms with sep;
+// flag help and the algos() error are both generated from it, so neither
+// can drift from what the experiments actually run.
+func benchAlgoNames(sep string) string {
+	names := make([]string, 0, 2)
+	for _, a := range experiments.BothAlgorithms() {
+		names = append(names, a.CLIName())
 	}
+	return strings.Join(names, sep)
+}
+
+func algos(name string) ([]search.Algorithm, error) {
+	if name == "" {
+		return experiments.BothAlgorithms(), nil
+	}
+	for _, a := range experiments.BothAlgorithms() {
+		if a.CLIName() == strings.ToLower(name) {
+			return []search.Algorithm{a}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (valid: %s)", name, benchAlgoNames(", "))
 }
 
 func runExp1(algoName string, cfg experiments.Config, tsv bool, w io.Writer) error {

@@ -61,9 +61,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  tupelo discover -source src.txt -target tgt.txt [-algo ida|rbfs|astar|greedy]
-                  [-heuristic h0|h1|h2|h3|levenshtein|euclid|euclid-norm|cosine]
+	// The -algo and -heuristic alternatives are generated from the parser's
+	// own name lists so this text cannot drift from what is accepted.
+	fmt.Fprintf(os.Stderr, `usage:
+  tupelo discover -source src.txt -target tgt.txt [-algo %s]
+                  [-heuristic %s]
                   [-k N] [-max-states N] [-timeout DUR] [-max-mem SIZE]
                   [-best-effort] [-workers N]
                   [-portfolio default|SPEC,SPEC,...] [-retries N]
@@ -76,22 +78,8 @@ func usage() {
   tupelo apply    -mapping map.txt -input db.txt [-where PRED -on REL]
                   [-conform tgt.txt [-drop-absent]]
   tupelo show     -input db.txt [-tnf]
-  tupelo sql      -mapping map.txt -sample src.txt [-prefix stage_]`)
-}
-
-func parseAlgo(s string) (tupelo.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "ida":
-		return tupelo.IDA, nil
-	case "rbfs":
-		return tupelo.RBFS, nil
-	case "astar", "a*":
-		return tupelo.AStar, nil
-	case "greedy":
-		return tupelo.Greedy, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", s)
-	}
+  tupelo sql      -mapping map.txt -sample src.txt [-prefix stage_]
+`, strings.Join(tupelo.AlgorithmNames(), "|"), strings.Join(tupelo.HeuristicNames(), "|"))
 }
 
 // parsePortfolio reads a -portfolio spec: "default" for the built-in
@@ -107,7 +95,7 @@ func parsePortfolio(spec string) ([]tupelo.PortfolioConfig, error) {
 		if len(fields) != 2 && len(fields) != 3 {
 			return nil, fmt.Errorf("portfolio member %q: want algo/heuristic or algo/heuristic/K", part)
 		}
-		algo, err := parseAlgo(fields[0])
+		algo, err := tupelo.ParseAlgorithm(fields[0])
 		if err != nil {
 			return nil, fmt.Errorf("portfolio member %q: %v", part, err)
 		}
@@ -144,8 +132,8 @@ func cmdDiscover(args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	srcPath := fs.String("source", "", "source critical instance file")
 	tgtPath := fs.String("target", "", "target critical instance file")
-	algoName := fs.String("algo", "rbfs", "search algorithm (ida, rbfs, astar, greedy)")
-	heurName := fs.String("heuristic", "cosine", "search heuristic")
+	algoName := fs.String("algo", "rbfs", "search algorithm ("+strings.Join(tupelo.AlgorithmNames(), ", ")+")")
+	heurName := fs.String("heuristic", "cosine", "search heuristic ("+strings.Join(tupelo.HeuristicNames(), ", ")+")")
 	k := fs.Float64("k", 0, "scaling constant (0 = paper default for algo/heuristic)")
 	maxStates := fs.Int("max-states", 0, "state budget (0 = 1,000,000)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for discovery (0 = none)")
@@ -179,7 +167,7 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
-	algo, err := parseAlgo(*algoName)
+	algo, err := tupelo.ParseAlgorithm(*algoName)
 	if err != nil {
 		return err
 	}

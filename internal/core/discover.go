@@ -125,6 +125,11 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		hEval = opts.Metrics.Histogram(obs.Name("heuristic.eval.seconds", "heuristic", cacheLabel(opts)))
 	}
 	prob.est, prob.cache, prob.hEval = est, cache, hEval
+	if !opts.DisableIncremental {
+		if inc, ok := heuristic.AsIncremental(est); ok {
+			prob.inc = inc
+		}
+	}
 	var sp search.Problem = prob
 	if opts.DisableCycleCheck {
 		// Ablation: give every generated state a unique key, defeating the
@@ -239,7 +244,7 @@ func BranchingFactor(source, target *relation.Database, opts Options) (int, erro
 	return len(moves), nil
 }
 
-// cachedEstimator adapts a heuristic.Estimator to search.Heuristic through
+// cachedEstimator adapts a heuristic.Evaluator to search.Heuristic through
 // the run's cache, keyed by the compact state key: IDA and RBFS re-examine
 // states across iterations and every estimate re-encodes the whole database
 // into TNF. The successor worker pool pre-warms the same cache, so in the
@@ -249,7 +254,7 @@ func BranchingFactor(source, target *relation.Database, opts Options) (int, erro
 // and are a fault-injection site (the hook fires only on misses, mirroring
 // the pre-warm path: an injected heuristic fault fires where the heuristic
 // actually runs).
-func cachedEstimator(est *heuristic.Estimator, cache heuristic.Cache, hEval *obs.Histogram, fault func(faults.Site, string), label string) search.Heuristic {
+func cachedEstimator(est heuristic.Evaluator, cache heuristic.Cache, hEval *obs.Histogram, fault func(faults.Site, string), label string) search.Heuristic {
 	return func(s search.State) int {
 		ds := s.(*dbState)
 		if v, ok := cache.Get(ds.key); ok {

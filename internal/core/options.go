@@ -57,6 +57,12 @@ type Options struct {
 	// DisableCycleCheck turns off path-local duplicate pruning for
 	// ablation studies.
 	DisableCycleCheck bool
+	// DisableIncremental turns off incremental (delta-merged) heuristic
+	// evaluation, forcing every estimate to be computed from scratch, for
+	// ablation studies and differential testing. The estimates themselves
+	// are identical either way — incremental evaluation maintains exact
+	// integer counters, not approximations — so only cost changes.
+	DisableIncremental bool
 	// Tracer, when non-nil, receives a structured event stream of the
 	// search: run start/finish, every expansion with its candidate moves,
 	// every goal test, cache hits and misses, and — under

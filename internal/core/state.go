@@ -7,6 +7,7 @@
 package core
 
 import (
+	"tupelo/internal/heuristic"
 	"tupelo/internal/relation"
 )
 
@@ -19,6 +20,15 @@ import (
 type dbState struct {
 	db  *relation.Database
 	key string
+
+	// agg is the state's heuristic aggregate when the run's evaluator is
+	// incremental: successors derive theirs by delta-merging the replaced
+	// relation's fragment against this one. Written either on the search
+	// goroutine (seeding a parent in Successors, before workers launch) or
+	// by the single worker that created the state in prewarm — never
+	// concurrently. Nil when the evaluator is not incremental or the state
+	// was reconstructed without one (e.g. the cycle-check ablation wrapper).
+	agg heuristic.Agg
 }
 
 func newState(db *relation.Database) *dbState {

@@ -33,6 +33,7 @@ type mappingProblem struct {
 	tAttrs       map[string]bool
 	tAttrsSorted []string
 	tRels        map[string]bool
+	tRelsSorted  []string
 	tVals        map[string]bool
 	// tAttrVals maps each target attribute to the set of values the target
 	// holds under it (across relations); tRelVals likewise per relation.
@@ -51,8 +52,13 @@ type mappingProblem struct {
 	// candidate operators; est and cache, when set, let the same pool
 	// pre-warm heuristic estimates so the search loop's h() calls become
 	// cache hits. When workers > 1 the cache must be concurrency-safe.
+	// inc is est's incremental capability view when it has one (and the run
+	// hasn't disabled it): successors are then estimated by delta-merging
+	// the replaced relation's fragment against the parent's aggregate
+	// instead of re-encoding the state.
 	workers int
-	est     *heuristic.Estimator
+	est     heuristic.Evaluator
+	inc     heuristic.IncrementalEvaluator
 	cache   heuristic.Cache
 
 	// met, when non-nil, records per-operator-kind proposal/application
@@ -72,7 +78,25 @@ type mappingProblem struct {
 	// evaluations.
 	fault  func(faults.Site, string)
 	hLabel string
+
+	// succMemo caches each expanded state's finished move list by state key.
+	// The tree searches (IDA*'s repeated deepening probes, RBFS's re-descent)
+	// revisit states relentlessly — measured on the paper's exp1 workload,
+	// over 99% of expansions are of a state already expanded in the same run
+	// — and states are immutable, so the move list of a revisited state is
+	// identical by construction. A hit skips candidate generation, operator
+	// application, and heuristic pre-warming wholesale. Nil when memoization
+	// is disabled: under a Tracer or FaultHook, per-application events are
+	// the point, so every expansion must re-run (op-metrics counters stay on
+	// and simply count first expansions). Accessed only from the search
+	// goroutine; successor workers never touch it.
+	succMemo map[string][]search.Move
 }
+
+// succMemoMax bounds the number of memoized expansions, a backstop against
+// unbounded growth on adversarial workloads; beyond it, expansions compute
+// without recording. Search budgets cap expanded states well below this.
+const succMemoMax = 1 << 20
 
 func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
 	p := &mappingProblem{
@@ -94,6 +118,10 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		goalIx:    relation.NewContainmentIndex(target),
 	}
 	p.tAttrsSorted = sortedKeys(p.tAttrs)
+	p.tRelsSorted = sortedKeys(p.tRels)
+	if opts.Tracer == nil && opts.FaultHook == nil {
+		p.succMemo = make(map[string][]search.Move)
+	}
 	for _, r := range target.Relations() {
 		rv := make(map[string]bool)
 		for _, a := range r.Attrs() {
@@ -133,9 +161,23 @@ func (p *mappingProblem) IsGoal(s search.State) bool {
 // are dropped. Candidate application and heuristic pre-warming run on the
 // worker pool; the returned move order is identical for any worker count.
 func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
-	db := s.(*dbState).db
+	parent := s.(*dbState)
+	if p.succMemo != nil {
+		if moves, ok := p.succMemo[parent.key]; ok {
+			return moves, nil
+		}
+	}
+	db := parent.db
+	if p.inc != nil && parent.agg == nil {
+		// Seed the parent's aggregate here, on the search goroutine before
+		// any worker launches, so workers only ever read it. Most states
+		// arrive with the aggregate their creating worker attached; seeding
+		// happens for the start state and for states reconstructed without
+		// one (the cycle-check ablation wrapper).
+		parent.agg = p.inc.Seed(db)
+	}
 	ops := p.candidateOps(db)
-	states, err := p.applyAll(db, ops)
+	states, err := p.applyAll(parent, ops)
 	if err != nil {
 		return nil, err
 	}
@@ -150,24 +192,47 @@ func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 		moves = append(moves, search.Move{Label: ops[i].String(), To: ns, Cost: 1})
 		p.met.count(ops[i], true)
 	}
+	if p.succMemo != nil && len(p.succMemo) < succMemoMax {
+		p.succMemo[parent.key] = moves
+	}
 	return moves, nil
+}
+
+// expCtx is the per-expansion view of a state shared by every move
+// generator: the sorted relation slice and the name sets, each computed once
+// per expansion instead of once per generator.
+type expCtx struct {
+	db       *relation.Database
+	rels     []*relation.Relation
+	relNames map[string]bool
+	attrs    map[string]bool
+}
+
+func newExpCtx(db *relation.Database) *expCtx {
+	return &expCtx{
+		db:       db,
+		rels:     db.Relations(),
+		relNames: db.RelationNames(),
+		attrs:    db.AttrNames(),
+	}
 }
 
 // candidateOps instantiates every candidate operator for the state,
 // optimistically: operators enforce their own preconditions at Apply time.
 func (p *mappingProblem) candidateOps(db *relation.Database) []fira.Op {
+	x := newExpCtx(db)
 	var ops []fira.Op
-	ops = append(ops, p.renameRelMoves(db)...)
-	ops = append(ops, p.renameAttMoves(db)...)
-	ops = append(ops, p.dropMoves(db)...)
-	ops = append(ops, p.promoteMoves(db)...)
-	ops = append(ops, p.demoteMoves(db)...)
-	ops = append(ops, p.derefMoves(db)...)
-	ops = append(ops, p.partitionMoves(db)...)
-	ops = append(ops, p.productMoves(db)...)
-	ops = append(ops, p.unionMoves(db)...)
-	ops = append(ops, p.mergeMoves(db)...)
-	ops = append(ops, p.applyMoves(db)...)
+	ops = append(ops, p.renameRelMoves(x)...)
+	ops = append(ops, p.renameAttMoves(x)...)
+	ops = append(ops, p.dropMoves(x)...)
+	ops = append(ops, p.promoteMoves(x)...)
+	ops = append(ops, p.demoteMoves(x)...)
+	ops = append(ops, p.derefMoves(x)...)
+	ops = append(ops, p.partitionMoves(x)...)
+	ops = append(ops, p.productMoves(x)...)
+	ops = append(ops, p.unionMoves(x)...)
+	ops = append(ops, p.mergeMoves(x)...)
+	ops = append(ops, p.applyMoves(x)...)
 	return ops
 }
 
@@ -192,7 +257,8 @@ const minParallelOps = 8
 // propagated, so a poisoned operator or heuristic fails the expansion (and
 // through it the run) instead of killing the process. The first panic wins;
 // remaining workers drain their queued operators and exit normally.
-func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) ([]*dbState, error) {
+func (p *mappingProblem) applyAll(parent *dbState, ops []fira.Op) ([]*dbState, error) {
+	db := parent.db
 	states := make([]*dbState, len(ops))
 	timed := p.met != nil || p.tracer != nil
 	var panicked atomic.Pointer[search.PanicError]
@@ -206,7 +272,7 @@ func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) ([]*dbSt
 				return
 			}
 			ns := newState(next)
-			p.prewarm(ns)
+			p.prewarm(parent, ns)
 			states[i] = ns
 			return
 		}
@@ -224,7 +290,7 @@ func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) ([]*dbSt
 			return
 		}
 		ns := newState(next)
-		p.prewarm(ns)
+		p.prewarm(parent, ns)
 		states[i] = ns
 	}
 	applySafe := func(worker, i int) {
@@ -281,11 +347,36 @@ func (p *mappingProblem) applyAll(db *relation.Database, ops []fira.Op) ([]*dbSt
 
 // prewarm computes the heuristic estimate of a freshly generated state into
 // the run's cache, so the search loop's subsequent h() call is a lookup.
-func (p *mappingProblem) prewarm(ns *dbState) {
+// With an incremental evaluator, a cache miss delta-merges the replaced
+// relation's fragment against the parent's aggregate instead of re-encoding
+// the state, and attaches the child's aggregate so the child's own expansion
+// starts incremental too. A cache hit skips everything, exactly as the
+// from-scratch path does — IDA and RBFS regenerate the same states across
+// iterations, and paying even the cheap delta on every regeneration costs
+// more than the occasional lazy re-seed in Successors when a hit-path state
+// gets expanded.
+func (p *mappingProblem) prewarm(parent, ns *dbState) {
 	if p.est == nil || p.cache == nil {
 		return
 	}
 	if _, ok := p.cache.Get(ns.key); ok {
+		return
+	}
+	if p.inc != nil && parent.agg != nil {
+		if p.fault != nil {
+			p.fault(faults.SiteHeuristicEval, p.hLabel)
+		}
+		var start time.Time
+		if p.hEval != nil {
+			start = time.Now()
+		}
+		removed, added := relation.Diff(parent.db, ns.db)
+		v, agg := p.inc.EstimateDelta(parent.agg, heuristic.Delta{Removed: removed, Added: added})
+		ns.agg = agg
+		if p.hEval != nil {
+			p.hEval.Observe(time.Since(start))
+		}
+		p.cache.Put(ns.key, v)
 		return
 	}
 	if p.fault != nil {
@@ -301,9 +392,6 @@ func (p *mappingProblem) prewarm(ns *dbState) {
 	p.cache.Put(ns.key, v)
 }
 
-// stateAttrs returns the set of attribute names in the state.
-func stateAttrs(db *relation.Database) map[string]bool { return db.AttrNames() }
-
 // hasAll reports whether every key of want is present in have.
 func hasAll(want, have map[string]bool) bool {
 	for k := range want {
@@ -314,15 +402,16 @@ func hasAll(want, have map[string]bool) bool {
 	return true
 }
 
-// sortedMissing returns the keys of want missing from have, sorted.
-func sortedMissing(want, have map[string]bool) []string {
-	var out []string
-	for k := range want {
+// missingFrom returns the members of wantSorted absent from have, in order.
+// The want side is always a fixed target token list, so sorting happened
+// once at problem construction; per-expansion calls just filter.
+func missingFrom(wantSorted []string, have map[string]bool) []string {
+	out := make([]string, 0, len(wantSorted))
+	for _, k := range wantSorted {
 		if !have[k] {
 			out = append(out, k)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -341,14 +430,14 @@ func sortedKeys(set map[string]bool) []string {
 
 // renameRelMoves proposes ρ^rel: rename a state relation that the target
 // does not know to a target relation name the state is missing.
-func (p *mappingProblem) renameRelMoves(db *relation.Database) []fira.Op {
-	if p.prune && hasAll(p.tRels, db.RelationNames()) {
+func (p *mappingProblem) renameRelMoves(x *expCtx) []fira.Op {
+	if p.prune && hasAll(p.tRels, x.relNames) {
 		// Obviously inapplicable: every target relation name is present.
 		return nil
 	}
-	missing := sortedMissing(p.tRels, db.RelationNames())
+	missing := missingFrom(p.tRelsSorted, x.relNames)
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		if p.prune && p.tRels[r.Name()] {
 			continue // already a target relation name; renaming it away hurts
 		}
@@ -382,16 +471,15 @@ func (p *mappingProblem) relRenameEvidence(r *relation.Relation, to string) bool
 
 // renameAttMoves proposes ρ^att: rename an attribute the target does not
 // know to a target attribute name missing from the state (schema matching).
-func (p *mappingProblem) renameAttMoves(db *relation.Database) []fira.Op {
-	attrs := stateAttrs(db)
-	if p.prune && hasAll(p.tAttrs, attrs) {
+func (p *mappingProblem) renameAttMoves(x *expCtx) []fira.Op {
+	if p.prune && hasAll(p.tAttrs, x.attrs) {
 		// The paper's §2.3 example rule: all target attribute names are
 		// already present, so attribute renaming cannot help.
 		return nil
 	}
-	missing := sortedMissing(p.tAttrs, attrs)
+	missing := missingFrom(p.tAttrsSorted, x.attrs)
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		for _, a := range r.Attrs() {
 			if p.prune && p.tAttrs[a] {
 				continue // a is already a target attribute name
@@ -436,9 +524,9 @@ func (p *mappingProblem) renameEvidence(r *relation.Relation, a, to string) bool
 
 // dropMoves proposes π̄: drop a column the target does not use. Dropping is
 // never needed for containment alone, but it enables merges (Example 2).
-func (p *mappingProblem) dropMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) dropMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		if r.Arity() <= 1 {
 			continue
 		}
@@ -455,9 +543,9 @@ func (p *mappingProblem) dropMoves(db *relation.Database) []fira.Op {
 // promoteMoves proposes ↑: promote a column whose values include target
 // attribute names, pairing it with a value column whose values the target
 // knows.
-func (p *mappingProblem) promoteMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) promoteMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		attrs := r.Attrs()
 		for _, nameAttr := range attrs {
 			if p.prune && !p.columnFeedsTargetAttrs(r, nameAttr) {
@@ -481,11 +569,7 @@ func (p *mappingProblem) promoteMoves(db *relation.Database) []fira.Op {
 // target attribute name not already an attribute of r (so promotion could
 // create a useful column).
 func (p *mappingProblem) columnFeedsTargetAttrs(r *relation.Relation, col string) bool {
-	vals, err := r.ValuesOf(col)
-	if err != nil {
-		return false
-	}
-	for _, v := range vals {
+	for _, v := range r.DistinctValues(col) {
 		if p.tAttrs[v] && !r.HasAttr(v) {
 			return true
 		}
@@ -496,11 +580,7 @@ func (p *mappingProblem) columnFeedsTargetAttrs(r *relation.Relation, col string
 // columnFeedsTargetValues reports whether some value of the column occurs
 // among the target's data values.
 func (p *mappingProblem) columnFeedsTargetValues(r *relation.Relation, col string) bool {
-	vals, err := r.ValuesOf(col)
-	if err != nil {
-		return false
-	}
-	for _, v := range vals {
+	for _, v := range r.DistinctValues(col) {
 		if p.tVals[v] {
 			return true
 		}
@@ -511,9 +591,9 @@ func (p *mappingProblem) columnFeedsTargetValues(r *relation.Relation, col strin
 // demoteMoves proposes ↓ when the state's metadata (relation or attribute
 // names) appears among the target's data values, i.e. metadata must become
 // data.
-func (p *mappingProblem) demoteMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) demoteMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		if r.HasAttr(fira.DemoteRelCol) || r.HasAttr(fira.DemoteAttCol) {
 			continue
 		}
@@ -536,12 +616,12 @@ func (p *mappingProblem) demoteMoves(db *relation.Database) []fira.Op {
 
 // derefMoves proposes →: dereference a column whose values all name
 // attributes of the relation into a fresh target attribute.
-func (p *mappingProblem) derefMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) derefMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		for _, ptr := range r.Attrs() {
-			vals, err := r.ValuesOf(ptr)
-			if err != nil || len(vals) == 0 {
+			vals := r.DistinctValues(ptr)
+			if len(vals) == 0 {
 				continue
 			}
 			allAttrs := true
@@ -573,15 +653,12 @@ func (p *mappingProblem) derefMoves(db *relation.Database) []fira.Op {
 
 // partitionMoves proposes ℘ on columns whose values include target relation
 // names.
-func (p *mappingProblem) partitionMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) partitionMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		for _, a := range r.Attrs() {
 			if p.prune {
-				vals, err := r.ValuesOf(a)
-				if err != nil {
-					continue
-				}
+				vals := r.DistinctValues(a)
 				useful := false
 				for _, v := range vals {
 					if p.tRels[v] {
@@ -601,8 +678,8 @@ func (p *mappingProblem) partitionMoves(db *relation.Database) []fira.Op {
 
 // productMoves proposes × between attribute-disjoint relations when some
 // target relation spans attributes of both operands.
-func (p *mappingProblem) productMoves(db *relation.Database) []fira.Op {
-	rels := db.Relations()
+func (p *mappingProblem) productMoves(x *expCtx) []fira.Op {
+	rels := x.rels
 	var ops []fira.Op
 	for i, l := range rels {
 		for j, r := range rels {
@@ -654,11 +731,11 @@ func (p *mappingProblem) targetSpans(l, r *relation.Relation) bool {
 // the state has more relations than the target needs: two relations whose
 // names the target does not use, with identical attribute sets, collapse
 // into one. Without pruning, any ordered pair of relations qualifies.
-func (p *mappingProblem) unionMoves(db *relation.Database) []fira.Op {
-	if p.prune && db.Len() <= p.target.Len() {
+func (p *mappingProblem) unionMoves(x *expCtx) []fira.Op {
+	if p.prune && x.db.Len() <= p.target.Len() {
 		return nil
 	}
-	rels := db.Relations()
+	rels := x.rels
 	var ops []fira.Op
 	for i, l := range rels {
 		for j, r := range rels {
@@ -693,9 +770,9 @@ func sameAttrSet(l, r *relation.Relation) bool {
 
 // mergeMoves proposes µ on relations that contain absent (empty) cells —
 // the only situation in which merging changes anything.
-func (p *mappingProblem) mergeMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) mergeMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
-	for _, r := range db.Relations() {
+	for _, r := range x.rels {
 		if p.prune && !hasEmptyCell(r) {
 			continue
 		}
@@ -720,10 +797,10 @@ func hasEmptyCell(r *relation.Relation) bool {
 // applyMoves proposes λ for each user-indicated correspondence applicable
 // to a state relation (§4): the relation covers the input attributes, lacks
 // the output attribute, and the output attribute is one the target wants.
-func (p *mappingProblem) applyMoves(db *relation.Database) []fira.Op {
+func (p *mappingProblem) applyMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
 	for _, c := range p.corrs {
-		for _, r := range db.Relations() {
+		for _, r := range x.rels {
 			if c.Rel != "" && c.Rel != r.Name() {
 				continue
 			}

@@ -74,7 +74,8 @@ func (o RenameRel) Apply(db *relation.Database, _ *lambda.Registry) (*relation.D
 	if err != nil {
 		return nil, fmt.Errorf("fira: rename_rel: %v", err)
 	}
-	return db.ReplaceRelation(o.From, renamed)
+	out, _, err := db.ReplaceRelation(o.From, renamed)
+	return out, err
 }
 
 func (o RenameRel) String() string { return fmt.Sprintf("rename_rel[%s->%s]", o.From, o.To) }

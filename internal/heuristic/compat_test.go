@@ -1,0 +1,50 @@
+package heuristic
+
+import (
+	"testing"
+
+	"tupelo/internal/relation"
+)
+
+// TestCompatSurface pins the package surface that predates the Evaluator
+// redesign. Callers from before the redesign construct evaluators with
+// New(kind, target, k) and call Estimate; kinds round-trip through
+// String/ParseKind. The assignments are compile-time checks: a signature
+// change here is a source break for every existing caller, and this test is
+// where that break is supposed to surface first.
+func TestCompatSurface(t *testing.T) {
+	// Constructor and core interface shapes are unchanged.
+	var _ func(Kind, *relation.Database, float64) Evaluator = New
+	var _ func() []Kind = Kinds
+	var _ func() []Kind = ExtendedKinds
+	var _ func() []string = KindNames
+	var _ func(string) (Kind, error) = ParseKind
+
+	// The incremental capability is strictly additive: it is discovered by
+	// interface assertion, never required.
+	var _ func(Evaluator) (IncrementalEvaluator, bool) = AsIncremental
+
+	tgt := relation.MustDatabase(
+		relation.MustNew("R", []string{"A"}, relation.Tuple{"x"}))
+	for _, kind := range append(Kinds(), ExtendedKinds()...) {
+		e := New(kind, tgt, 5)
+		if e == nil {
+			t.Fatalf("%s: New returned nil", kind)
+		}
+		if e.Kind() != kind {
+			t.Fatalf("%s: Kind() = %s", kind, e.Kind())
+		}
+		if h := e.Estimate(tgt); h < 0 {
+			t.Fatalf("%s: negative estimate %d at target", kind, h)
+		}
+		back, err := ParseKind(kind.String())
+		if err != nil || back != kind {
+			t.Fatalf("%s: String/ParseKind round-trip gave %v, %v", kind, back, err)
+		}
+	}
+
+	// ParseKind errors enumerate the valid names so CLI users can self-serve.
+	if _, err := ParseKind("no-such-heuristic"); err == nil {
+		t.Fatal("ParseKind accepted a bogus name")
+	}
+}

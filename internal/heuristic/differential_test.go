@@ -1,0 +1,166 @@
+package heuristic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tupelo/internal/fira"
+	"tupelo/internal/relation"
+)
+
+// allKinds is every evaluator the package can build — the paper's eight
+// plus the extended kinds.
+func allKinds() []Kind {
+	return append(Kinds(), ExtendedKinds()...)
+}
+
+// diffRandDB builds a small random database whose tokens overlap the ones
+// randChainOp proposes, so operator chains keep producing partial matches
+// (the interesting regime for every heuristic).
+func diffRandDB(rng *rand.Rand) *relation.Database {
+	names := []string{"R", "S", "T"}
+	n := 1 + rng.Intn(3)
+	rels := make([]*relation.Relation, 0, n)
+	for i := 0; i < n; i++ {
+		arity := 1 + rng.Intn(3)
+		attrs := make([]string, arity)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("a%d_%d", i, j)
+		}
+		r := relation.MustNew(names[i], attrs)
+		for k := rng.Intn(3); k > 0; k-- {
+			row := make(relation.Tuple, arity)
+			for j := range row {
+				// Values drawn from a tiny pool so promote/deref chains can
+				// collide tokens across the ATT and VALUE categories.
+				row[j] = fmt.Sprintf("v%d", rng.Intn(5))
+			}
+			var err error
+			if r, err = r.Insert(row); err != nil {
+				panic(err)
+			}
+		}
+		rels = append(rels, r)
+	}
+	return relation.MustDatabase(rels...)
+}
+
+// randChainOp proposes a random operator over tokens present in the state
+// (and a few fresh ones). Many proposals fail their preconditions; the
+// caller just skips those, exactly as the search's candidate application
+// does.
+func randChainOp(rng *rand.Rand, db *relation.Database) fira.Op {
+	rels := db.Relations()
+	r := rels[rng.Intn(len(rels))]
+	attrs := r.Attrs()
+	anyAttr := func() string {
+		if len(attrs) == 0 {
+			return "aX"
+		}
+		return attrs[rng.Intn(len(attrs))]
+	}
+	switch rng.Intn(9) {
+	case 0:
+		return fira.RenameRel{From: r.Name(), To: fmt.Sprintf("N%d", rng.Intn(4))}
+	case 1:
+		return fira.RenameAtt{Rel: r.Name(), From: anyAttr(), To: fmt.Sprintf("b%d", rng.Intn(4))}
+	case 2:
+		return fira.Drop{Rel: r.Name(), Attr: anyAttr()}
+	case 3:
+		return fira.Promote{Rel: r.Name(), NameAttr: anyAttr(), ValueAttr: anyAttr()}
+	case 4:
+		return fira.Demote{Rel: r.Name()}
+	case 5:
+		return fira.Partition{Rel: r.Name(), Attr: anyAttr()}
+	case 6:
+		// Two-relation ops remove two fragments and add one — the
+		// multi-fragment delta path.
+		o := rels[rng.Intn(len(rels))]
+		return fira.Product{Left: r.Name(), Right: o.Name()}
+	case 7:
+		o := rels[rng.Intn(len(rels))]
+		return fira.Union{Left: r.Name(), Right: o.Name()}
+	default:
+		return fira.Merge{Rel: r.Name(), Attr: anyAttr()}
+	}
+}
+
+// TestDifferentialIncrementalEqualsScratch is the differential property test
+// behind the incremental API: for every heuristic kind, walking a random
+// operator chain and estimating each state by delta-merging against the
+// parent's aggregate must give exactly the estimate a from-scratch
+// Estimate() computes — not approximately, bit-identically, because search
+// order depends on ties. The aggregate is chained (each state's aggregate
+// feeds the next delta), so drift anywhere in the multiset bookkeeping
+// compounds and surfaces.
+func TestDifferentialIncrementalEqualsScratch(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tgt := diffRandDB(rng)
+		db := diffRandDB(rng)
+		for _, kind := range allKinds() {
+			e := New(kind, tgt, 7)
+			inc, ok := AsIncremental(e)
+			if !ok {
+				// H0 has nothing to compute; Levenshtein edits the whole
+				// canonical string, which has no fragment decomposition.
+				if kind != H0 && kind != Levenshtein {
+					t.Fatalf("%s: expected incremental capability", kind)
+				}
+				continue
+			}
+			cur := db
+			agg := inc.Seed(cur)
+			if got, want := e.Estimate(cur), finishOf(inc, agg); got != want {
+				t.Fatalf("seed %d %s: Seed/Estimate disagree at start: %d vs %d", seed, kind, want, got)
+			}
+			steps := 0
+			for i := 0; i < 30 && steps < 12; i++ {
+				op := randChainOp(rng, cur)
+				next, err := op.Apply(cur, nil)
+				if err != nil {
+					continue // precondition failure — not a successor
+				}
+				steps++
+				removed, added := relation.Diff(cur, next)
+				got, nextAgg := inc.EstimateDelta(agg, Delta{Removed: removed, Added: added})
+				want := e.Estimate(next)
+				if got != want {
+					t.Fatalf("seed %d %s after %s (step %d): incremental %d != scratch %d",
+						seed, kind, op, steps, got, want)
+				}
+				cur, agg = next, nextAgg
+			}
+		}
+	}
+}
+
+// finishOf runs EstimateDelta with an empty delta, which must be the
+// identity on the aggregate: it re-finishes the parent's sums.
+func finishOf(inc IncrementalEvaluator, a Agg) int {
+	v, _ := inc.EstimateDelta(a, Delta{})
+	return v
+}
+
+// TestDifferentialDeltaIdentity pins the empty-delta identity for every
+// kind: merging no fragments must not change the estimate.
+func TestDifferentialDeltaIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tgt := diffRandDB(rng)
+	x := diffRandDB(rng)
+	for _, kind := range allKinds() {
+		e := New(kind, tgt, 5)
+		inc, ok := AsIncremental(e)
+		if !ok {
+			continue
+		}
+		agg := inc.Seed(x)
+		v1, a1 := inc.EstimateDelta(agg, Delta{})
+		v2, _ := inc.EstimateDelta(a1, Delta{})
+		if v1 != e.Estimate(x) || v1 != v2 {
+			t.Fatalf("%s: empty delta changed the estimate: %d, %d, scratch %d",
+				kind, v1, v2, e.Estimate(x))
+		}
+	}
+}

@@ -1,27 +1,33 @@
 package heuristic
 
-import (
-	"math"
+import "tupelo/internal/relation"
 
-	"tupelo/internal/relation"
-	"tupelo/internal/tnf"
-)
-
-// This file implements heuristics beyond the paper's §3, addressing its
+// This file declares heuristics beyond the paper's §3, addressing its
 // concluding open question (§7): "Successful heuristics must measure both
 // content and structure. Is there a good multi-purpose search heuristic?"
 // They are excluded from Kinds() — the paper's eight — and exercised by the
-// ablation benchmarks and the extension experiment.
+// ablation benchmarks and the extension experiment. Their evaluators
+// (hybridEvaluator, jaccardEvaluator) live in evaluator.go alongside the
+// paper kinds'.
 
 const (
 	// Hybrid combines content and structure: the token-difference h1, the
 	// role-crossing h2, and a shape distance over relation count, attribute
 	// count, and tuple count. It dominates h3 in informativeness while
 	// remaining cheap to evaluate.
+	//
+	// The shape term measures the structural *deficit* of x against the
+	// target: how many relations, attributes, and tuples the target has
+	// beyond what x holds. Only deficits count — the goal test is
+	// containment (§2.3), so a state may exceed the target in every
+	// dimension and still be a goal; penalizing surpluses would make the
+	// heuristic non-zero at goals and actively misleading.
 	Hybrid Kind = iota + 100
 	// Jaccard is a scaled Jaccard distance over the union of the three TNF
 	// projections — a normalized content measure comparable to cosine but
-	// set-based rather than frequency-based.
+	// set-based rather than frequency-based. Tokens are role-tagged: a token
+	// appearing as data in one database and metadata in the other does not
+	// count as shared.
 	Jaccard
 )
 
@@ -40,52 +46,6 @@ func extendedString(k Kind) string {
 	}
 }
 
-// estimateExtended dispatches the extended heuristics; called from
-// Estimator.Estimate for kinds ≥ 100.
-func (e *Estimator) estimateExtended(x *relation.Database) int {
-	switch e.kind {
-	case Hybrid:
-		t := tnf.Encode(x)
-		content := e.h1(t)
-		role := e.h2(t)
-		shape := e.shapeDistance(x)
-		return content + role + shape
-	case Jaccard:
-		t := tnf.Encode(x)
-		return e.jaccard(t)
-	default:
-		return 0
-	}
-}
-
-// shapeDistance measures the structural *deficit* of x against the target:
-// how many relations, attributes, and tuples the target has beyond what x
-// holds. Only deficits count — the goal test is containment (§2.3), so a
-// state may exceed the target in every dimension and still be a goal;
-// penalizing surpluses would make the heuristic non-zero at goals and
-// actively misleading. The deficits capture structure that content
-// heuristics miss (e.g. the target needing more relations or rows than the
-// state currently has).
-func (e *Estimator) shapeDistance(x *relation.Database) int {
-	attrs := 0
-	tuples := 0
-	for _, r := range x.Relations() {
-		attrs += r.Arity()
-		tuples += r.Len()
-	}
-	dRel := deficit(e.tShape.rels, x.Len())
-	dAttr := deficit(e.tShape.attrs, attrs)
-	dTup := deficit(e.tShape.tuples, tuples)
-	max := dRel
-	if dAttr > max {
-		max = dAttr
-	}
-	if dTup > max {
-		max = dTup
-	}
-	return max
-}
-
 // deficit returns how far have falls short of want, never negative.
 func deficit(want, have int) int {
 	if want > have {
@@ -94,35 +54,8 @@ func deficit(want, have int) int {
 	return 0
 }
 
-// jaccard computes round(k · (1 − |X∩T| / |X∪T|)) over the union of the
-// REL, ATT and VALUE token sets (role-tagged so that a token appearing as
-// data in one database and metadata in the other does not count as shared).
-func (e *Estimator) jaccard(x *tnf.Table) int {
-	inter, union := 0, 0
-	count := func(xs, ts map[string]bool) {
-		for tok := range xs {
-			if ts[tok] {
-				inter++
-			}
-			union++
-		}
-		for tok := range ts {
-			if !xs[tok] {
-				union++
-			}
-		}
-	}
-	count(x.RelSet(), e.tRel)
-	count(x.AttSet(), e.tAtt)
-	count(x.ValueSet(), e.tVal)
-	if union == 0 {
-		return 0
-	}
-	d := 1 - float64(inter)/float64(union)
-	return int(math.Round(e.k * d))
-}
-
-// shape is the target's structural profile.
+// shape is a database's structural profile: the three totals the Hybrid
+// heuristic's deficit term compares.
 type shape struct {
 	rels, attrs, tuples int
 }

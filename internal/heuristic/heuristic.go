@@ -2,7 +2,9 @@
 // as Search" (EDBT 2006). A heuristic h(x) estimates the number of
 // intermediate search states between a database x and the target critical
 // instance t. All heuristics view databases through their Tuple Normal Form
-// (package tnf):
+// — here via the per-relation TNF fragments memoized on relation.Relation
+// (relation.Fragment), whose multiset counters merge into exactly the
+// projections, term vectors, and canonical strings that tnf.Encode produces:
 //
 //	h0    — constant 0: brute-force blind search (the paper's baseline)
 //	h1    — set difference of the REL/ATT/VALUE projections
@@ -13,16 +15,18 @@
 //	h|E|  — normalized Euclidean distance, scaled by k
 //	hcos  — cosine distance of term vectors, scaled by k
 //
+// Heuristics are exposed through the Evaluator interface (see evaluator.go);
+// most kinds additionally implement IncrementalEvaluator and can evaluate a
+// successor by delta-merging the replaced relation's fragment against the
+// parent's aggregate instead of re-encoding the whole state.
+//
 // The scaling constants k that the paper found optimal per (algorithm,
 // heuristic) pair live in scale.go.
 package heuristic
 
 import (
 	"fmt"
-	"math"
-
-	"tupelo/internal/relation"
-	"tupelo/internal/tnf"
+	"strings"
 )
 
 // Kind identifies one of the paper's heuristics.
@@ -58,6 +62,21 @@ func Kinds() []Kind {
 	return []Kind{H0, H1, H2, H3, Levenshtein, Euclid, EuclidNorm, Cosine}
 }
 
+// KindNames returns the accepted names of every heuristic — the paper's
+// eight followed by the extended kinds — in presentation order. It is the
+// single source of truth behind CLI flag help and ParseKind's error message.
+func KindNames() []string {
+	paper, ext := Kinds(), ExtendedKinds()
+	out := make([]string, 0, len(paper)+len(ext))
+	for _, k := range paper {
+		out = append(out, k.String())
+	}
+	for _, k := range ext {
+		out = append(out, k.String())
+	}
+	return out
+}
+
 // String names the heuristic as in the paper's figures.
 func (k Kind) String() string {
 	switch k {
@@ -88,7 +107,8 @@ func (k Kind) String() string {
 }
 
 // ParseKind resolves the names accepted on command lines and in configs,
-// including the extended (post-paper) heuristics.
+// including the extended (post-paper) heuristics. The error for an unknown
+// name enumerates every valid one.
 func ParseKind(s string) (Kind, error) {
 	for _, k := range Kinds() {
 		if k.String() == s {
@@ -100,7 +120,7 @@ func ParseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("heuristic: unknown kind %q", s)
+	return 0, fmt.Errorf("heuristic: unknown kind %q (valid: %s)", s, strings.Join(KindNames(), ", "))
 }
 
 // Scaled reports whether the heuristic uses a scaling constant k (§3 scales
@@ -111,182 +131,4 @@ func (k Kind) Scaled() bool {
 		return true
 	}
 	return false
-}
-
-// Estimator is a heuristic bound to a fixed target critical instance, with
-// the target-side structures precomputed once. An Estimator is immutable
-// after construction and safe for concurrent use by multiple goroutines.
-type Estimator struct {
-	kind Kind
-	k    float64
-
-	// Target-side precomputation.
-	tRel, tAtt, tVal map[string]bool
-	tString          string
-	tVec             vector
-	tNorm            float64
-	tShape           shape
-}
-
-// New builds an estimator for the given heuristic kind against the target.
-// k is the scaling constant for the normalized heuristics; pass 0 to use
-// the neutral value 1. Unscaled heuristics ignore k. The Unset kind
-// resolves to Cosine, the paper's overall best.
-func New(kind Kind, target *relation.Database, k float64) *Estimator {
-	if kind == Unset {
-		kind = Cosine
-	}
-	if k <= 0 {
-		k = 1
-	}
-	t := tnf.Encode(target)
-	e := &Estimator{
-		kind: kind,
-		k:    k,
-		tRel: t.RelSet(),
-		tAtt: t.AttSet(),
-		tVal: t.ValueSet(),
-	}
-	switch kind {
-	case Levenshtein:
-		e.tString = t.CanonicalString()
-	case Euclid, EuclidNorm, Cosine:
-		e.tVec = newVector(t)
-		e.tNorm = e.tVec.norm()
-	case Hybrid:
-		e.tShape = shapeOf(target)
-	}
-	return e
-}
-
-// Name returns the heuristic's name.
-func (e *Estimator) Name() string { return e.kind.String() }
-
-// Kind returns the heuristic's kind.
-func (e *Estimator) Kind() Kind { return e.kind }
-
-// K returns the scaling constant in effect.
-func (e *Estimator) K() float64 { return e.k }
-
-// Estimate computes h(x) for a database state.
-func (e *Estimator) Estimate(x *relation.Database) int {
-	switch e.kind {
-	case H0:
-		return 0
-	case H1:
-		return e.h1(tnf.Encode(x))
-	case H2:
-		return e.h2(tnf.Encode(x))
-	case H3:
-		t := tnf.Encode(x)
-		h1, h2 := e.h1(t), e.h2(t)
-		if h1 > h2 {
-			return h1
-		}
-		return h2
-	case Levenshtein:
-		return e.hLev(tnf.Encode(x))
-	case Euclid:
-		return e.hEuclid(tnf.Encode(x), false)
-	case EuclidNorm:
-		return e.hEuclid(tnf.Encode(x), true)
-	case Cosine:
-		return e.hCosine(tnf.Encode(x))
-	default:
-		if e.kind >= 100 {
-			return e.estimateExtended(x)
-		}
-		return 0
-	}
-}
-
-// h1(x) = |πREL(t)−πREL(x)| + |πATT(t)−πATT(x)| + |πVALUE(t)−πVALUE(x)|.
-func (e *Estimator) h1(x *tnf.Table) int {
-	return diffSize(e.tRel, x.RelSet()) +
-		diffSize(e.tAtt, x.AttSet()) +
-		diffSize(e.tVal, x.ValueSet())
-}
-
-// h2(x) = Σ cross-category intersections between t's and x's projections:
-// tokens that must change role via ↑ or ↓.
-func (e *Estimator) h2(x *tnf.Table) int {
-	xRel, xAtt, xVal := x.RelSet(), x.AttSet(), x.ValueSet()
-	return interSize(e.tRel, xAtt) +
-		interSize(e.tRel, xVal) +
-		interSize(e.tAtt, xRel) +
-		interSize(e.tAtt, xVal) +
-		interSize(e.tVal, xRel) +
-		interSize(e.tVal, xAtt)
-}
-
-// hLev(x) = round(k · L(string(x), string(t)) / max(|string(x)|, |string(t)|)).
-func (e *Estimator) hLev(x *tnf.Table) int {
-	s := x.CanonicalString()
-	max := len(s)
-	if len(e.tString) > max {
-		max = len(e.tString)
-	}
-	if max == 0 {
-		return 0
-	}
-	d := LevenshteinDistance(s, e.tString)
-	return int(math.Round(e.k * float64(d) / float64(max)))
-}
-
-// hEuclid computes hE (norm=false) or h|E| (norm=true).
-func (e *Estimator) hEuclid(x *tnf.Table, normalize bool) int {
-	xv := newVector(x)
-	if !normalize {
-		return int(math.Round(xv.euclideanDistance(e.tVec)))
-	}
-	xn := xv.norm()
-	d := xv.normalizedDistance(xn, e.tVec, e.tNorm)
-	return int(math.Round(e.k * d))
-}
-
-// hCosine(x) = round(k · (1 − x·t / (|x||t|))).
-func (e *Estimator) hCosine(x *tnf.Table) int {
-	xv := newVector(x)
-	xn := xv.norm()
-	if xn == 0 || e.tNorm == 0 {
-		if xn == 0 && e.tNorm == 0 {
-			return 0
-		}
-		return int(math.Round(e.k))
-	}
-	cos := xv.dot(e.tVec) / (xn * e.tNorm)
-	// Clamp against floating-point drift.
-	if cos > 1 {
-		cos = 1
-	}
-	if cos < 0 {
-		cos = 0
-	}
-	return int(math.Round(e.k * (1 - cos)))
-}
-
-// diffSize returns |a − b|.
-func diffSize(a, b map[string]bool) int {
-	n := 0
-	for k := range a {
-		if !b[k] {
-			n++
-		}
-	}
-	return n
-}
-
-// interSize returns |a ∩ b|.
-func interSize(a, b map[string]bool) int {
-	// Iterate the smaller set.
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	n := 0
-	for k := range a {
-		if b[k] {
-			n++
-		}
-	}
-	return n
 }

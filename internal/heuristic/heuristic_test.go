@@ -330,22 +330,33 @@ func TestPropertyNonNegativeAndZeroAtSelf(t *testing.T) {
 	}
 }
 
-// Vector algebra sanity: dot is symmetric, norms are non-negative, distance
-// is symmetric, and |v−v| = 0.
-func TestPropertyVectorAlgebra(t *testing.T) {
+// Vector algebra sanity, now through the fragment-backed aggregate: the
+// integer sums seedAgg maintains (x·t, |x|², |t|²) must equal the reference
+// computed directly from tnf.Encode's triples.
+func TestPropertyVectorAggregate(t *testing.T) {
 	f := func(a, b int64) bool {
-		va := newVector(tnf.Encode(randDB(rand.New(rand.NewSource(a)))))
-		vb := newVector(tnf.Encode(randDB(rand.New(rand.NewSource(b)))))
-		if va.dot(vb) != vb.dot(va) {
-			return false
+		x := randDB(rand.New(rand.NewSource(a)))
+		tgt := randDB(rand.New(rand.NewSource(b)))
+		tv := newTargetView(tgt)
+		ag := seedAgg(x, tv, needVec)
+
+		counts := func(db *relation.Database) map[[3]string]int64 {
+			out := make(map[[3]string]int64)
+			for _, tr := range tnf.Encode(db).Triples() {
+				out[tr]++
+			}
+			return out
 		}
-		if va.norm() < 0 || vb.norm() < 0 {
-			return false
+		xv, tc := counts(x), counts(tgt)
+		var dot, xSq, tSq int64
+		for k, c := range xv {
+			xSq += c * c
+			dot += c * tc[k]
 		}
-		if va.euclideanDistance(vb) != vb.euclideanDistance(va) {
-			return false
+		for _, c := range tc {
+			tSq += c * c
 		}
-		return va.euclideanDistance(va) == 0
+		return dot == ag.dot && xSq == ag.normSq && tSq == tv.normSq
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)

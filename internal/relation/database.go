@@ -1,33 +1,78 @@
 package relation
 
 import (
-	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Database is a named collection of relations with unique names.
 // Like Relation, it is used copy-on-write: mutating methods return new
 // databases, which makes Database values safe to share as search states.
+//
+// Representation: a slice of relations sorted by name. Databases are tiny
+// (the paper's critical instances hold a handful of relations) and search
+// creates millions of them, one per candidate operator application — a
+// sorted slice makes that copy a single allocation, where the map it
+// replaced paid for hash buckets on every successor, and it gives the
+// canonical iteration order away for free.
 type Database struct {
-	rels map[string]*Relation
+	rels []*Relation // sorted by name, names unique
+
+	// memo caches the derived name/attribute/value sets, computed lazily
+	// once. Databases are immutable after publication, like Relations, and
+	// move generation asks for these sets on every expansion.
+	memo *dbMemo
+}
+
+// dbMemo holds the lazily computed set views of a database. The maps are
+// shared by every caller — they must be treated as read-only.
+type dbMemo struct {
+	namesOnce sync.Once
+	relNames  map[string]bool
+	attrsOnce sync.Once
+	attrNames map[string]bool
+	valsOnce  sync.Once
+	valSet    map[string]bool
+}
+
+// newDB wraps a sorted relation slice in a Database with a fresh memo.
+// Callers guarantee rels is sorted by name with unique names; the slice is
+// owned by the new database.
+func newDB(rels []*Relation) *Database {
+	return &Database{rels: rels, memo: &dbMemo{}}
+}
+
+// find returns the index of the named relation in the sorted slice, or
+// (insertion point, false) if absent. Linear scan: databases stay within a
+// handful of relations, where scanning beats binary search bookkeeping.
+func (db *Database) find(name string) (int, bool) {
+	for i, r := range db.rels {
+		if r.name >= name {
+			return i, r.name == name
+		}
+	}
+	return len(db.rels), false
 }
 
 // NewDatabase creates a database from the given relations. Relation names
 // must be unique.
 func NewDatabase(rels ...*Relation) (*Database, error) {
-	db := &Database{rels: make(map[string]*Relation, len(rels))}
+	sorted := make([]*Relation, 0, len(rels))
 	for _, r := range rels {
 		if r == nil {
 			return nil, fmt.Errorf("database: nil relation")
 		}
-		if _, dup := db.rels[r.Name()]; dup {
-			return nil, fmt.Errorf("database: duplicate relation name %q", r.Name())
-		}
-		db.rels[r.Name()] = r
+		sorted = append(sorted, r)
 	}
-	return db, nil
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].name == sorted[i-1].name {
+			return nil, fmt.Errorf("database: duplicate relation name %q", sorted[i].name)
+		}
+	}
+	return newDB(sorted), nil
 }
 
 // MustDatabase is like NewDatabase but panics on error.
@@ -42,77 +87,109 @@ func MustDatabase(rels ...*Relation) *Database {
 // Len returns the number of relations.
 func (db *Database) Len() int { return len(db.rels) }
 
+// ordered returns the relations in sorted-name order, shared — callers
+// inside the package must not modify it.
+func (db *Database) ordered() []*Relation { return db.rels }
+
 // Names returns the relation names in sorted order.
 func (db *Database) Names() []string {
-	out := make([]string, 0, len(db.rels))
-	for name := range db.rels {
-		out = append(out, name)
+	out := make([]string, len(db.rels))
+	for i, r := range db.rels {
+		out[i] = r.name
 	}
-	sort.Strings(out)
 	return out
 }
 
-// Relations returns the relations in sorted-name order.
+// Relations returns the relations in sorted-name order. The slice is the
+// caller's to keep.
 func (db *Database) Relations() []*Relation {
-	names := db.Names()
-	out := make([]*Relation, len(names))
-	for i, name := range names {
-		out[i] = db.rels[name]
-	}
-	return out
+	return append([]*Relation(nil), db.rels...)
 }
 
 // Relation returns the relation with the given name, or false if absent.
 func (db *Database) Relation(name string) (*Relation, bool) {
-	r, ok := db.rels[name]
-	return r, ok
+	if i, ok := db.find(name); ok {
+		return db.rels[i], true
+	}
+	return nil, false
 }
 
 // Clone returns a deep copy of the database.
 func (db *Database) Clone() *Database {
-	out := &Database{rels: make(map[string]*Relation, len(db.rels))}
-	for name, r := range db.rels {
-		out.rels[name] = r.Clone()
+	out := make([]*Relation, len(db.rels))
+	for i, r := range db.rels {
+		out[i] = r.Clone()
 	}
-	return out
+	return newDB(out)
 }
 
 // WithRelation returns a copy of the database in which the relation named
 // r.Name() is replaced by (or extended with) r.
 func (db *Database) WithRelation(r *Relation) *Database {
-	out := &Database{rels: make(map[string]*Relation, len(db.rels)+1)}
-	for name, existing := range db.rels {
-		out.rels[name] = existing
+	i, ok := db.find(r.name)
+	if ok {
+		out := make([]*Relation, len(db.rels))
+		copy(out, db.rels)
+		out[i] = r
+		return newDB(out)
 	}
-	out.rels[r.Name()] = r
-	return out
+	out := make([]*Relation, len(db.rels)+1)
+	copy(out, db.rels[:i])
+	out[i] = r
+	copy(out[i+1:], db.rels[i:])
+	return newDB(out)
 }
 
 // WithoutRelation returns a copy of the database lacking the named relation.
 // It is a no-op copy if the relation does not exist.
 func (db *Database) WithoutRelation(name string) *Database {
-	out := &Database{rels: make(map[string]*Relation, len(db.rels))}
-	for n, existing := range db.rels {
-		if n != name {
-			out.rels[n] = existing
-		}
+	i, ok := db.find(name)
+	if !ok {
+		return newDB(append([]*Relation(nil), db.rels...))
 	}
-	return out
+	out := make([]*Relation, 0, len(db.rels)-1)
+	out = append(out, db.rels[:i]...)
+	out = append(out, db.rels[i+1:]...)
+	return newDB(out)
 }
 
 // ReplaceRelation returns a copy in which the relation named old is removed
-// and r is added. It fails if old is absent or r's name collides with a
-// different existing relation.
-func (db *Database) ReplaceRelation(old string, r *Relation) (*Database, error) {
-	if _, ok := db.rels[old]; !ok {
-		return nil, fmt.Errorf("database: no relation %q", old)
+// and r is added, along with the relation that occupied the replaced slot.
+// It fails if old is absent or r's name collides with a different existing
+// relation. Unlike the WithoutRelation().WithRelation() chain it once was,
+// this copies the relation slice exactly once and hands the replaced slot
+// back, so callers that feed incremental heuristic evaluators know which
+// relation left the state without diffing.
+func (db *Database) ReplaceRelation(old string, r *Relation) (*Database, *Relation, error) {
+	oi, ok := db.find(old)
+	if !ok {
+		return nil, nil, fmt.Errorf("database: no relation %q", old)
 	}
-	if r.Name() != old {
-		if _, clash := db.rels[r.Name()]; clash {
-			return nil, fmt.Errorf("database: relation %q already exists", r.Name())
-		}
+	prev := db.rels[oi]
+	if r.name == old {
+		out := make([]*Relation, len(db.rels))
+		copy(out, db.rels)
+		out[oi] = r
+		return newDB(out), prev, nil
 	}
-	return db.WithoutRelation(old).WithRelation(r), nil
+	ni, clash := db.find(r.name)
+	if clash {
+		return nil, nil, fmt.Errorf("database: relation %q already exists", r.name)
+	}
+	out := make([]*Relation, 0, len(db.rels))
+	if ni > oi {
+		// r sorts after the removed slot: shift the span between them left.
+		out = append(out, db.rels[:oi]...)
+		out = append(out, db.rels[oi+1:ni]...)
+		out = append(out, r)
+		out = append(out, db.rels[ni:]...)
+	} else {
+		out = append(out, db.rels[:ni]...)
+		out = append(out, r)
+		out = append(out, db.rels[ni:oi]...)
+		out = append(out, db.rels[oi+1:]...)
+	}
+	return newDB(out), prev, nil
 }
 
 // Equal reports whether two databases contain semantically equal relations
@@ -121,9 +198,10 @@ func (db *Database) Equal(other *Database) bool {
 	if len(db.rels) != len(other.rels) {
 		return false
 	}
-	for name, r := range db.rels {
-		o, ok := other.rels[name]
-		if !ok || !r.Equal(o) {
+	// Both slices are name-sorted, so equal databases align position-wise.
+	for i, r := range db.rels {
+		o := other.rels[i]
+		if r.name != o.name || !r.Equal(o) {
 			return false
 		}
 	}
@@ -134,8 +212,8 @@ func (db *Database) Equal(other *Database) bool {
 // identical superset of target when every target relation exists in db under
 // the same name and each is contained per Relation.Contains.
 func (db *Database) Contains(target *Database) bool {
-	for name, t := range target.rels {
-		r, ok := db.rels[name]
+	for _, t := range target.rels {
+		r, ok := db.Relation(t.name)
 		if !ok || !r.Contains(t) {
 			return false
 		}
@@ -150,70 +228,82 @@ func (db *Database) Contains(target *Database) bool {
 // that relation; the untouched relations return their cached strings.
 func (db *Database) Fingerprint() string {
 	parts := make([]string, 0, len(db.rels))
-	for _, r := range db.Relations() {
+	for _, r := range db.rels {
 		parts = append(parts, r.Fingerprint())
 	}
 	return strings.Join(parts, "\x1b")
 }
 
 // Key returns a compact 16-byte identity for the database, suitable as a
-// map key: SHA-256, truncated to 128 bits, over the concatenation of the
-// per-relation 128-bit hashes in sorted-name order. The per-relation hashes
-// are fixed-width, so the concatenation is unambiguous, and each one covers
-// the relation's full canonical form including its name — two databases
-// with equal keys are Equal up to SHA-256 collisions (see DESIGN.md,
-// "State identity", for the collision-probability argument).
+// map key: digest128 over the concatenation of the per-relation 128-bit
+// hashes in sorted-name order. The per-relation hashes are fixed-width, so
+// the concatenation is unambiguous, and each one covers the relation's full
+// canonical form including its name — two databases with equal keys are
+// Equal up to hash collisions (see DESIGN.md, "State identity", for the
+// collision-probability argument).
 func (db *Database) Key() string {
 	if len(db.rels) == 1 {
 		// A single relation's hash already covers its name and full
 		// canonical form; re-hashing it adds nothing. This is the common
 		// case for the paper's synthetic matching states.
-		for _, r := range db.rels {
-			h := r.Hash()
-			return string(h[:])
-		}
+		h := db.rels[0].Hash()
+		return string(h[:])
 	}
-	names := db.Names()
-	buf := make([]byte, 0, 16*len(names))
-	for _, name := range names {
-		h := db.rels[name].Hash()
+	buf := make([]byte, 0, 16*len(db.rels))
+	for _, r := range db.rels {
+		h := r.Hash()
 		buf = append(buf, h[:]...)
 	}
-	sum := sha256.Sum256(buf)
-	return string(sum[:16])
+	sum := digest128(buf)
+	return string(sum[:])
 }
 
-// RelationNames returns the set of relation names.
+// RelationNames returns the set of relation names, memoized and shared:
+// callers must treat the map as read-only.
 func (db *Database) RelationNames() map[string]bool {
-	out := make(map[string]bool, len(db.rels))
-	for name := range db.rels {
-		out[name] = true
-	}
-	return out
-}
-
-// AttrNames returns the set of attribute names across all relations.
-func (db *Database) AttrNames() map[string]bool {
-	out := make(map[string]bool)
-	for _, r := range db.rels {
-		for _, a := range r.attrs {
-			out[a] = true
+	m := db.memo
+	m.namesOnce.Do(func() {
+		out := make(map[string]bool, len(db.rels))
+		for _, r := range db.rels {
+			out[r.name] = true
 		}
-	}
-	return out
+		m.relNames = out
+	})
+	return m.relNames
 }
 
-// ValueSet returns the set of data values across all relations.
-func (db *Database) ValueSet() map[string]bool {
-	out := make(map[string]bool)
-	for _, r := range db.rels {
-		for _, row := range r.rows {
-			for _, v := range row {
-				out[v] = true
+// AttrNames returns the set of attribute names across all relations,
+// memoized and shared: callers must treat the map as read-only.
+func (db *Database) AttrNames() map[string]bool {
+	m := db.memo
+	m.attrsOnce.Do(func() {
+		out := make(map[string]bool)
+		for _, r := range db.rels {
+			for _, a := range r.attrs {
+				out[a] = true
 			}
 		}
-	}
-	return out
+		m.attrNames = out
+	})
+	return m.attrNames
+}
+
+// ValueSet returns the set of data values across all relations, memoized
+// and shared: callers must treat the map as read-only.
+func (db *Database) ValueSet() map[string]bool {
+	m := db.memo
+	m.valsOnce.Do(func() {
+		out := make(map[string]bool)
+		for _, r := range db.rels {
+			for _, row := range r.rows {
+				for _, v := range row {
+					out[v] = true
+				}
+			}
+		}
+		m.valSet = out
+	})
+	return m.valSet
 }
 
 // Size returns the total number of cells (tuples × arity summed over

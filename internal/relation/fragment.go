@@ -1,0 +1,177 @@
+package relation
+
+import "sort"
+
+// Triple is an interned (REL, ATT, VALUE) TNF triple — one dimension of the
+// term-vector space of §3 of the paper, with the three tokens replaced by
+// their dictionary symbols. Schema-only rows use the interned empty string
+// in the ATT and/or VALUE positions, mirroring tnf.Encode's empty markers.
+type Triple [3]Symbol
+
+// Fragment is the per-relation piece of the database's TNF encoding, reduced
+// to the multiset counters the heuristics consume: the projection multisets
+// of the ATT and VALUE columns, the term-vector triple counts, and the
+// sorted REL⊙ATT⊙VALUE renderings that concatenate into the canonical
+// string. A database's TNF-derived views are exact merges of its relations'
+// fragments, and a successor that replaced one relation copy-on-write is the
+// parent's merge minus the old fragment plus the new one — the delta-merge
+// the incremental heuristic evaluators exploit.
+//
+// All counts are multiset multiplicities (never approximations), so
+// subtracting a fragment exactly undoes adding it. Triple keys embed the
+// relation name, so the Vec maps of fragments of differently named relations
+// are disjoint; Atts and Vals may overlap across fragments and must be
+// summed before set-membership questions are asked.
+//
+// A Fragment is immutable after construction and shared freely.
+type Fragment struct {
+	// Rel is the interned relation name; its multiplicity in the REL
+	// projection is RowCount.
+	Rel Symbol
+	// Arity and Tuples are the relation's schema arity and tuple count
+	// (the structural profile the hybrid heuristic's shape term reads).
+	Arity, Tuples int
+	// RowCount is the number of TNF rows the relation contributes:
+	// Tuples×Arity for populated relations, Arity for empty ones, 1 for
+	// zero-arity ones (the schema-only totalization of tnf.Encode).
+	RowCount int
+	// Atts and Vals are the ATT and VALUE column multisets, excluding the
+	// empty markers of schema-only rows and empty cells, matching
+	// tnf.Table.AttSet/ValueSet.
+	Atts, Vals map[Symbol]int
+	// Vec counts each (REL, ATT, VALUE) triple, schema-only rows included,
+	// matching the term vector over tnf.Table.Triples.
+	Vec map[Triple]int
+	// VecSq is Σ c² over Vec — the fragment's exact contribution to the
+	// squared Euclidean norm of the database's term vector (triple keys are
+	// disjoint across relations, so norms add per fragment).
+	VecSq int64
+	// Parts are the REL⊙ATT⊙VALUE strings of the fragment's TNF rows in
+	// sorted order, with repetitions; merging the Parts of all fragments in
+	// sorted order yields tnf.Table.CanonicalString.
+	Parts []string
+}
+
+// TNFFragment returns the relation's TNF fragment, computed lazily exactly
+// once and memoized alongside the canonical form (relations are immutable
+// after publication; see the memo field on Relation). Safe for concurrent
+// callers.
+func (r *Relation) TNFFragment() *Fragment {
+	m := r.memo
+	m.fragOnce.Do(func() {
+		m.frag = r.computeFragment()
+	})
+	return m.frag
+}
+
+// computeFragment builds the fragment from scratch, reproducing the exact
+// row semantics of tnf.Encode: zero-arity relations contribute a single
+// (rel, ε, ε) row, empty relations one (rel, att, ε) row per attribute, and
+// populated relations one (rel, att, value) row per (tuple, attribute) pair.
+func (r *Relation) computeFragment() *Fragment {
+	r.internSyms()
+	m := r.memo
+	f := &Fragment{
+		Rel:    m.nameSym,
+		Arity:  len(r.attrs),
+		Tuples: len(r.rows),
+		Atts:   make(map[Symbol]int, len(r.attrs)),
+		Vals:   make(map[Symbol]int),
+		Vec:    make(map[Triple]int),
+	}
+	switch {
+	case len(r.attrs) == 0:
+		f.RowCount = 1
+		f.Vec[Triple{m.nameSym, emptySym, emptySym}] = 1
+		f.Parts = []string{r.name}
+	case len(r.rows) == 0:
+		f.RowCount = len(r.attrs)
+		f.Parts = make([]string, len(r.attrs))
+		for j, a := range r.attrs {
+			f.Atts[m.attrSyms[j]]++
+			f.Vec[Triple{m.nameSym, m.attrSyms[j], emptySym}]++
+			f.Parts[j] = r.name + a
+		}
+	default:
+		f.RowCount = len(r.rows) * len(r.attrs)
+		f.Parts = make([]string, 0, f.RowCount)
+		for i, row := range r.rows {
+			for j, a := range r.attrs {
+				f.Atts[m.attrSyms[j]]++
+				v := m.rowSyms[i][j]
+				if v != emptySym {
+					f.Vals[v]++
+				}
+				f.Vec[Triple{m.nameSym, m.attrSyms[j], v}]++
+				f.Parts = append(f.Parts, r.name+a+row[j])
+			}
+		}
+	}
+	for _, c := range f.Vec {
+		f.VecSq += int64(c) * int64(c)
+	}
+	sort.Strings(f.Parts)
+	return f
+}
+
+// emptySym is the interned empty string, the ATT/VALUE marker of
+// schema-only TNF rows. Interned at init so the constant is available
+// without a dictionary lookup.
+var emptySym = Intern("")
+
+// internSyms resolves the relation's name, attributes, and cell values to
+// dictionary symbols, exactly once; Hash and TNFFragment both build on the
+// interned form, so a relation pays for dictionary lookups once no matter
+// how many consumers identify it.
+func (r *Relation) internSyms() {
+	m := r.memo
+	m.symsOnce.Do(func() {
+		m.nameSym = Intern(r.name)
+		m.attrSyms = make([]Symbol, len(r.attrs))
+		for j, a := range r.attrs {
+			m.attrSyms[j] = Intern(a)
+		}
+		m.rowSyms = make([][]Symbol, len(r.rows))
+		for i, row := range r.rows {
+			rs := make([]Symbol, len(row))
+			for j, v := range row {
+				rs[j] = Intern(v)
+			}
+			m.rowSyms[i] = rs
+		}
+	})
+}
+
+// Diff compares two databases slot-by-slot by pointer identity and returns
+// the relations of parent absent from child (removed) and those of child
+// absent from parent (added). Successor states share every untouched
+// *Relation with their parent copy-on-write, so for an operator application
+// this recovers exactly the replaced slots in O(|relations|) pointer
+// comparisons — no content hashing. A relation rebuilt with identical
+// content appears in both slices; delta-merging it out and back in is a
+// no-op, so callers need not special-case it.
+func Diff(parent, child *Database) (removed, added []*Relation) {
+	// Both slices are name-sorted, so a single merge pass aligns the slots.
+	i, j := 0, 0
+	for i < len(parent.rels) && j < len(child.rels) {
+		pr, cr := parent.rels[i], child.rels[j]
+		switch {
+		case pr.name < cr.name:
+			removed = append(removed, pr)
+			i++
+		case pr.name > cr.name:
+			added = append(added, cr)
+			j++
+		default:
+			if pr != cr {
+				removed = append(removed, pr)
+				added = append(added, cr)
+			}
+			i++
+			j++
+		}
+	}
+	removed = append(removed, parent.rels[i:]...)
+	added = append(added, child.rels[j:]...)
+	return removed, added
+}

@@ -47,7 +47,7 @@ func NewContainmentIndex(target *Database) *ContainmentIndex {
 func (ix *ContainmentIndex) Contains(db *Database) bool {
 	for i := range ix.targets {
 		t := &ix.targets[i]
-		r, ok := db.rels[t.name]
+		r, ok := db.Relation(t.name)
 		if !ok || !t.contains(r) {
 			return false
 		}
@@ -61,8 +61,8 @@ func (ix *ContainmentIndex) Contains(db *Database) bool {
 func (t *indexedRelation) contains(r *Relation) bool {
 	idx := make([]int, len(t.attrs))
 	for i, a := range t.attrs {
-		j, ok := r.index[a]
-		if !ok {
+		j := r.lookup(a)
+		if j < 0 {
 			return false
 		}
 		idx[i] = j

@@ -1,0 +1,81 @@
+package relation
+
+import "sync"
+
+// Symbol is an interned string: a small integer standing for a relation
+// name, attribute name, or data value in the run-wide dictionary. Symbols
+// are cheaper than strings everywhere the hot path compares, hashes, or
+// keys maps by tokens: 4 bytes, compared in one instruction, hashed
+// trivially. Two strings intern to the same Symbol iff they are equal, so
+// symbol equality is string equality within a process.
+//
+// Symbols are process-scoped and assignment order depends on interning
+// order, so they must never be persisted or compared across processes.
+type Symbol int32
+
+// interner is the run-wide concurrent string dictionary. The table only
+// grows: tokens come from the source and target critical instances plus the
+// bounded vocabulary the FIRA operators synthesize from them (e.g. partition
+// relation names), so the population is small and retained for the life of
+// the process — see DESIGN.md, "Incremental heuristics and interning".
+//
+// Reads vastly outnumber writes once a search is warm, so lookups take an
+// RLock; the write lock is only held while inserting a new token.
+type interner struct {
+	mu   sync.RWMutex
+	ids  map[string]Symbol
+	strs []string
+}
+
+var globalIntern = &interner{ids: make(map[string]Symbol, 256)}
+
+// Intern returns the symbol for s, assigning one if s has not been seen.
+// Safe for concurrent use.
+func Intern(s string) Symbol {
+	in := globalIntern
+	in.mu.RLock()
+	sym, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return sym
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if sym, ok = in.ids[s]; ok {
+		return sym
+	}
+	sym = Symbol(len(in.strs))
+	in.strs = append(in.strs, s)
+	in.ids[s] = sym
+	return sym
+}
+
+// LookupSymbol returns the symbol for s if it has been interned.
+// Safe for concurrent use.
+func LookupSymbol(s string) (Symbol, bool) {
+	in := globalIntern
+	in.mu.RLock()
+	sym, ok := in.ids[s]
+	in.mu.RUnlock()
+	return sym, ok
+}
+
+// String returns the interned string for the symbol. It panics on a symbol
+// that was never issued by Intern, exactly like an out-of-range slice index.
+// Safe for concurrent use.
+func (s Symbol) String() string {
+	in := globalIntern
+	in.mu.RLock()
+	str := in.strs[s]
+	in.mu.RUnlock()
+	return str
+}
+
+// InternedCount returns the number of distinct strings interned so far;
+// exposed for tests and capacity diagnostics.
+func InternedCount() int {
+	in := globalIntern
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.strs)
+}

@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternConcurrent hammers the run-wide intern dictionary from many
+// goroutines with heavily overlapping strings — the access pattern of
+// parallel successor workers computing fragments for states that share
+// tokens. Run under -race (CI does), it pins two properties: the dictionary
+// publication is race-free, and interning is consistent — every goroutine
+// gets the same Symbol for the same string, and distinct strings never
+// collapse.
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 16
+	const tokens = 64
+	results := make([][]Symbol, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			syms := make([]Symbol, tokens)
+			for i := range syms {
+				// Every goroutine interns the same token set, permuted so
+				// first-interning races are spread across the set.
+				tok := fmt.Sprintf("race-tok-%d", (i+g*7)%tokens)
+				syms[(i+g*7)%tokens] = Intern(tok)
+			}
+			results[g] = syms
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d interned token %d as %v, goroutine 0 as %v",
+					g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+	seen := make(map[Symbol]bool, tokens)
+	for i, s := range results[0] {
+		if seen[s] {
+			t.Fatalf("distinct tokens collapsed onto symbol %v (token %d)", s, i)
+		}
+		seen[s] = true
+		if got, ok := LookupSymbol(fmt.Sprintf("race-tok-%d", i)); !ok || got != s {
+			t.Fatalf("LookupSymbol disagrees with Intern for token %d", i)
+		}
+	}
+}
+
+// TestFragmentMemoConcurrent races fragment computation on relations shared
+// copy-on-write between successor-like states, as the parallel expansion
+// pool does when several workers delta-merge successors that kept the same
+// untouched relation. The sync.Once memo must hand every goroutine the
+// same *Fragment, fully built.
+func TestFragmentMemoConcurrent(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		shared := MustNew("Shared", []string{"A", "B"},
+			Tuple{"x", "y"}, Tuple{"z", "w"})
+		frags := make([]*Fragment, 16)
+		var wg sync.WaitGroup
+		for g := range frags {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				frags[g] = shared.TNFFragment()
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < len(frags); g++ {
+			if frags[g] != frags[0] {
+				t.Fatalf("trial %d: goroutine %d got a different fragment pointer", trial, g)
+			}
+		}
+		f := frags[0]
+		// 2 tuples × arity 2 = 4 TNF cell-rows.
+		if f.Tuples != 2 || f.RowCount != 4 || len(f.Vec) == 0 || f.VecSq == 0 {
+			t.Fatalf("trial %d: fragment incompletely published: %+v", trial, f)
+		}
+	}
+}

@@ -9,7 +9,6 @@
 package relation
 
 import (
-	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strconv"
@@ -47,26 +46,86 @@ func (t Tuple) Equal(u Tuple) bool {
 type Relation struct {
 	name  string
 	attrs []string
-	index map[string]int // attribute name -> position in attrs
 	rows  []Tuple
 
-	// memo caches the canonical form (sorted rendered rows, fingerprint,
-	// 128-bit hash), computed lazily exactly once. Relations are immutable
+	// memo caches every lazily derived identity of the relation — interned
+	// symbols, 128-bit hash, canonical fingerprint, TNF fragment, distinct
+	// column values — each computed exactly once. Relations are immutable
 	// once published — every constructor in this package finishes mutating
 	// rows before the value escapes — so the memoization is sound, and the
-	// sync.Once makes the lazy computation safe when parallel successor
-	// workers race to fingerprint states that share a relation. The memo is
+	// sync.Onces make the lazy computations safe when parallel successor
+	// workers race to identify states that share a relation. The memo is
 	// held by pointer so a fresh one is allocated wherever a new Relation is
 	// built (New, Clone) and never copied along with in-progress state.
 	memo *canonMemo
 }
 
-// canonMemo is the lazily computed canonical identity of a relation.
+// canonMemo holds the lazily computed derived forms of a relation. The
+// fields group into independent sync.Once-guarded families so each consumer
+// pays only for what it uses: the hot search path needs syms + hash +
+// fragment and never renders the string fingerprint; diagnostic paths
+// (Fingerprint, Equal) render the canonical strings on demand.
 type canonMemo struct {
-	once sync.Once
-	rows []string // canonical rows: sorted-attr rendering, sorted
-	fp   string   // full canonical fingerprint string
-	hash [16]byte // first 16 bytes of SHA-256(fp)
+	// Interned form: the relation's tokens as dictionary symbols, in schema
+	// order. Input to the TNF fragment.
+	symsOnce sync.Once
+	nameSym  Symbol
+	attrSyms []Symbol
+	rowSyms  [][]Symbol
+
+	// Compact identity: digest128 over the canonical byte encoding.
+	// Content-based, so stable across processes.
+	hashOnce sync.Once
+	hash     [16]byte
+
+	// Canonical string form: sorted-attr row renderings and fingerprint.
+	canonOnce sync.Once
+	rows      []string // canonical rows: sorted-attr rendering, sorted
+	fp        string   // full canonical fingerprint string
+
+	// TNF fragment (fragment.go).
+	fragOnce sync.Once
+	frag     *Fragment
+
+	// Distinct values per column, sorted; indexed like attrs.
+	colsOnce sync.Once
+	cols     [][]string
+
+	// Attribute name → position, built on first lookup over a wide schema.
+	// Narrow schemas — the common case — resolve attributes by linear scan
+	// and never build the map: search successors are created by the million,
+	// and most are hashed and discarded without a single attribute lookup,
+	// so constructors must not pay for an index eagerly.
+	indexOnce sync.Once
+	index     map[string]int
+}
+
+// attrScanMax is the widest schema resolved by linear scan; beyond it,
+// lookup builds the memoized index map.
+const attrScanMax = 8
+
+// lookup returns the position of attribute a, or -1 if absent.
+func (r *Relation) lookup(a string) int {
+	if len(r.attrs) <= attrScanMax {
+		for i, name := range r.attrs {
+			if name == a {
+				return i
+			}
+		}
+		return -1
+	}
+	m := r.memo
+	m.indexOnce.Do(func() {
+		idx := make(map[string]int, len(r.attrs))
+		for i, name := range r.attrs {
+			idx[name] = i
+		}
+		m.index = idx
+	})
+	if i, ok := m.index[a]; ok {
+		return i
+	}
+	return -1
 }
 
 // New creates a relation. It fails if the name or any attribute is empty,
@@ -79,17 +138,17 @@ func New(name string, attrs []string, rows ...Tuple) (*Relation, error) {
 	r := &Relation{
 		name:  name,
 		attrs: append([]string(nil), attrs...),
-		index: make(map[string]int, len(attrs)),
 		memo:  &canonMemo{},
 	}
 	for i, a := range attrs {
 		if a == "" {
 			return nil, fmt.Errorf("relation %s: empty attribute name at position %d", name, i)
 		}
-		if _, dup := r.index[a]; dup {
-			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+		for _, prev := range attrs[:i] {
+			if prev == a {
+				return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+			}
 		}
-		r.index[a] = i
 	}
 	switch len(rows) {
 	case 0:
@@ -201,18 +260,10 @@ func (r *Relation) Arity() int { return len(r.attrs) }
 func (r *Relation) Len() int { return len(r.rows) }
 
 // HasAttr reports whether the relation has an attribute with the given name.
-func (r *Relation) HasAttr(a string) bool {
-	_, ok := r.index[a]
-	return ok
-}
+func (r *Relation) HasAttr(a string) bool { return r.lookup(a) >= 0 }
 
 // AttrIndex returns the position of attribute a, or -1 if absent.
-func (r *Relation) AttrIndex(a string) int {
-	if i, ok := r.index[a]; ok {
-		return i
-	}
-	return -1
-}
+func (r *Relation) AttrIndex(a string) int { return r.lookup(a) }
 
 // Row returns the i-th tuple. The returned tuple must not be modified.
 func (r *Relation) Row(i int) Tuple { return r.rows[i] }
@@ -229,8 +280,8 @@ func (r *Relation) Rows() []Tuple {
 // Value returns the value of attribute a in the i-th tuple.
 // It returns false if the attribute does not exist.
 func (r *Relation) Value(i int, a string) (string, bool) {
-	j, ok := r.index[a]
-	if !ok {
+	j := r.lookup(a)
+	if j < 0 {
 		return "", false
 	}
 	return r.rows[i][j], true
@@ -241,12 +292,8 @@ func (r *Relation) Clone() *Relation {
 	out := &Relation{
 		name:  r.name,
 		attrs: append([]string(nil), r.attrs...),
-		index: make(map[string]int, len(r.index)),
 		rows:  make([]Tuple, len(r.rows)),
 		memo:  &canonMemo{}, // fresh: the copy may be mutated before publication
-	}
-	for k, v := range r.index {
-		out.index[k] = v
 	}
 	for i, row := range r.rows {
 		out.rows[i] = row.Clone()
@@ -254,32 +301,46 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// shallowClone copies the relation's schema (name, attrs) and shares its row
+// storage. Tuples are immutable after publication and never mutated by this
+// package, so sharing is safe; the full-capacity slice expression keeps an
+// append on the copy (Insert) from aliasing into the original's backing
+// array. Constructors that only touch schema — the rename operators of the
+// search hot path — use this instead of Clone to avoid re-copying every cell
+// of the relation.
+func (r *Relation) shallowClone() *Relation {
+	return &Relation{
+		name:  r.name,
+		attrs: append([]string(nil), r.attrs...),
+		rows:  r.rows[:len(r.rows):len(r.rows)],
+		memo:  &canonMemo{},
+	}
+}
+
 // WithName returns a copy of the relation under a new name.
 func (r *Relation) WithName(name string) (*Relation, error) {
 	if name == "" {
 		return nil, fmt.Errorf("relation: empty relation name")
 	}
-	out := r.Clone()
+	out := r.shallowClone()
 	out.name = name
 	return out, nil
 }
 
 // WithAttrRenamed returns a copy with attribute old renamed to new.
 func (r *Relation) WithAttrRenamed(old, new string) (*Relation, error) {
-	i, ok := r.index[old]
-	if !ok {
+	i := r.lookup(old)
+	if i < 0 {
 		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, old)
 	}
 	if new == "" {
 		return nil, fmt.Errorf("relation %s: empty attribute name", r.name)
 	}
-	if _, clash := r.index[new]; clash && new != old {
+	if r.lookup(new) >= 0 && new != old {
 		return nil, fmt.Errorf("relation %s: attribute %q already exists", r.name, new)
 	}
-	out := r.Clone()
+	out := r.shallowClone()
 	out.attrs[i] = new
-	delete(out.index, old)
-	out.index[new] = i
 	return out, nil
 }
 
@@ -289,7 +350,7 @@ func (r *Relation) WithColumn(attr string, values []string) (*Relation, error) {
 	if attr == "" {
 		return nil, fmt.Errorf("relation %s: empty attribute name", r.name)
 	}
-	if _, clash := r.index[attr]; clash {
+	if r.lookup(attr) >= 0 {
 		return nil, fmt.Errorf("relation %s: attribute %q already exists", r.name, attr)
 	}
 	if len(values) != len(r.rows) {
@@ -314,8 +375,8 @@ func (r *Relation) WithColumn(attr string, values []string) (*Relation, error) {
 // operator at the relation level). Duplicate rows that arise from the drop
 // collapse, per set semantics.
 func (r *Relation) WithoutAttr(a string) (*Relation, error) {
-	j, ok := r.index[a]
-	if !ok {
+	j := r.lookup(a)
+	if j < 0 {
 		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
 	}
 	attrs := make([]string, 0, len(r.attrs)-1)
@@ -348,8 +409,8 @@ func (r *Relation) WithoutAttr(a string) (*Relation, error) {
 func (r *Relation) Project(attrs []string) (*Relation, error) {
 	idx := make([]int, len(attrs))
 	for i, a := range attrs {
-		j, ok := r.index[a]
-		if !ok {
+		j := r.lookup(a)
+		if j < 0 {
 			return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
 		}
 		idx[i] = j
@@ -371,27 +432,60 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 	return out, nil
 }
 
-// ValuesOf returns the distinct values of attribute a in sorted order.
-func (r *Relation) ValuesOf(a string) ([]string, error) {
-	j, ok := r.index[a]
-	if !ok {
-		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
-	}
-	seen := make(map[string]bool)
-	var out []string
-	for _, row := range r.rows {
-		if !seen[row[j]] {
-			seen[row[j]] = true
-			out = append(out, row[j])
+// distinctValues computes the per-column sorted distinct values exactly
+// once. Candidate-move generation asks for column values on every expansion
+// of a state whose relations are mostly shared with its ancestors, so the
+// memoized form turns repeated sort-and-dedupe passes into slice reads.
+func (r *Relation) distinctValues() [][]string {
+	m := r.memo
+	m.colsOnce.Do(func() {
+		cols := make([][]string, len(r.attrs))
+		seen := make(map[string]bool)
+		for j := range r.attrs {
+			clear(seen)
+			var out []string
+			for _, row := range r.rows {
+				if !seen[row[j]] {
+					seen[row[j]] = true
+					out = append(out, row[j])
+				}
+			}
+			sort.Strings(out)
+			cols[j] = out
 		}
-	}
-	sort.Strings(out)
-	return out, nil
+		m.cols = cols
+	})
+	return m.cols
 }
 
-// Insert returns a copy of the relation with the row added.
+// DistinctValues returns the distinct values of attribute a in sorted order,
+// memoized on the relation. The returned slice is shared — callers must not
+// modify it. It returns nil if the attribute does not exist; hot-path
+// callers that already validated the attribute use this instead of ValuesOf
+// to skip both the error path and the defensive copy.
+func (r *Relation) DistinctValues(a string) []string {
+	j := r.lookup(a)
+	if j < 0 {
+		return nil
+	}
+	return r.distinctValues()[j]
+}
+
+// ValuesOf returns the distinct values of attribute a in sorted order.
+// The slice is the caller's to keep (it is a copy of the memoized form).
+func (r *Relation) ValuesOf(a string) ([]string, error) {
+	j := r.lookup(a)
+	if j < 0 {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
+	}
+	return append([]string(nil), r.distinctValues()[j]...), nil
+}
+
+// Insert returns a copy of the relation with the row added. The copy shares
+// the original's row storage; insert's append reallocates, so the original
+// is unaffected.
 func (r *Relation) Insert(row Tuple) (*Relation, error) {
-	out := r.Clone()
+	out := r.shallowClone()
 	if err := out.insert(row); err != nil {
 		return nil, err
 	}
@@ -410,11 +504,10 @@ func (r *Relation) Insert(row Tuple) (*Relation, error) {
 // single source of truth the memo caches; tests call it directly to
 // cross-check memoized values.
 func (r *Relation) computeCanonical() (rows []string, fp string) {
-	order := make([]int, len(r.attrs))
-	names := r.Attrs()
-	sort.Strings(names)
-	for i, a := range names {
-		order[i] = r.index[a]
+	order := r.sortedAttrOrder()
+	names := make([]string, len(order))
+	for i, j := range order {
+		names[i] = r.attrs[j]
 	}
 	rows = make([]string, len(r.rows))
 	var buf []byte
@@ -441,14 +534,12 @@ func (r *Relation) computeCanonical() (rows []string, fp string) {
 	return rows, string(fpBuf)
 }
 
-// canonicalize computes the canonical form exactly once. Safe for
+// canonicalize computes the canonical string form exactly once. Safe for
 // concurrent callers: parallel successor workers fingerprinting states that
 // share this relation synchronize on the memo's sync.Once.
 func (r *Relation) canonicalize() {
-	r.memo.once.Do(func() {
+	r.memo.canonOnce.Do(func() {
 		r.memo.rows, r.memo.fp = r.computeCanonical()
-		sum := sha256.Sum256([]byte(r.memo.fp))
-		copy(r.memo.hash[:], sum[:16])
 	})
 }
 
@@ -468,7 +559,7 @@ func (r *Relation) Equal(s *Relation) bool {
 	if r.name != s.name || len(r.attrs) != len(s.attrs) || len(r.rows) != len(s.rows) {
 		return false
 	}
-	for a := range r.index {
+	for _, a := range r.attrs {
 		if !s.HasAttr(a) {
 			return false
 		}
@@ -489,8 +580,8 @@ func (r *Relation) Equal(s *Relation) bool {
 func (r *Relation) Contains(s *Relation) bool {
 	idx := make([]int, len(s.attrs))
 	for i, a := range s.attrs {
-		j, ok := r.index[a]
-		if !ok {
+		j := r.lookup(a)
+		if j < 0 {
 			return false
 		}
 		idx[i] = j
@@ -527,11 +618,92 @@ func (r *Relation) Fingerprint() string {
 	return r.memo.fp
 }
 
-// Hash returns a 128-bit digest of the canonical fingerprint (the first 16
-// bytes of its SHA-256), memoized alongside it. Equal relations have equal
-// hashes; distinct relations collide with probability ~2⁻¹²⁸ per pair —
-// see the collision argument in DESIGN.md ("State identity").
+// sortedAttrOrder returns the attribute positions in sorted-attribute-name
+// order — the column order every canonical rendering (fingerprint, hash)
+// shares, so projections of both sides of any comparison align.
+func (r *Relation) sortedAttrOrder() []int {
+	order := make([]int, len(r.attrs))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: arities are small (the paper's schemas stay in single
+	// digits) and this avoids sort.Slice's closure and reflection overhead
+	// on a path hit once per relation ever created.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && r.attrs[order[j]] < r.attrs[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Hash returns a 128-bit digest of the relation's canonical identity,
+// memoized. Equal relations have equal hashes; distinct relations collide
+// with probability ~2⁻¹²⁸ per pair — see the collision argument in
+// DESIGN.md ("State identity").
+//
+// The digest is computed over a byte encoding equivalent to the string
+// fingerprint — length-prefixed name, sorted attribute names, rows rendered
+// in sorted-attribute order and sorted bytewise, counts prefixed — but
+// assembled directly into one buffer without materializing the intermediate
+// strings. Rows are encoded back to back into that buffer and sorted as
+// offset ranges, so hashing allocates exactly twice (offsets and buffer)
+// regardless of row count. The encoding is injective (length prefixes and
+// count separators make it parse deterministically), so the equality
+// semantics are exactly Fingerprint's at a fraction of the allocation cost.
 func (r *Relation) Hash() [16]byte {
-	r.canonicalize()
-	return r.memo.hash
+	m := r.memo
+	m.hashOnce.Do(func() {
+		order := r.sortedAttrOrder()
+		// Canonicalize row order by sorting indices with a field-wise
+		// comparison in sorted-attribute order. Any deterministic,
+		// permutation-invariant order works (rows are deduplicated, so the
+		// comparator is total); sorting indices first lets the encoding be
+		// a single append pass into one buffer. Insertion sort: successor
+		// states mutate tiny critical instances, so row counts are small.
+		idx := make([]int, len(r.rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 1; i < len(idx); i++ {
+			for j := i; j > 0 && rowLess(r.rows[idx[j]], r.rows[idx[j-1]], order); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		n := 32 + 16*len(order)
+		for _, row := range r.rows {
+			for _, v := range row {
+				n += len(v) + 8
+			}
+		}
+		buf := make([]byte, 0, n)
+		buf = appendValueKey(buf, r.name)
+		buf = strconv.AppendInt(buf, int64(len(order)), 10)
+		buf = append(buf, ';')
+		for _, j := range order {
+			buf = appendValueKey(buf, r.attrs[j])
+		}
+		buf = strconv.AppendInt(buf, int64(len(r.rows)), 10)
+		buf = append(buf, ';')
+		for _, i := range idx {
+			row := r.rows[i]
+			for _, j := range order {
+				buf = appendValueKey(buf, row[j])
+			}
+			buf = append(buf, '\n')
+		}
+		m.hash = digest128(buf)
+	})
+	return m.hash
+}
+
+// rowLess orders tuples field-wise in sorted-attribute order; it is the
+// canonical row order behind Hash. Total on distinct tuples of one schema.
+func rowLess(a, b Tuple, order []int) bool {
+	for _, j := range order {
+		if a[j] != b[j] {
+			return a[j] < b[j]
+		}
+	}
+	return false
 }

@@ -259,17 +259,20 @@ func TestDatabaseCopyOnWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db4, err := db2.ReplaceRelation("R", renamed)
+	db4, prev, err := db2.ReplaceRelation("R", renamed)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if prev != r {
+		t.Fatal("ReplaceRelation should return the displaced relation")
 	}
 	if _, ok := db4.Relation("R2"); !ok {
 		t.Fatal("ReplaceRelation lost relation")
 	}
-	if _, err := db2.ReplaceRelation("nope", renamed); err == nil {
+	if _, _, err := db2.ReplaceRelation("nope", renamed); err == nil {
 		t.Fatal("replacing missing relation should fail")
 	}
-	if _, err := db2.ReplaceRelation("R", MustNew("S", []string{"X"})); err == nil {
+	if _, _, err := db2.ReplaceRelation("R", MustNew("S", []string{"X"})); err == nil {
 		t.Fatal("replace causing collision should fail")
 	}
 }

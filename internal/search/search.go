@@ -27,6 +27,7 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -267,6 +268,45 @@ const (
 	// included for ablation.
 	Greedy
 )
+
+// Algorithms lists the selectable strategies in the paper's order.
+func Algorithms() []Algorithm { return []Algorithm{IDA, RBFS, AStar, Greedy} }
+
+// CLIName returns the lowercase name ParseAlgorithm accepts for a.
+func (a Algorithm) CLIName() string {
+	if a == AStar {
+		return "astar" // String() is the paper's "A*"; flags avoid the shell glob
+	}
+	return strings.ToLower(a.String())
+}
+
+// AlgorithmNames returns the CLI name of every algorithm in presentation
+// order. It is the single source of truth behind flag help text and
+// ParseAlgorithm's error message, so neither can drift from the parser.
+func AlgorithmNames() []string {
+	algos := Algorithms()
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = a.CLIName()
+	}
+	return out
+}
+
+// ParseAlgorithm resolves a CLI algorithm name ("ida", "rbfs", "astar" or
+// "a*", "greedy"), case-insensitively. The error for an unknown name
+// enumerates every valid one.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	name := strings.ToLower(s)
+	if name == "a*" {
+		return AStar, nil
+	}
+	for _, a := range Algorithms() {
+		if a.CLIName() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("search: unknown algorithm %q (valid: %s)", s, strings.Join(AlgorithmNames(), ", "))
+}
 
 // String names the algorithm as in the paper.
 func (a Algorithm) String() string {

@@ -351,11 +351,26 @@ func ReadInstanceString(s string) (*Instance, error) { return critio.ReadString(
 func WriteInstance(w io.Writer, inst *Instance) error { return critio.Write(w, inst) }
 
 // ParseHeuristic resolves a heuristic name ("h0", "h1", "h2", "h3",
-// "levenshtein", "euclid", "euclid-norm", "cosine").
+// "levenshtein", "euclid", "euclid-norm", "cosine", plus the extended
+// kinds). An unknown name yields an error enumerating every valid one.
 func ParseHeuristic(s string) (Heuristic, error) { return heuristic.ParseKind(s) }
 
 // Heuristics lists all eight heuristics in the paper's order.
 func Heuristics() []Heuristic { return heuristic.Kinds() }
+
+// HeuristicNames returns the accepted name of every heuristic — the paper's
+// eight followed by the extended kinds. Command-line help is generated from
+// this list, so it cannot drift from what ParseHeuristic accepts.
+func HeuristicNames() []string { return heuristic.KindNames() }
+
+// ParseAlgorithm resolves a search-algorithm name ("ida", "rbfs", "astar"
+// or "a*", "greedy"), case-insensitively. An unknown name yields an error
+// enumerating every valid one.
+func ParseAlgorithm(s string) (Algorithm, error) { return search.ParseAlgorithm(s) }
+
+// AlgorithmNames returns the accepted name of every search algorithm, the
+// generated source of command-line help like HeuristicNames.
+func AlgorithmNames() []string { return search.AlgorithmNames() }
 
 // Post-processing (§2.1): the language L omits relational selection, so a
 // mapped instance is a superset of the target; σ and schema conformance are

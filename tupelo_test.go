@@ -74,6 +74,38 @@ func TestFacadeHeuristics(t *testing.T) {
 	}
 }
 
+// TestFacadeNameHelpers pins the single-source-of-truth name helpers the
+// CLIs build their flag help from: every listed name must parse back, and
+// a bogus name must fail with an error that enumerates the valid names.
+func TestFacadeNameHelpers(t *testing.T) {
+	names := tupelo.HeuristicNames()
+	if len(names) < 8 {
+		t.Fatalf("HeuristicNames too short: %v", names)
+	}
+	for _, n := range names {
+		if _, err := tupelo.ParseHeuristic(n); err != nil {
+			t.Fatalf("listed heuristic %q does not parse: %v", n, err)
+		}
+	}
+	algos := tupelo.AlgorithmNames()
+	if len(algos) < 4 {
+		t.Fatalf("AlgorithmNames too short: %v", algos)
+	}
+	for _, n := range algos {
+		if _, err := tupelo.ParseAlgorithm(n); err != nil {
+			t.Fatalf("listed algorithm %q does not parse: %v", n, err)
+		}
+	}
+	if _, err := tupelo.ParseAlgorithm("bogus"); err == nil ||
+		!strings.Contains(err.Error(), algos[0]) {
+		t.Fatalf("ParseAlgorithm error should enumerate valid names, got: %v", err)
+	}
+	if _, err := tupelo.ParseHeuristic("bogus"); err == nil ||
+		!strings.Contains(err.Error(), "cosine") {
+		t.Fatalf("ParseHeuristic error should enumerate valid names, got: %v", err)
+	}
+}
+
 func TestFacadeSimplify(t *testing.T) {
 	src := tupelo.MustDatabase(tupelo.MustRelation("R", []string{"A"}, tupelo.Tuple{"x"}))
 	expr, _ := tupelo.ParseExpr("rename_att[R,A->T]\nrename_att[R,T->B]")
