@@ -6,6 +6,7 @@
 //	tupelo-bench -exp 2          # Figs. 7 & 8 (BAMM deep-web matching)
 //	tupelo-bench -exp 3          # Fig. 9      (complex semantic mapping)
 //	tupelo-bench -exp calibrate  # scaling-constant table
+//	tupelo-bench -exp parallel   # hash-sharded parallel A* sweep (-workers)
 //	tupelo-bench -exp all
 //
 // The performance measure is the number of states examined, as in the
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, calibrate, scaling, hybrid, portfolio, all")
+	exp := flag.String("exp", "all", "experiment to run: 1, 2, 3, calibrate, scaling, hybrid, portfolio, parallel, all")
 	algoName := flag.String("algo", "", "restrict exp 1 to one algorithm ("+benchAlgoNames(" or ")+")")
 	domain := flag.String("domain", "Inventory", "exp 3 domain: Inventory or RealEstateII")
 	budget := flag.Int("budget", 50000, "state budget per run")
@@ -142,6 +143,8 @@ func main() {
 		err = runCalibrate(*ks, cfg, os.Stdout)
 	case "scaling":
 		err = runScaling(cfg, os.Stdout)
+	case "parallel":
+		err = runParallelSweep(cfg, os.Stdout)
 	case "hybrid":
 		err = runHybrid(cfg, os.Stdout)
 	case "portfolio":
@@ -153,6 +156,7 @@ func main() {
 			func() error { return runExp3(*domain, cfg, *tsv, os.Stdout) },
 			func() error { return runCalibrate(*ks, cfg, os.Stdout) },
 			func() error { return runScaling(cfg, os.Stdout) },
+			func() error { return runParallelSweep(cfg, os.Stdout) },
 			func() error { return runHybrid(cfg, os.Stdout) },
 			func() error { return runPortfolio(cfg, 0, os.Stdout) },
 		} {
@@ -349,6 +353,25 @@ func runScaling(cfg experiments.Config, w io.Writer) error {
 	if err := experiments.WriteScalingTable(w, rows); err != nil {
 		return err
 	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func runParallelSweep(cfg experiments.Config, w io.Writer) error {
+	fmt.Fprintln(w, "== Extension: hash-sharded parallel A* (DESIGN.md §10) ==")
+	opts := experiments.ParallelOptions{}
+	// -workers widens the sweep beyond the default {1, 2, 4} ladder.
+	if cfg.Workers > 4 {
+		opts.Workers = []int{1, 2, 4, cfg.Workers}
+	}
+	rows, err := experiments.RunParallelSweep(opts, cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteParallelTable(w, rows); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "(speedup is wall clock vs workers=1; on a single-core host it measures sharding overhead)")
 	fmt.Fprintln(w)
 	return nil
 }

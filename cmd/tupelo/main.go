@@ -67,7 +67,7 @@ func usage() {
   tupelo discover -source src.txt -target tgt.txt [-algo %s]
                   [-heuristic %s]
                   [-k N] [-max-states N] [-timeout DUR] [-max-mem SIZE]
-                  [-best-effort] [-workers N]
+                  [-best-effort] [-workers N] [-parallel]
                   [-portfolio default|SPEC,SPEC,...] [-retries N]
                   [-simplify] [-pretty] [-stats]
                   [-trace] [-trace-json FILE] [-trace-sample N]
@@ -141,6 +141,7 @@ func cmdDiscover(args []string) error {
 	bestEffort := fs.Bool("best-effort", false, "on a budget/deadline abort, emit the closest partial mapping instead of failing")
 	retries := fs.Int("retries", 0, "with -portfolio: restart budget for panicked or failed members")
 	workers := fs.Int("workers", 0, "successor-generation worker pool size (0 = GOMAXPROCS)")
+	parallel := fs.Bool("parallel", false, "shard one search across -workers goroutines by state hash (HDA*-style; implies -algo astar unless -algo greedy is given)")
 	portfolio := fs.String("portfolio", "", `race configurations: "default" or "algo/heur[/k],..." (overrides -algo/-heuristic/-k)`)
 	simplify := fs.Bool("simplify", false, "simplify the discovered expression")
 	pretty := fs.Bool("pretty", false, "also print paper-style notation")
@@ -171,6 +172,20 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *parallel {
+		// With -parallel, an untouched -algo default (rbfs) would be
+		// rejected by normalization; let it resolve to the sharded engine's
+		// default (A*) instead, while an explicit -algo stays authoritative.
+		algoSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if !algoSet {
+			algo = tupelo.AlgorithmUnset
+		}
+	}
 	heur, err := tupelo.ParseHeuristic(*heurName)
 	if err != nil {
 		return err
@@ -188,7 +203,8 @@ func cmdDiscover(args []string) error {
 			MaxHeapBytes: heapBudget,
 			BestEffort:   *bestEffort,
 		},
-		Workers: *workers,
+		Workers:        *workers,
+		ParallelSearch: *parallel,
 		// Correspondences may be declared on either instance; the union
 		// is available to the mapper.
 		Correspondences: append(append([]tupelo.Correspondence(nil), src.Corrs...), tgt.Corrs...),

@@ -105,6 +105,15 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		ctx = obs.NewContext(ctx, hooks)
 	}
 	prob := newProblem(source, target, opts)
+	if opts.ParallelSearch {
+		// The shard fleet is the parallelism: running each shard's
+		// expansions through a successor pool on top of it would
+		// oversubscribe the CPUs, so each shard applies operators inline.
+		// The memo switches to its sharded (locked) mode — Successors is
+		// about to be called from every shard goroutine.
+		prob.workers = 1
+		prob.sharded = true
+	}
 	est := heuristic.New(opts.Heuristic, target, opts.K)
 	cache := opts.Cache
 	if cache == nil {
@@ -137,7 +146,22 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 		// A*. Only sensible together with a small Limits.MaxStates.
 		sp = &uniqueKeyProblem{inner: prob}
 	}
-	sres, serr := search.RunContext(ctx, opts.Algorithm, sp, cachedEstimator(est, cache, hEval, opts.FaultHook, cacheLabel(opts)), opts.Limits)
+	h := cachedEstimator(est, cache, hEval, opts.FaultHook, cacheLabel(opts))
+	var sres *search.Result
+	var serr error
+	if opts.ParallelSearch {
+		// Hash-sharded single search (DESIGN.md §10): Workers shard
+		// goroutines split one frontier instead of racing configurations or
+		// parallelizing within expansions. normalize() restricted the
+		// algorithm to the best-first pair.
+		if opts.Algorithm == search.Greedy {
+			sres, serr = search.ParallelGreedySearch(ctx, sp, h, opts.Limits, opts.Workers)
+		} else {
+			sres, serr = search.ParallelAStar(ctx, sp, h, opts.Limits, opts.Workers)
+		}
+	} else {
+		sres, serr = search.RunContext(ctx, opts.Algorithm, sp, h, opts.Limits)
+	}
 	return finish(sres, serr, opts)
 }
 

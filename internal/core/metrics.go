@@ -61,6 +61,15 @@ type opMetrics struct {
 	poolSerial   *obs.Counter
 	poolOps      *obs.Counter
 	poolWidth    *obs.Gauge
+	// memoHits / memoMisses count successor-memo outcomes. They are the
+	// denominator that makes the per-op apply metrics honest: a hit skips
+	// the operator pipeline entirely, so core.op.apply.seconds and the
+	// proposed/applied counters sample only the misses (first expansions).
+	// Without these, "operators are fast" and "operators rarely ran" were
+	// indistinguishable — search.examined reported full throughput while
+	// the apply histograms saw <1% of expansions.
+	memoHits   *obs.Counter
+	memoMisses *obs.Counter
 }
 
 // newOpMetrics resolves the successor-generation instruments in reg, or
@@ -77,6 +86,8 @@ func newOpMetrics(reg *obs.Registry) *opMetrics {
 		poolSerial:   reg.Counter("core.pool.expansions.serial"),
 		poolOps:      reg.Counter("core.pool.ops"),
 		poolWidth:    reg.Gauge("core.pool.width.max"),
+		memoHits:     reg.Counter("core.succmemo.hits"),
+		memoMisses:   reg.Counter("core.succmemo.misses"),
 	}
 	for _, k := range opKindNames {
 		m.proposed[k] = reg.Counter(obs.Name("core.ops.proposed", "op", k))
@@ -105,6 +116,18 @@ func (m *opMetrics) count(op fira.Op, applied bool) {
 	m.proposed[k].Inc()
 	if applied {
 		m.applied[k].Inc()
+	}
+}
+
+// memo records one successor-memo lookup outcome.
+func (m *opMetrics) memo(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.memoHits.Inc()
+	} else {
+		m.memoMisses.Inc()
 	}
 }
 

@@ -35,7 +35,19 @@ type Options struct {
 	// heuristic evaluation, the embarrassingly parallel part of every
 	// expansion. 0 means GOMAXPROCS; 1 disables parallelism. The search
 	// result is identical either way — only wall-clock time changes.
+	// Under ParallelSearch the same count instead sizes the shard fleet
+	// (see below) and each shard expands with a single-threaded pool.
 	Workers int
+	// ParallelSearch runs one search sharded across Workers goroutines by
+	// state-key hash (HDA*-style, DESIGN.md §10) instead of parallelizing
+	// within each expansion. It requires (and, when Algorithm is unset,
+	// selects) best-first search: only search.AStar and search.Greedy order
+	// a global frontier the shards can partition. Results keep A*'s
+	// optimality but Stats.Examined becomes scheduling-dependent, and the
+	// exact move sequence may differ between worker counts when several
+	// optimal mappings exist. Incompatible with DisableCycleCheck, whose
+	// ablation wrapper mutates unsynchronized per-run state.
+	ParallelSearch bool
 	// Cache memoizes heuristic estimates across state re-examinations.
 	// Nil means a fresh private cache per run. A portfolio run injects a
 	// shared concurrency-safe cache here so members with the same
@@ -110,7 +122,21 @@ const defaultMaxStates = 1_000_000
 // resulting (Algorithm, Heuristic) pair, and Workers to GOMAXPROCS.
 func (o Options) normalize() (Options, error) {
 	if o.Algorithm == search.AlgorithmUnset {
-		o.Algorithm = search.RBFS
+		if o.ParallelSearch {
+			// Sharding partitions a best-first frontier; A* is the natural
+			// default when the caller asked for a parallel single search.
+			o.Algorithm = search.AStar
+		} else {
+			o.Algorithm = search.RBFS
+		}
+	}
+	if o.ParallelSearch {
+		if o.Algorithm != search.AStar && o.Algorithm != search.Greedy {
+			return o, fmt.Errorf("core: ParallelSearch requires a best-first algorithm (AStar or Greedy), got %s", o.Algorithm)
+		}
+		if o.DisableCycleCheck {
+			return o, fmt.Errorf("core: ParallelSearch is incompatible with DisableCycleCheck (the ablation wrapper is not concurrency-safe)")
+		}
 	}
 	if o.Heuristic == heuristic.Unset {
 		o.Heuristic = heuristic.Cosine

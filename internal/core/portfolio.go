@@ -56,7 +56,11 @@ type PortfolioOptions struct {
 	// are overridden. Tracer and Metrics are shared by every member —
 	// tracers are concurrency-safe by contract, so a portfolio race
 	// produces one interleaved event stream with member start/win/lose/
-	// cancel markers delimiting each member's run events.
+	// cancel markers delimiting each member's run events. Every member
+	// runs with Limits.Cooperative set (racing peers yield to each other);
+	// a base ParallelSearch request applies to best-first members only —
+	// each such member shards its per-member worker share — while tree-
+	// search members race sequentially.
 	Options Options
 	// MaxRetries is the total number of member restarts the race may spend
 	// recovering failed members before conceding, shared across all member
@@ -165,6 +169,15 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		o.Heuristic = cfg.Heuristic
 		o.K = cfg.K
 		o.Workers = perMember
+		// Racing members are CPU-bound peers: the cooperative yield in the
+		// search loop keeps one member from starving the others on fewer
+		// cores than members. Solitary (non-portfolio) runs never pay it.
+		o.Limits.Cooperative = true
+		// A base ParallelSearch request survives only on members whose
+		// algorithm the sharded engine supports; tree-search members race
+		// in their normal sequential form rather than erroring out.
+		o.ParallelSearch = base.ParallelSearch &&
+			(cfg.Algorithm == search.AStar || cfg.Algorithm == search.Greedy)
 		o, err := o.normalize()
 		if err != nil {
 			return member{}, fmt.Errorf("core: portfolio member %s: %w", cfg, err)

@@ -85,12 +85,25 @@ type mappingProblem struct {
 	// over 99% of expansions are of a state already expanded in the same run
 	// — and states are immutable, so the move list of a revisited state is
 	// identical by construction. A hit skips candidate generation, operator
-	// application, and heuristic pre-warming wholesale. Nil when memoization
-	// is disabled: under a Tracer or FaultHook, per-application events are
-	// the point, so every expansion must re-run (op-metrics counters stay on
-	// and simply count first expansions). Accessed only from the search
-	// goroutine; successor workers never touch it.
+	// application, and heuristic pre-warming wholesale.
+	//
+	// Sampling semantics: because hits bypass the operator pipeline, the
+	// per-operator apply metrics (core.op.apply.seconds and friends) and the
+	// EvOpApply trace stream observe only memo misses — in effect the first
+	// expansion of each distinct state. The core.succmemo.hits/.misses
+	// counters and the EvMemoHit/EvMemoMiss events carry the denominator, so
+	// consumers can reconstruct totals (a profile's "operator table samples
+	// misses only" line makes the same point). Nil only under a FaultHook,
+	// whose injected faults must fire on every expansion to stay
+	// deterministic. Successor workers never touch the memo; shard workers
+	// of a parallel search do, through memoGet/memoPut's sharded lock.
 	succMemo map[string][]search.Move
+	// sharded marks a problem driven by the hash-sharded parallel search:
+	// Successors is then called from several shard goroutines and memo
+	// access goes through memoMu. Single-threaded runs skip the lock
+	// entirely (the flag is set once, before the search starts).
+	sharded bool
+	memoMu  sync.RWMutex
 }
 
 // succMemoMax bounds the number of memoized expansions, a backstop against
@@ -119,7 +132,13 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 	}
 	p.tAttrsSorted = sortedKeys(p.tAttrs)
 	p.tRelsSorted = sortedKeys(p.tRels)
-	if opts.Tracer == nil && opts.FaultHook == nil {
+	if opts.FaultHook == nil {
+		// Memoization stays on under a Tracer: a traced run that re-applied
+		// every operator on every revisit was two orders of magnitude slower
+		// than the run it claimed to describe, and silently out-sampled the
+		// metrics-only configuration. The miss-only sampling this creates
+		// for per-op apply events is documented on succMemo and surfaced
+		// through EvMemoHit/EvMemoMiss.
 		p.succMemo = make(map[string][]search.Move)
 	}
 	for _, r := range target.Relations() {
@@ -163,8 +182,16 @@ func (p *mappingProblem) IsGoal(s search.State) bool {
 func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 	parent := s.(*dbState)
 	if p.succMemo != nil {
-		if moves, ok := p.succMemo[parent.key]; ok {
+		if moves, ok := p.memoGet(parent.key); ok {
+			p.met.memo(true)
+			if p.tracer != nil {
+				p.tracer.Event(obs.Event{Kind: obs.EvMemoHit})
+			}
 			return moves, nil
+		}
+		p.met.memo(false)
+		if p.tracer != nil {
+			p.tracer.Event(obs.Event{Kind: obs.EvMemoMiss})
 		}
 	}
 	db := parent.db
@@ -192,10 +219,34 @@ func (p *mappingProblem) Successors(s search.State) ([]search.Move, error) {
 		moves = append(moves, search.Move{Label: ops[i].String(), To: ns, Cost: 1})
 		p.met.count(ops[i], true)
 	}
-	if p.succMemo != nil && len(p.succMemo) < succMemoMax {
-		p.succMemo[parent.key] = moves
+	if p.succMemo != nil {
+		p.memoPut(parent.key, moves)
 	}
 	return moves, nil
+}
+
+// memoGet reads the successor memo; under a sharded parallel search it
+// takes the read lock, otherwise it is a bare map access.
+func (p *mappingProblem) memoGet(key string) ([]search.Move, bool) {
+	if p.sharded {
+		p.memoMu.RLock()
+		defer p.memoMu.RUnlock()
+	}
+	moves, ok := p.succMemo[key]
+	return moves, ok
+}
+
+// memoPut records an expansion, bounded by succMemoMax. Keys are owned by
+// exactly one shard (the parallel search routes same-key states to one
+// worker), so concurrent puts never disagree about a key's value.
+func (p *mappingProblem) memoPut(key string, moves []search.Move) {
+	if p.sharded {
+		p.memoMu.Lock()
+		defer p.memoMu.Unlock()
+	}
+	if len(p.succMemo) < succMemoMax {
+		p.succMemo[key] = moves
+	}
 }
 
 // expCtx is the per-expansion view of a state shared by every move

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"tupelo/internal/core"
+	"tupelo/internal/datagen"
+	"tupelo/internal/search"
+)
+
+// ParallelRow is one measurement of the parallel-search extension
+// experiment: the synthetic matching task of Experiment 1 discovered with
+// Options.ParallelSearch at a given shard-fleet size (DESIGN.md §10).
+type ParallelRow struct {
+	// Size is the schema size n (the task maps two n-attribute schemas).
+	Size int
+	// Workers is the shard count of the run.
+	Workers int
+	// Examined is the number of states examined, summed over all shards.
+	// It grows with Workers: idle shards speculatively expand local
+	// worse-f nodes while the goal path hops shard to shard.
+	Examined int
+	// Depth is the discovered expression length.
+	Depth    int
+	Duration time.Duration
+	// Speedup is the workers=1 wall clock of the same size divided by this
+	// run's wall clock. On a single-core host it measures sharding
+	// overhead and sits at or below 1.0; parallel gains need real cores.
+	Speedup float64
+}
+
+// ParallelOptions configures the sweep.
+type ParallelOptions struct {
+	// Sizes are the schema sizes to sweep; nil means {8, 12, 16}.
+	Sizes []int
+	// Workers are the shard counts to sweep; nil means {1, 2, 4}. A
+	// workers=1 row is always run first per size — it is the speedup
+	// baseline.
+	Workers []int
+	// Repeats is how many times each configuration runs; the fastest
+	// repetition is reported (these tasks finish in microseconds, so a
+	// single sample is scheduler noise). 0 means 3.
+	Repeats int
+}
+
+// RunParallelSweep measures hash-sharded parallel A* (Options.ParallelSearch)
+// across shard counts on the Experiment 1 matching workload, reporting
+// states examined, wall clock, and speedup versus one shard.
+func RunParallelSweep(opts ParallelOptions, cfg Config) ([]ParallelRow, error) {
+	cfg = cfg.withDefaults()
+	if opts.Sizes == nil {
+		opts.Sizes = []int{8, 12, 16}
+	}
+	if opts.Workers == nil {
+		opts.Workers = []int{1, 2, 4}
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 3
+	}
+	var out []ParallelRow
+	for _, n := range opts.Sizes {
+		src, tgt, err := datagen.MatchingPair(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parallel sweep size %d: %w", n, err)
+		}
+		var baseline time.Duration
+		workers := opts.Workers
+		if len(workers) == 0 || workers[0] != 1 {
+			workers = append([]int{1}, workers...)
+		}
+		for _, w := range workers {
+			row := ParallelRow{Size: n, Workers: w}
+			for rep := 0; rep < opts.Repeats; rep++ {
+				start := time.Now()
+				res, err := core.Discover(src, tgt, core.Options{
+					ParallelSearch: true,
+					Workers:        w,
+					Limits:         cfg.limits(),
+					Metrics:        cfg.Metrics,
+				})
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: parallel sweep size %d workers %d: %w", n, w, err)
+				}
+				if rep == 0 || elapsed < row.Duration {
+					row.Duration = elapsed
+					row.Examined = res.Stats.Examined
+					row.Depth = len(res.Expr)
+				}
+			}
+			if w == 1 {
+				baseline = row.Duration
+			}
+			if baseline > 0 && row.Duration > 0 {
+				row.Speedup = float64(baseline) / float64(row.Duration)
+			}
+			out = append(out, row)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "parallel n=%d workers=%d states=%d speedup=%.2f (%s)\n",
+					n, w, row.Examined, row.Speedup, row.Duration.Round(time.Microsecond))
+			}
+			if cfg.Collect != nil {
+				cfg.Collect(Measurement{
+					Experiment: "parallel",
+					Label:      fmt.Sprintf("workers=%d", w),
+					Param:      n,
+					Algorithm:  search.AStar,
+					States:     row.Examined,
+					PathLen:    row.Depth,
+					Duration:   row.Duration,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteParallelTable renders the sweep rows.
+func WriteParallelTable(w io.Writer, rows []ParallelRow) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "size\tworkers\tstates\tdepth\twall\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%s\t%.2f\n",
+			r.Size, r.Workers, r.Examined, r.Depth, r.Duration.Round(time.Microsecond), r.Speedup)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunParallelSweep(t *testing.T) {
+	var collected []Measurement
+	rows, err := RunParallelSweep(ParallelOptions{
+		Sizes:   []int{6},
+		Workers: []int{1, 2},
+		Repeats: 1,
+	}, Config{Budget: 50000, Collect: func(m Measurement) { collected = append(collected, m) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Depth != 6 {
+			t.Fatalf("matching a 6-attribute pair takes 6 renames, got depth %d (workers=%d)", r.Depth, r.Workers)
+		}
+		if r.Examined <= 0 || r.Duration <= 0 {
+			t.Fatalf("empty measurement: %+v", r)
+		}
+	}
+	if rows[0].Workers != 1 || rows[0].Speedup != 1.0 {
+		t.Fatalf("first row must be the workers=1 baseline with speedup 1.0: %+v", rows[0])
+	}
+	if rows[1].Speedup <= 0 {
+		t.Fatalf("speedup not computed: %+v", rows[1])
+	}
+	if len(collected) != 2 || collected[0].Experiment != "parallel" {
+		t.Fatalf("Collect hook saw %+v", collected)
+	}
+	var buf bytes.Buffer
+	if err := WriteParallelTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("table header missing:\n%s", buf.String())
+	}
+}
+
+func TestRunParallelSweepInsertsBaseline(t *testing.T) {
+	// A sweep that omits workers=1 still gets the baseline row prepended —
+	// speedup is meaningless without it.
+	rows, err := RunParallelSweep(ParallelOptions{
+		Sizes:   []int{4},
+		Workers: []int{2},
+		Repeats: 1,
+	}, Config{Budget: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Workers != 1 {
+		t.Fatalf("baseline row not inserted: %+v", rows)
+	}
+}

@@ -27,6 +27,8 @@ type ProfileCheckpoint struct {
 	Examined    int64 `json:"examined"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	MemoHits    int64 `json:"memo_hits"`
+	MemoMisses  int64 `json:"memo_misses"`
 }
 
 // OpProfile aggregates one operator kind: how many applications were
@@ -75,6 +77,8 @@ type Profile struct {
 	moves       int64
 	cacheHits   int64
 	cacheMisses int64
+	memoHits    int64
+	memoMisses  int64
 
 	depthExpand map[int]int64
 	depthMoves  map[int]int64
@@ -185,6 +189,10 @@ func (p *Profile) Event(e Event) {
 		p.cacheHits++
 	case EvCacheMiss:
 		p.cacheMisses++
+	case EvMemoHit:
+		p.memoHits++
+	case EvMemoMiss:
+		p.memoMisses++
 	}
 }
 
@@ -195,6 +203,8 @@ func (p *Profile) checkpoint(offset time.Duration) {
 		Examined:    p.examined,
 		CacheHits:   p.cacheHits,
 		CacheMisses: p.cacheMisses,
+		MemoHits:    p.memoHits,
+		MemoMisses:  p.memoMisses,
 	})
 	if len(p.checkpoints) < profMaxCheckpoints {
 		return
@@ -256,6 +266,11 @@ func (p *Profile) WriteReport(w io.Writer) error {
 			p.cacheHits, p.cacheMisses,
 			100*float64(p.cacheHits)/float64(p.cacheHits+p.cacheMisses))
 	}
+	if p.memoHits+p.memoMisses > 0 {
+		fmt.Fprintf(&b, "successor memo: %d hits / %d misses (%.1f%% hit rate); operator table samples misses only\n",
+			p.memoHits, p.memoMisses,
+			100*float64(p.memoHits)/float64(p.memoHits+p.memoMisses))
+	}
 
 	if len(p.depthExpand) > 0 {
 		depths := make([]int, 0, len(p.depthExpand))
@@ -300,8 +315,12 @@ func (p *Profile) WriteReport(w io.Writer) error {
 			if n := c.CacheHits + c.CacheMisses; n > 0 {
 				hitRate = 100 * float64(c.CacheHits) / float64(n)
 			}
-			fmt.Fprintf(&b, "  +%-12s %8d states %10.0f states/sec %6.1f%% cache hits\n",
+			fmt.Fprintf(&b, "  +%-12s %8d states %10.0f states/sec %6.1f%% cache hits",
 				time.Duration(c.OffsetNS), c.Examined, rate, hitRate)
+			if n := c.MemoHits + c.MemoMisses; n > 0 {
+				fmt.Fprintf(&b, " %6.1f%% memo hits", 100*float64(c.MemoHits)/float64(n))
+			}
+			b.WriteByte('\n')
 			prev = c
 		}
 	}
@@ -377,6 +396,12 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 			events = append(events, chromeEvent{
 				Name: "cache hit rate", Ph: "C", PID: 1, TID: 1, TS: ts,
 				Args: map[string]any{"percent": 100 * float64(c.CacheHits) / float64(n)},
+			})
+		}
+		if n := c.MemoHits + c.MemoMisses; n > 0 {
+			events = append(events, chromeEvent{
+				Name: "memo hit rate", Ph: "C", PID: 1, TID: 1, TS: ts,
+				Args: map[string]any{"percent": 100 * float64(c.MemoHits) / float64(n)},
 			})
 		}
 		prev = c

@@ -186,6 +186,8 @@ func TestWriterTracerGoldenTranscript(t *testing.T) {
 		{Kind: EvOpApply, Label: "rename_att[Emp,nm->Name]", Goal: true, Elapsed: time.Microsecond}, // silent
 		{Kind: EvCacheMiss, Label: "cosine"}, // silent
 		{Kind: EvCacheHit, Label: "cosine"},  // silent
+		{Kind: EvMemoMiss},                   // silent
+		{Kind: EvMemoHit},                    // silent
 		{Kind: EvGoalTest, Seq: 2, Goal: true},
 		{Kind: EvExpand, Err: errors.New("bad state")},
 		{Kind: EvRunFinish, Label: "RBFS", Goal: true, N: 2, Elapsed: 5 * time.Millisecond},

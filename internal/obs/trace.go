@@ -50,6 +50,16 @@ const (
 	// *search.PanicError carrying the captured stack. Structural (at most a
 	// handful per run), so it is never down-sampled.
 	EvPanic
+	// EvMemoHit is a successor-memo hit: an expansion answered from the
+	// memoized move list without re-applying any operator. High-frequency
+	// (one per memoized expansion) and omitted from transcripts; it exists
+	// so profiles can tell "operators are cheap" apart from "operators were
+	// never run" — per-operator apply metrics sample only memo misses.
+	EvMemoHit
+	// EvMemoMiss is a successor-memo miss: the expansion ran the operator
+	// pipeline and its result was considered for memoization. Same
+	// transcript treatment as EvMemoHit.
+	EvMemoMiss
 )
 
 // String names the kind for transcripts and debugging.
@@ -81,6 +91,10 @@ func (k EventKind) String() string {
 		return "op-apply"
 	case EvPanic:
 		return "panic"
+	case EvMemoHit:
+		return "memo-hit"
+	case EvMemoMiss:
+		return "memo-miss"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -181,10 +195,11 @@ func (t *WriterTracer) Event(e Event) {
 		fmt.Fprintf(t.w, "member %s: cancelled (%s)\n", e.Label, e.Elapsed)
 	case EvPanic:
 		fmt.Fprintf(t.w, "panic in %s: %v\n", e.Label, e.Err)
-	case EvCacheHit, EvCacheMiss, EvOpApply:
-		// Omitted: one line per heuristic evaluation or operator apply
-		// would drown the transcript. Counters and histograms carry the
-		// aggregate; Collector, JSONTracer, or Profile carry the stream.
+	case EvCacheHit, EvCacheMiss, EvOpApply, EvMemoHit, EvMemoMiss:
+		// Omitted: one line per heuristic evaluation, operator apply, or
+		// memoized expansion would drown the transcript. Counters and
+		// histograms carry the aggregate; Collector, JSONTracer, or
+		// Profile carry the stream.
 	}
 }
 

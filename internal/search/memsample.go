@@ -1,0 +1,63 @@
+package search
+
+import (
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The heap-budget check used to call runtime.ReadMemStats inline from every
+// racing portfolio member (and would have from every shard worker of the
+// parallel single-search), and ReadMemStats stops the world: N concurrent
+// searches each paid a full STW pause every wallCheckInterval states, and the
+// pauses of one member stalled all the others. heapLiveBytes replaces it with
+// one process-wide sampler over the runtime/metrics package, whose reads are
+// lock-free snapshots of runtime-internal counters — no stop-the-world, no
+// coordination with the garbage collector.
+//
+// The sampled metric, /memory/classes/heap/objects:bytes, is the live-object
+// byte count the runtime exposes to runtime/metrics and corresponds to
+// MemStats.HeapAlloc (the quantity Limits.MaxHeapBytes documents), so budget
+// semantics are unchanged.
+
+// heapSampleTTL is how long one sample stays fresh. Concurrent searches
+// crossing their check cadence within the window share the cached value
+// instead of re-reading; a millisecond is far finer than the rate at which a
+// search can meaningfully move the heap between its own samples.
+const heapSampleTTL = time.Millisecond
+
+var heapSampler struct {
+	// refresh elects a single refresher when the sample is stale; losers use
+	// the cached value rather than queueing behind the winner.
+	refresh sync.Mutex
+	// bytes is the cached live-heap size; stamp the time it was read, as
+	// nanoseconds since the Unix epoch (0 = never sampled).
+	bytes atomic.Uint64
+	stamp atomic.Int64
+}
+
+// heapLiveBytes returns the current live-heap size, at most heapSampleTTL
+// stale. The first call in a process always samples fresh, so a hopeless
+// budget still aborts at the very first checked state.
+func heapLiveBytes() uint64 {
+	if s := heapSampler.stamp.Load(); s != 0 && time.Now().UnixNano()-s < int64(heapSampleTTL) {
+		return heapSampler.bytes.Load()
+	}
+	if !heapSampler.refresh.TryLock() {
+		// Someone else is refreshing right now; their result lands within
+		// microseconds, and the budget check tolerates wallCheckInterval
+		// states of slack anyway. One caveat: before the very first sample
+		// completes, the cached value is 0, which can only defer (never
+		// spuriously trigger) an abort by one check interval.
+		return heapSampler.bytes.Load()
+	}
+	defer heapSampler.refresh.Unlock()
+	var s [1]metrics.Sample
+	s[0].Name = "/memory/classes/heap/objects:bytes"
+	metrics.Read(s[:])
+	v := s[0].Value.Uint64()
+	heapSampler.bytes.Store(v)
+	heapSampler.stamp.Store(time.Now().UnixNano())
+	return v
+}

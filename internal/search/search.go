@@ -86,15 +86,26 @@ type Limits struct {
 	// is sampled every wallCheckInterval examined states, so an abort can
 	// overshoot the deadline by the time those states take to examine.
 	Deadline time.Time
-	// MaxHeapBytes aborts the search once the process heap (HeapAlloc)
-	// exceeds this many bytes, failing with an error matching both ErrLimit
-	// and ErrMemory. The heap is sampled via runtime.ReadMemStats every
-	// wallCheckInterval examined states — per-state sampling would dominate
-	// the search — so the abort fires within that many states of the budget
-	// being crossed. The budget is process-wide: portfolio members racing in
-	// one process share the heap and the first to sample past the budget
-	// aborts.
+	// MaxHeapBytes aborts the search once the process heap (live object
+	// bytes, MemStats.HeapAlloc) exceeds this many bytes, failing with an
+	// error matching both ErrLimit and ErrMemory. The heap is sampled every
+	// wallCheckInterval examined states through a process-wide runtime/metrics
+	// sampler (no stop-the-world, unlike runtime.ReadMemStats) whose reading
+	// may additionally be up to heapSampleTTL stale, so the abort fires within
+	// that many states of the budget being crossed. The budget is
+	// process-wide: portfolio members racing in one process share the heap
+	// and the first to sample past the budget aborts.
 	MaxHeapBytes uint64
+	// Cooperative makes the run yield the processor (runtime.Gosched) every
+	// 16 examined states. Searches are CPU-bound loops with no natural
+	// scheduling points; when several share fewer CPUs — portfolio members
+	// racing, shard workers of the parallel single-search — a run that gets a
+	// CPU first can otherwise hold it for a full async-preemption quantum
+	// (~10ms) before its competitors are scheduled at all. The portfolio
+	// runner and the parallel engines set this for their runs; a solitary
+	// search leaves it unset and pays nothing for scheduling points it does
+	// not need (pinned by BenchmarkExamine).
+	Cooperative bool
 	// BestEffort makes an aborted run (budget, deadline, or cancellation)
 	// carry the frontier state with the lowest heuristic value seen on
 	// Error.Partial, so callers can degrade to an approximate partial
@@ -411,14 +422,11 @@ func (c *counter) examine() error {
 	if c.lim.MaxStates > 0 && c.stats.Examined > c.lim.MaxStates {
 		return errStateBudget
 	}
-	if c.stats.Examined&15 == 0 {
-		// Searches are CPU-bound loops with no natural scheduling points.
-		// When several race in a portfolio on a machine with fewer CPUs
-		// than members, a member that gets a CPU first can otherwise run a
-		// full async-preemption quantum (~10ms) before the eventual winner
-		// is scheduled at all, making the race slower than the winner
-		// alone. Yielding every 16 states bounds that starvation; with an
-		// empty run queue Gosched is nearly free.
+	if c.lim.Cooperative && c.stats.Examined&15 == 0 {
+		// Yielding every 16 states bounds the starvation of competing runs
+		// (see Limits.Cooperative); with an empty run queue Gosched is
+		// nearly free. A solitary run has nothing to yield to and skips
+		// the scheduling point entirely.
 		c.mYields.Inc()
 		runtime.Gosched()
 	}
@@ -426,21 +434,16 @@ func (c *counter) examine() error {
 		return err
 	}
 	// The wall clock and the heap are sampled every wallCheckInterval
-	// states rather than per state: time.Now and especially ReadMemStats
-	// (which stops the world) are far more expensive than the atomic
-	// counting above. The phase is 1, not 0, so the very first examined
-	// state still catches an already-expired deadline or an already-blown
-	// heap budget.
+	// states rather than per state: time.Now and the heap sampler are far
+	// more expensive than the atomic counting above. The phase is 1, not 0,
+	// so the very first examined state still catches an already-expired
+	// deadline or an already-blown heap budget.
 	if c.stats.Examined&(wallCheckInterval-1) == 1 {
 		if !c.lim.Deadline.IsZero() && time.Now().After(c.lim.Deadline) {
 			return errWallDeadline
 		}
-		if c.lim.MaxHeapBytes > 0 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			if ms.HeapAlloc > c.lim.MaxHeapBytes {
-				return errHeapBudget
-			}
+		if c.lim.MaxHeapBytes > 0 && heapLiveBytes() > c.lim.MaxHeapBytes {
+			return errHeapBudget
 		}
 	}
 	return nil
@@ -456,9 +459,10 @@ const wallCheckInterval = 64
 // bestSeen tracks the frontier state with the lowest heuristic value
 // observed during a run, for best-effort degradation. The algorithms offer
 // every state whose h they compute; the path is materialized lazily (the
-// callback is invoked only on improvement) because IDA and RBFS mutate
-// their path slice in place. A mutex keeps the tracker safe should a future
-// algorithm offer candidates from worker goroutines.
+// callback is invoked only when the candidate improves on the best already
+// seen) because IDA and RBFS mutate their path slice in place. A mutex keeps
+// the tracker safe for concurrent offers from the parallel searches' shard
+// workers.
 type bestSeen struct {
 	mu   sync.Mutex
 	set  bool
@@ -470,14 +474,28 @@ type bestSeen struct {
 // offer records s as the best-effort candidate if its heuristic value beats
 // the current best. Ties keep the earlier state, so the result is
 // deterministic for a deterministic search order.
+//
+// The path callback is caller-supplied foreign code and may materialize a
+// slice copy, so it must not run under the mutex: shard workers of the
+// parallel searches offer candidates concurrently, and holding the lock
+// across the callback would serialize their hot paths on each other's copy
+// loops. Instead: check-improve under the lock, materialize outside it, and
+// re-check before installing — a concurrent offer that won the race in
+// between keeps its (better or equal, hence earlier) candidate.
 func (b *bestSeen) offer(s State, h int, path func() []Move) {
+	b.mu.Lock()
+	if b.set && h >= b.h {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	p := path()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.set && h >= b.h {
 		return
 	}
-	b.set, b.h, b.s = true, h, s
-	b.path = path()
+	b.set, b.h, b.s, b.path = true, h, s, p
 }
 
 // take returns the best candidate seen, or nil if none was offered.

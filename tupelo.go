@@ -122,13 +122,16 @@ type (
 // Search algorithms (§2.3).
 const (
 	// AlgorithmUnset is the zero Algorithm; it resolves to RBFS, the
-	// paper's overall best, so a zero-valued Options means "best known".
+	// paper's overall best, so a zero-valued Options means "best known"
+	// (under Options.ParallelSearch it resolves to AStar, the algorithm
+	// the hash-sharded engine partitions).
 	AlgorithmUnset = search.AlgorithmUnset
 	// IDA is Iterative Deepening A*.
 	IDA = search.IDA
 	// RBFS is Recursive Best-First Search, the paper's overall best.
 	RBFS = search.RBFS
-	// AStar is plain A* (ablation only; exponential memory).
+	// AStar is plain A*: historically ablation-only (exponential memory),
+	// now also the algorithm Options.ParallelSearch shards across workers.
 	AStar = search.AStar
 	// Greedy is greedy best-first search (ablation only).
 	Greedy = search.Greedy
