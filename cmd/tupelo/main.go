@@ -72,6 +72,7 @@ func usage() {
                   [-simplify] [-pretty] [-stats]
                   [-trace] [-trace-json FILE] [-trace-sample N]
                   [-profile FILE] [-trace-chrome FILE]
+                  [-report FILE] [-flight FILE] [-shard-inbox-cap N]
                   [-metrics] [-metrics-addr HOST:PORT] [-pprof-addr HOST:PORT]
                   (a portfolio SPEC is algo/heuristic or algo/heuristic/K,
                    e.g. -portfolio rbfs/cosine,ida/h1,rbfs/levenshtein/15)
@@ -151,6 +152,9 @@ func cmdDiscover(args []string) error {
 	profilePath := fs.String("profile", "", "write a per-run performance profile (text report) to FILE")
 	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event JSON profile (chrome://tracing, Perfetto) to FILE")
 	sampleN := fs.Int("trace-sample", 0, "forward only every Nth high-frequency trace event (0 or 1 = all)")
+	reportPath := fs.String("report", "", "write a tupelo-report/v1 run report (JSON) to FILE, even on an aborted run (analyze with tupelo-trace)")
+	flightPath := fs.String("flight", "", "arm the flight recorder; its rings are dumped as tupelo-flight/v1 JSONL to FILE only when the run dies abnormally (panic, memory abort, deadline)")
+	shardInboxCap := fs.Int("shard-inbox-cap", 0, "with -parallel: per-shard inbound channel capacity (0 = engine default)")
 	metrics := fs.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) to stderr after the run")
 	metricsAddr := fs.String("metrics-addr", "", "serve metrics over HTTP at HOST:PORT (/metrics; ?format=json) for the run's duration")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof at HOST:PORT (/debug/pprof/) for the run's duration")
@@ -199,9 +203,10 @@ func cmdDiscover(args []string) error {
 		Heuristic: heur,
 		K:         *k,
 		Limits: search.Limits{
-			MaxStates:    *maxStates,
-			MaxHeapBytes: heapBudget,
-			BestEffort:   *bestEffort,
+			MaxStates:     *maxStates,
+			MaxHeapBytes:  heapBudget,
+			BestEffort:    *bestEffort,
+			ShardInboxCap: *shardInboxCap,
 		},
 		Workers:        *workers,
 		ParallelSearch: *parallel,
@@ -250,12 +255,35 @@ func cmdDiscover(args []string) error {
 	if *sampleN > 1 && opts.Tracer != nil {
 		opts.Tracer = tupelo.SampleTracer(opts.Tracer, *sampleN)
 	}
+	// The report builder rides outside the sampling wrapper: its cache and
+	// shard accounting must see every event, not every Nth.
+	var reportBuilder *tupelo.ReportBuilder
+	if *reportPath != "" {
+		reportBuilder = tupelo.NewReportBuilder()
+		if opts.Tracer != nil {
+			opts.Tracer = tupelo.MultiTracer(opts.Tracer, reportBuilder)
+		} else {
+			opts.Tracer = reportBuilder
+		}
+	}
+	if *flightPath != "" {
+		f, ferr := os.Create(*flightPath)
+		if ferr != nil {
+			return fmt.Errorf("flight: %v", ferr)
+		}
+		defer f.Close()
+		fr := tupelo.NewFlightRecorder(0)
+		fr.SetAutoDump(f)
+		opts.Flight = fr
+	}
 	if *pprofAddr != "" {
 		if err := servePprof(*pprofAddr); err != nil {
 			return err
 		}
 	}
-	if *metrics || *metricsAddr != "" {
+	if *metrics || *metricsAddr != "" || *reportPath != "" {
+		// One registry, private to this run — which is exactly what the
+		// report's shard section needs to sum to the run aggregates.
 		reg := tupelo.NewMetrics()
 		opts.Metrics = reg
 		if *metricsAddr != "" {
@@ -276,6 +304,7 @@ func cmdDiscover(args []string) error {
 		defer cancel()
 	}
 	var res *tupelo.Result
+	var runErr error
 	if *portfolio != "" {
 		configs, perr := parsePortfolio(*portfolio)
 		if perr != nil {
@@ -286,29 +315,43 @@ func cmdDiscover(args []string) error {
 			Options:    opts,
 			MaxRetries: *retries,
 		})
-		if perr != nil {
-			return perr
-		}
-		res = pres.Result
-		if *stats {
-			for _, run := range pres.Runs {
-				status := "won"
-				if run.Err != nil {
-					status = "lost: " + run.Err.Error()
+		runErr = perr
+		if pres != nil {
+			res = pres.Result
+			if *stats {
+				for _, run := range pres.Runs {
+					status := "won"
+					if run.Err != nil {
+						status = "lost: " + run.Err.Error()
+					}
+					attempts := ""
+					if run.Attempts > 1 {
+						attempts = fmt.Sprintf(" attempts=%d", run.Attempts)
+					}
+					fmt.Fprintf(os.Stderr, "portfolio %-24s states=%-8d time=%-12s %s%s\n",
+						run.Config, run.Stats.Examined, run.Duration.Round(time.Microsecond), status, attempts)
 				}
-				attempts := ""
-				if run.Attempts > 1 {
-					attempts = fmt.Sprintf(" attempts=%d", run.Attempts)
-				}
-				fmt.Fprintf(os.Stderr, "portfolio %-24s states=%-8d time=%-12s %s%s\n",
-					run.Config, run.Stats.Examined, run.Duration.Round(time.Microsecond), status, attempts)
 			}
 		}
 	} else {
-		res, err = tupelo.DiscoverContext(ctx, src.DB, tgt.DB, opts)
-		if err != nil {
-			return err
+		res, runErr = tupelo.DiscoverContext(ctx, src.DB, tgt.DB, opts)
+	}
+	if *reportPath != "" {
+		// Written even when discovery failed: the report carries the abort
+		// cause and whatever the run learned before dying.
+		werr := writeFileWith(*reportPath, func(w io.Writer) error {
+			rep, berr := tupelo.BuildReport(res, runErr, src.DB, tgt.DB, opts, reportBuilder)
+			if berr != nil {
+				return berr
+			}
+			return tupelo.WriteRunReport(w, rep)
+		})
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "tupelo: report: %v\n", werr)
 		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if res.Partial {
 		// Best-effort degradation: the run was aborted but -best-effort asked

@@ -74,7 +74,13 @@ func DiscoverContext(ctx context.Context, source, target *relation.Database, opt
 	if err != nil {
 		return nil, err
 	}
-	return discoverNormalized(ctx, source, target, opts)
+	res, derr := discoverNormalized(ctx, source, target, opts)
+	// The search goroutines have all returned: if the run died in a way that
+	// requested a flight dump (panic, memory, deadline), flush it now, at
+	// the one point where no ring can still be written. Portfolio races
+	// flush at their own join point instead.
+	opts.Flight.FlushDump()
+	return res, derr
 }
 
 // discoverNormalized runs discovery on already-normalized options. Split
@@ -94,11 +100,12 @@ func discoverNormalized(ctx context.Context, source, target *relation.Database, 
 				opts.Tracer.Event(obs.Event{Kind: obs.EvPanic, Label: pe.Origin, Err: pe})
 			}
 			opts.Metrics.Counter(obs.Name("search.panics", "origin", "discover")).Inc()
+			opts.Flight.RequestDump("panic")
 			res, err = nil, &search.Error{Err: pe}
 		}
 	}()
-	hooks := obs.Obs{Metrics: opts.Metrics, Trace: opts.Tracer}
-	if hooks.Enabled() {
+	hooks := obs.Obs{Metrics: opts.Metrics, Trace: opts.Tracer, Flight: opts.Flight}
+	if hooks.Enabled() || hooks.Flight != nil {
 		// Hand metrics and tracing down to the search algorithms (run
 		// events, per-algorithm examined/generated counters) without
 		// widening their signatures.

@@ -90,6 +90,14 @@ type Options struct {
 	// pool utilization. The registry is race-safe and may be shared across
 	// runs; expose it with its WriteJSON/WritePrometheus/Handler methods.
 	Metrics *obs.Registry
+	// Flight, when non-nil, attaches the forensic flight recorder: every
+	// search goroutine (the sequential loop, each shard worker) records
+	// compact ring-buffered events at a few nanoseconds each, and the rings
+	// are dumped to the recorder's SetAutoDump writer when a run dies from a
+	// panic, memory-budget abort, or deadline. Like Metrics, the recorder
+	// may be shared by portfolio members; the dump is flushed only after all
+	// of a race's goroutines have joined.
+	Flight *obs.FlightRecorder
 	// FaultHook, when non-nil, is called at the fault-injection sites of
 	// the discovery hot path: heuristic evaluation (cache misses and
 	// worker-pool pre-warms, labelled with the run's cache label) and

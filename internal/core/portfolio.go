@@ -368,6 +368,11 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 		cancel() // losers stop at their next examined state
 	}
 
+	// Every member has reported (cancelled members included), so no search
+	// goroutine can still write a flight ring: flush a requested dump here,
+	// the race's join point.
+	base.Flight.FlushDump()
+
 	if winner == nil {
 		if base.Limits.BestEffort {
 			if best, ok := bestPartial(partials, target, base); ok {

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tupelo/internal/heuristic"
+	"tupelo/internal/obs"
+	"tupelo/internal/relation"
+	"tupelo/internal/search"
+)
+
+// BuildReport assembles the tupelo-report/v1 run report for one discovery:
+// the outcome and effort of the run, the effective branching factor, the
+// heuristic-quality profile of every heuristic kind along the found solution
+// path, the shard-balance section for parallel runs (read back from the
+// run's metrics registry), and — when a ReportBuilder traced the run — the
+// span tree, inbox-depth timeline, and cache/memo hit rates.
+//
+// res and runErr are the discovery outcome (either may be nil/non-nil as
+// returned by DiscoverContext or DiscoverPortfolio); opts must be the
+// options the run used. For the per-shard counters of the report to sum
+// exactly to the run aggregates, opts.Metrics must be a registry private to
+// this run — a shared registry accumulates across runs and the shard section
+// will say so honestly (ValidateRunReport rejects it).
+func BuildReport(res *Result, runErr error, source, target *relation.Database, opts Options, rb *obs.ReportBuilder) (*obs.RunReport, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	r := &obs.RunReport{
+		Schema:      obs.ReportSchema,
+		GeneratedAt: time.Now().UTC(),
+		Algorithm:   opts.Algorithm.String(),
+		Heuristic:   opts.Heuristic.String(),
+		K:           opts.K,
+		Workers:     opts.Workers,
+	}
+	switch {
+	case res != nil:
+		r.Solved = !res.Partial
+		r.Partial = res.Partial
+		stampStats(r, res.Stats)
+		if res.Partial && res.AbortErr != nil {
+			r.AbortCause = abortCause(res.AbortErr)
+		}
+	case runErr != nil:
+		r.Error = runErr.Error()
+		r.AbortCause = abortCause(runErr)
+		var serr *search.Error
+		if errors.As(runErr, &serr) {
+			stampStats(r, serr.Stats)
+		}
+	}
+	if r.Solved && r.Depth > 0 {
+		r.EBF = obs.EffectiveBranchingFactor(r.Examined, r.Depth)
+	}
+	if res != nil && !res.Partial && source != nil && target != nil {
+		if quality, err := heuristicProfile(res, source, target, opts, nil); err == nil {
+			r.HeuristicQuality = quality
+		}
+	}
+	if rb != nil {
+		root, timeline, caches, memo := rb.Skeleton()
+		r.Span = root
+		r.Caches = caches
+		r.Memo = memo
+		if opts.ParallelSearch {
+			r.Shards = shardReport(opts, timeline)
+			attachShardSpans(root, r.Shards)
+		}
+	} else if opts.ParallelSearch {
+		r.Shards = shardReport(opts, nil)
+	}
+	return r, nil
+}
+
+// stampStats copies search statistics into the report.
+func stampStats(r *obs.RunReport, st search.Stats) {
+	r.Examined = st.Examined
+	r.Generated = st.Generated
+	r.MaxFrontier = st.MaxFrontier
+	r.Iterations = st.Iterations
+	r.Depth = st.Depth
+}
+
+// abortCause extracts the stable cause vocabulary from a search error.
+func abortCause(err error) string {
+	var serr *search.Error
+	if errors.As(err, &serr) {
+		return serr.Cause()
+	}
+	return "error"
+}
+
+// HeuristicProfile replays the solution path of a solved result and profiles
+// heuristic kinds against the true remaining cost at each path state. With no
+// explicit kinds it profiles every paper heuristic (plus the configured one
+// when that is an extension); with kinds it profiles exactly those, in order.
+// opts must be the options the run used — the replay needs its λ registry and
+// the profile its scaling constants.
+func HeuristicProfile(res *Result, source, target *relation.Database, opts Options, kinds ...heuristic.Kind) ([]obs.HeuristicQuality, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if res == nil || res.Partial {
+		return nil, fmt.Errorf("core: heuristic profile needs a solved result")
+	}
+	return heuristicProfile(res, source, target, opts, kinds)
+}
+
+// heuristicProfile replays the found solution path — the discovered
+// expression applied one operator at a time to the source instance — and
+// profiles the requested heuristic kinds (every paper kind when kinds is
+// nil) against the true remaining cost at each state. With unit move costs
+// the state after i of D operators has true remaining cost D−i; the goal
+// state closes the profile at 0, where a good heuristic must also reach 0.
+func heuristicProfile(res *Result, source, target *relation.Database, opts Options, kinds []heuristic.Kind) ([]obs.HeuristicQuality, error) {
+	states := []*relation.Database{source}
+	cur := source
+	for _, op := range res.Expr {
+		next, err := op.Apply(cur, opts.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("core: replaying solution path: %v", err)
+		}
+		states = append(states, next)
+		cur = next
+	}
+	d := len(res.Expr)
+	if kinds == nil {
+		kinds = heuristic.Kinds()
+		used := false
+		for _, k := range kinds {
+			if k == opts.Heuristic {
+				used = true
+			}
+		}
+		if !used {
+			kinds = append(kinds, opts.Heuristic)
+		}
+	}
+	out := make([]obs.HeuristicQuality, 0, len(kinds))
+	for _, kind := range kinds {
+		k := heuristic.DefaultK(opts.Algorithm, kind)
+		if kind == opts.Heuristic {
+			k = opts.K
+		}
+		est := heuristic.New(kind, target, k)
+		q := obs.HeuristicQuality{
+			Kind: kind.String(),
+			K:    k,
+			Used: kind == opts.Heuristic,
+		}
+		for i, s := range states {
+			q.Samples = append(q.Samples, obs.HSample{
+				Depth:         i,
+				H:             est.Estimate(s),
+				TrueRemaining: d - i,
+			})
+		}
+		q.Finalize()
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// shardReport reads the per-shard counters back out of the run's metrics
+// registry and derives the balance analytics. Returns nil when the registry
+// holds no shard counters (metrics disabled, or the run never went
+// parallel).
+func shardReport(opts Options, timeline []obs.InboxSample) *obs.ShardReport {
+	if opts.Metrics == nil {
+		return nil
+	}
+	snap := opts.Metrics.Snapshot()
+	byShard := map[int]*obs.ShardStat{}
+	for name, v := range snap.Counters {
+		field, shard, ok := shardCounter(name)
+		if !ok {
+			continue
+		}
+		st := byShard[shard]
+		if st == nil {
+			st = &obs.ShardStat{Shard: shard}
+			byShard[shard] = st
+		}
+		switch field {
+		case "examined":
+			st.Examined = v
+		case "routed":
+			st.Routed = v
+		case "deferred":
+			st.Deferred = v
+		}
+	}
+	if len(byShard) == 0 {
+		return nil
+	}
+	sr := &obs.ShardReport{Workers: opts.Workers, InboxTimeline: timeline}
+	ids := make([]int, 0, len(byShard))
+	for id := range byShard {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sum, max int64
+	for _, id := range ids {
+		sr.Shards = append(sr.Shards, *byShard[id])
+		sum += byShard[id].Examined
+		if byShard[id].Examined > max {
+			max = byShard[id].Examined
+		}
+	}
+	if sum > 0 {
+		sr.ImbalancePermille = max * 1000 * int64(len(ids)) / sum
+	}
+	return sr
+}
+
+// shardCounter parses a per-shard counter name —
+// `search.shard.<field>{algo="...",shard="N"}` — into its field and shard
+// id. The inbox-depth gauge and other families return ok == false.
+func shardCounter(name string) (field string, shard int, ok bool) {
+	const prefix = "search.shard."
+	if !strings.HasPrefix(name, prefix) {
+		return "", 0, false
+	}
+	rest := name[len(prefix):]
+	brace := strings.IndexByte(rest, '{')
+	if brace < 0 {
+		return "", 0, false
+	}
+	field = rest[:brace]
+	switch field {
+	case "examined", "routed", "deferred":
+	default:
+		return "", 0, false
+	}
+	const marker = `shard="`
+	i := strings.Index(rest[brace:], marker)
+	if i < 0 {
+		return "", 0, false
+	}
+	tail := rest[brace+i+len(marker):]
+	end := strings.IndexByte(tail, '"')
+	if end < 0 {
+		return "", 0, false
+	}
+	id, err := strconv.Atoi(tail[:end])
+	if err != nil {
+		return "", 0, false
+	}
+	return field, id, true
+}
+
+// attachShardSpans nests one span per shard under the parallel search span
+// of the span tree, so the tree reflects the full run → member → search →
+// shard hierarchy the report promises.
+func attachShardSpans(root *obs.Span, sr *obs.ShardReport) {
+	if root == nil || sr == nil {
+		return
+	}
+	var parallel *obs.Span
+	var find func(*obs.Span)
+	find = func(s *obs.Span) {
+		if s.Kind == "search" && strings.HasPrefix(s.Name, "P") {
+			parallel = s
+		}
+		for _, c := range s.Children {
+			find(c)
+		}
+	}
+	find(root)
+	if parallel == nil {
+		parallel = root
+	}
+	for _, sh := range sr.Shards {
+		parallel.Children = append(parallel.Children, &obs.Span{
+			Name:     "shard-" + strconv.Itoa(sh.Shard),
+			Kind:     "shard",
+			StartNS:  parallel.StartNS,
+			Examined: int(sh.Examined),
+		})
+	}
+}

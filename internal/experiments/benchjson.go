@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
 	"tupelo/internal/obs"
@@ -44,6 +45,26 @@ type BenchMeasurement struct {
 	Censored   bool   `json:"censored"`
 	PathLen    int    `json:"path_len,omitempty"`
 	ElapsedNS  int64  `json:"elapsed_ns"`
+	// HAccuracy is the run heuristic's quality score ∈ [0,1] along the found
+	// solution path (tupelo-report/v1 semantics); 0 when censored or when
+	// the heuristic has no signal. Added in a schema-compatible way: older
+	// reports simply omit it.
+	HAccuracy float64 `json:"h_accuracy,omitempty"`
+}
+
+// BenchQuality aggregates the heuristic-quality scores of a report's
+// measurements for one heuristic kind, the per-kind rollup the tupelo-trace
+// heuristic analyzer ranks. MeanStates averages over every run of the kind —
+// censored runs included at their recorded (saturated) states count, exactly
+// as the paper's log-scale plots count them — while MeanAccuracy averages
+// over solved runs only, since censored runs have no solution path to
+// profile.
+type BenchQuality struct {
+	Heuristic    string  `json:"heuristic"`
+	Runs         int     `json:"runs"`
+	Solved       int     `json:"solved"`
+	MeanStates   float64 `json:"mean_states"`
+	MeanAccuracy float64 `json:"mean_accuracy"`
 }
 
 // BenchAggregate summarizes a report's measurements; StatesPerSec is the
@@ -68,7 +89,12 @@ type BenchReport struct {
 	Config       BenchConfig        `json:"config"`
 	Measurements []BenchMeasurement `json:"measurements"`
 	Aggregate    BenchAggregate     `json:"aggregate"`
-	Metrics      *obs.Snapshot      `json:"metrics,omitempty"`
+	// Quality is the per-heuristic rollup of the measurements' h_accuracy
+	// scores, sorted by ascending mean states (best-performing kind first).
+	// Optional in the schema: reports from versions without the quality
+	// profiler omit it.
+	Quality []BenchQuality `json:"quality,omitempty"`
+	Metrics *obs.Snapshot  `json:"metrics,omitempty"`
 }
 
 // NewBenchReport assembles a report from an experiment's measurements and
@@ -103,6 +129,7 @@ func NewBenchReport(experiment string, cfg Config, ms []Measurement) *BenchRepor
 			Censored:   m.Censored,
 			PathLen:    m.PathLen,
 			ElapsedNS:  int64(m.Duration),
+			HAccuracy:  m.HAccuracy,
 		})
 		r.Aggregate.TotalStates += int64(m.States)
 		r.Aggregate.TotalElapsedNS += int64(m.Duration)
@@ -117,7 +144,47 @@ func NewBenchReport(experiment string, cfg Config, ms []Measurement) *BenchRepor
 		r.Aggregate.StatesPerSec = float64(r.Aggregate.TotalStates) /
 			(float64(r.Aggregate.TotalElapsedNS) / float64(time.Second))
 	}
+	r.Quality = aggregateQuality(r.Measurements)
 	return r
+}
+
+// aggregateQuality rolls the measurements up into one BenchQuality row per
+// heuristic kind, sorted by ascending mean states so the paper's performance
+// ordering reads top to bottom.
+func aggregateQuality(ms []BenchMeasurement) []BenchQuality {
+	byKind := map[string]*BenchQuality{}
+	var order []string
+	var accSum = map[string]float64{}
+	for _, m := range ms {
+		q := byKind[m.Heuristic]
+		if q == nil {
+			q = &BenchQuality{Heuristic: m.Heuristic}
+			byKind[m.Heuristic] = q
+			order = append(order, m.Heuristic)
+		}
+		q.Runs++
+		q.MeanStates += float64(m.States)
+		if m.Solved {
+			q.Solved++
+			accSum[m.Heuristic] += m.HAccuracy
+		}
+	}
+	out := make([]BenchQuality, 0, len(order))
+	for _, kind := range order {
+		q := byKind[kind]
+		q.MeanStates /= float64(q.Runs)
+		if q.Solved > 0 {
+			q.MeanAccuracy = accSum[kind] / float64(q.Solved)
+		}
+		out = append(out, *q)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanStates != out[j].MeanStates {
+			return out[i].MeanStates < out[j].MeanStates
+		}
+		return out[i].Heuristic < out[j].Heuristic
+	})
+	return out
 }
 
 // AttachMetrics snapshots the registry into the report.
@@ -174,8 +241,28 @@ func ValidateBenchReport(data []byte) error {
 		if m.Solved == m.Censored {
 			return fmt.Errorf("bench report: measurement %d: solved and censored must disagree", i)
 		}
+		if m.HAccuracy < 0 || m.HAccuracy > 1 {
+			return fmt.Errorf("bench report: measurement %d: h_accuracy %g outside [0,1]", i, m.HAccuracy)
+		}
 		states += int64(m.States)
 		elapsed += m.ElapsedNS
+	}
+	// Quality is optional (older reports omit it), but a present section
+	// must be internally consistent with the measurement list.
+	if len(r.Quality) > 0 {
+		runs := 0
+		for i, q := range r.Quality {
+			if q.Heuristic == "" || q.Runs <= 0 || q.Solved < 0 || q.Solved > q.Runs {
+				return fmt.Errorf("bench report: quality row %d inconsistent: %+v", i, q)
+			}
+			if q.MeanAccuracy < 0 || q.MeanAccuracy > 1 {
+				return fmt.Errorf("bench report: quality row %d: mean_accuracy %g outside [0,1]", i, q.MeanAccuracy)
+			}
+			runs += q.Runs
+		}
+		if runs != len(r.Measurements) {
+			return fmt.Errorf("bench report: quality rows cover %d runs, measurements list %d", runs, len(r.Measurements))
+		}
 	}
 	if r.Aggregate.Measurements != len(r.Measurements) {
 		return fmt.Errorf("bench report: aggregate counts %d measurements, found %d",

@@ -113,14 +113,15 @@ func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task ca
 		Algorithm:  algo,
 		Heuristic:  kind,
 	}
-	start := time.Now()
-	res, err := core.Discover(task.src, task.tgt, core.Options{
+	opts := core.Options{
 		Algorithm: algo,
 		Heuristic: kind,
 		K:         k,
 		Limits:    cfg.limits(),
 		Metrics:   cfg.Metrics,
-	})
+	}
+	start := time.Now()
+	res, err := core.Discover(task.src, task.tgt, opts)
 	m.Duration = time.Since(start)
 	switch {
 	case err == nil && res.Partial:
@@ -130,6 +131,9 @@ func calibrateOne(algo search.Algorithm, kind heuristic.Kind, k float64, task ca
 	case err == nil:
 		m.States = res.Stats.Examined
 		m.PathLen = len(res.Expr)
+		if qs, qerr := core.HeuristicProfile(res, task.src, task.tgt, opts, kind); qerr == nil && len(qs) == 1 {
+			m.HAccuracy = qs[0].Accuracy
+		}
 	case errors.Is(err, search.ErrLimit):
 		m.States = cfg.Budget
 		m.Censored = true

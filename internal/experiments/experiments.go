@@ -43,6 +43,12 @@ type Measurement struct {
 	PathLen int
 	// Duration is wall-clock time, reported as secondary information only.
 	Duration time.Duration
+	// HAccuracy is the run heuristic's quality score ∈ [0,1] measured along
+	// the found solution path (obs.HeuristicQuality.Accuracy): how well the
+	// heuristic's estimates track the true remaining cost, scale-invariant.
+	// 0 for censored runs and for heuristics with no signal (h0 by
+	// construction scores exactly 0).
+	HAccuracy float64
 }
 
 // Config configures an experiment run.
@@ -111,8 +117,7 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 		Algorithm:  algo,
 		Heuristic:  kind,
 	}
-	start := time.Now()
-	res, err := core.Discover(src, tgt, core.Options{
+	opts := core.Options{
 		Algorithm:       algo,
 		Heuristic:       kind,
 		Registry:        reg,
@@ -120,7 +125,9 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 		Limits:          cfg.limits(),
 		Workers:         cfg.Workers,
 		Metrics:         cfg.Metrics,
-	})
+	}
+	start := time.Now()
+	res, err := core.Discover(src, tgt, opts)
 	m.Duration = time.Since(start)
 	switch {
 	case err == nil && res.Partial:
@@ -134,6 +141,13 @@ func run(exp, label string, param int, algo search.Algorithm, kind heuristic.Kin
 	case err == nil:
 		m.States = res.Stats.Examined
 		m.PathLen = len(res.Expr)
+		// Profile the run's own heuristic along the solution path it found.
+		// The replay is one estimator over PathLen+1 states — noise next to
+		// the search itself — and gives every bench measurement a quality
+		// score the analyzer can rank kinds by.
+		if qs, qerr := core.HeuristicProfile(res, src, tgt, opts, kind); qerr == nil && len(qs) == 1 {
+			m.HAccuracy = qs[0].Accuracy
+		}
 	case errors.Is(err, search.ErrLimit):
 		m.States = cfg.Budget
 		m.Censored = true

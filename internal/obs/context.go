@@ -2,14 +2,17 @@ package obs
 
 import "context"
 
-// Obs bundles the two observability hooks a run can carry: a metrics
-// registry and a tracer. Either or both may be nil; nil instruments are
-// no-ops, and Tracer() substitutes Nop for a nil tracer.
+// Obs bundles the observability hooks a run can carry: a metrics registry,
+// a tracer, and a flight recorder. Any or all may be nil; nil instruments
+// are no-ops, and Tracer() substitutes Nop for a nil tracer.
 type Obs struct {
 	// Metrics receives counters, gauges, and timers. Nil disables metrics.
 	Metrics *Registry
 	// Trace receives structured events. Nil disables tracing.
 	Trace Tracer
+	// Flight hands out per-goroutine forensic ring buffers. Nil disables
+	// the flight recorder (rings come back nil; Record is a nil check).
+	Flight *FlightRecorder
 }
 
 // Tracer returns the configured tracer, or Nop when none is set, so callers
@@ -21,7 +24,10 @@ func (o Obs) Tracer() Tracer {
 	return o.Trace
 }
 
-// Enabled reports whether either hook is configured.
+// Enabled reports whether the metrics or tracing hook is configured. The
+// flight recorder is deliberately excluded: it has its own (cheaper)
+// nil-ring gating, and a flight-only run should not pay for the
+// metrics/tracing instrumentation paths.
 func (o Obs) Enabled() bool { return o.Metrics != nil || o.Trace != nil }
 
 type ctxKey struct{}
@@ -31,7 +37,7 @@ type ctxKey struct{}
 // metrics and tracing down to the search algorithms without widening every
 // signature on the way.
 func NewContext(ctx context.Context, o Obs) context.Context {
-	if !o.Enabled() {
+	if !o.Enabled() && o.Flight == nil {
 		return ctx
 	}
 	return context.WithValue(ctx, ctxKey{}, o)

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exact exposition for a registry of
+// documented and undocumented families: HELP lines appear once per
+// documented family (including the derived timer families, which share the
+// base timer's text), undocumented families get only their TYPE line, and
+// sample ordering is stable.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("search.examined", "algo", "IDA")).Add(3)
+	r.Counter(Name("search.examined", "algo", "RBFS")).Add(7)
+	r.Counter("custom.counter").Inc()
+	r.Gauge(Name("search.shard.inbox.depth", "algo", "PA*", "shard", "0")).Set(5)
+	r.Timer(Name("portfolio.member.duration", "member", "rbfs/cosine")).Observe(2 * time.Second)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE tupelo_custom_counter counter
+tupelo_custom_counter 1
+# HELP tupelo_search_examined States examined (goal-tested) by the search, per algorithm.
+# TYPE tupelo_search_examined counter
+tupelo_search_examined{algo="IDA"} 3
+tupelo_search_examined{algo="RBFS"} 7
+# HELP tupelo_search_shard_inbox_depth Sampled inbox depth of one shard (every 64 examined states).
+# TYPE tupelo_search_shard_inbox_depth gauge
+tupelo_search_shard_inbox_depth{algo="PA*",shard="0"} 5
+# HELP tupelo_portfolio_member_duration_count Wall-clock duration of portfolio members, per member configuration.
+# TYPE tupelo_portfolio_member_duration_count counter
+tupelo_portfolio_member_duration_count{member="rbfs/cosine"} 1
+# HELP tupelo_portfolio_member_duration_seconds_total Wall-clock duration of portfolio members, per member configuration.
+# TYPE tupelo_portfolio_member_duration_seconds_total counter
+tupelo_portfolio_member_duration_seconds_total{member="rbfs/cosine"} 2
+# HELP tupelo_portfolio_member_duration_max_seconds Wall-clock duration of portfolio members, per member configuration.
+# TYPE tupelo_portfolio_member_duration_max_seconds gauge
+tupelo_portfolio_member_duration_max_seconds{member="rbfs/cosine"} 2
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition drifted from golden output.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusHistogramHelp checks the histogram path emits its HELP
+// line ahead of the TYPE header (the golden test above keeps histograms out
+// to stay readable — 35 bucket lines per family).
+func TestWritePrometheusHistogramHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Name("search.expand.seconds", "algo", "RBFS")).Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP tupelo_search_expand_seconds Latency of successor expansions.\n" +
+		"# TYPE tupelo_search_expand_seconds histogram\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestJSONTracerConcurrentWriters hammers one JSONTracer from many
+// goroutines (run under -race in CI) and checks the output is still valid
+// JSON Lines with nothing torn or lost: concurrent events must interleave
+// at line granularity.
+func TestJSONTracerConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONTracer(&buf)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Event(Event{Kind: EvGoalTest, Label: "RBFS", Seq: g*perG + i, Depth: i % 7})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON (%v): %s", lines, err, sc.Text())
+		}
+		if rec["kind"] != "goal-test" {
+			t.Fatalf("line %d: kind = %v", lines, rec["kind"])
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != goroutines*perG {
+		t.Fatalf("got %d lines, want %d (events lost or torn)", lines, goroutines*perG)
+	}
+}
+
+// TestSampleProperty is a property test over random event streams: for any
+// stream and any rate n, the sampled tracer (1) always forwards every
+// structural event (run and member kinds), (2) forwards exactly
+// ceil(k/n) of the k events of each high-frequency kind, and (3) preserves
+// relative order.
+func TestSampleProperty(t *testing.T) {
+	kinds := []EventKind{
+		EvRunStart, EvRunFinish, EvGoalTest, EvExpand, EvMove,
+		EvCacheHit, EvCacheMiss, EvMemberStart, EvMemberWin,
+		EvMemberLose, EvMemberCancel, EvOpApply, EvMemoHit, EvMemoMiss,
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(16)
+		streamLen := rng.Intn(2000)
+		sink := NewCollector()
+		tr := Sample(sink, n)
+
+		sent := make(map[EventKind]int)
+		var stream []Event
+		for i := 0; i < streamLen; i++ {
+			e := Event{Kind: kinds[rng.Intn(len(kinds))], Seq: i}
+			stream = append(stream, e)
+			sent[e.Kind]++
+			tr.Event(e)
+		}
+
+		got := sink.Events()
+		// (3) relative order: Seq must be strictly increasing.
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq <= got[i-1].Seq {
+				t.Fatalf("seed %d: order broken at %d: %d after %d", seed, i, got[i].Seq, got[i-1].Seq)
+			}
+		}
+		gotByKind := make(map[EventKind]int)
+		for _, e := range got {
+			gotByKind[e.Kind]++
+		}
+		for _, k := range kinds {
+			want := sent[k]
+			if int(k) < len(sampledKinds) && sampledKinds[k] {
+				// (2) one in n, first one always through: ceil(k/n).
+				want = (sent[k] + n - 1) / n
+			}
+			// (1) is the else branch: structural kinds pass 1:1.
+			if gotByKind[k] != want {
+				t.Fatalf("seed %d n=%d: kind %s forwarded %d of %d, want %d",
+					seed, n, k, gotByKind[k], sent[k], want)
+			}
+		}
+	}
+}

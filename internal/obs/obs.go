@@ -325,10 +325,62 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// promHelp documents the metric families the engine registers, keyed by the
+// emitted (tupelo_-prefixed) family name. WritePrometheus writes a "# HELP"
+// line for a family found here; unknown families (user-registered metrics)
+// get only their "# TYPE" line, which the exposition format permits.
+var promHelp = map[string]string{
+	"tupelo_search_examined":                 "States examined (goal-tested) by the search, per algorithm.",
+	"tupelo_search_generated":                "Successor states generated by expansions, per algorithm.",
+	"tupelo_search_yields":                   "Cooperative runtime.Gosched yields taken at the search loop's scheduling points.",
+	"tupelo_search_runs":                     "Search runs started, per algorithm.",
+	"tupelo_search_aborts":                   "Search runs aborted, per algorithm and cause (limit, deadline, memory, canceled, panic).",
+	"tupelo_search_panics":                   "Panics recovered inside search-owned goroutines, per origin.",
+	"tupelo_search_goaltest_seconds":         "Latency of goal-containment tests.",
+	"tupelo_search_expand_seconds":           "Latency of successor expansions.",
+	"tupelo_search_shard_examined":           "States examined by one shard of a parallel single search.",
+	"tupelo_search_shard_routed":             "States handed directly to their owning shard's inbox.",
+	"tupelo_search_shard_deferred":           "States parked in a shard's outbox because the owner's inbox was full.",
+	"tupelo_search_shard_inbox_depth":        "Sampled inbox depth of one shard (every 64 examined states).",
+	"tupelo_search_shard_imbalance_permille": "Sampled max/mean examined-states ratio across shards, scaled by 1000 (1000 = perfectly balanced).",
+	"tupelo_core_pool_expansions_parallel":   "Successor expansions evaluated on the worker pool.",
+	"tupelo_core_pool_expansions_serial":     "Successor expansions evaluated inline (pool disabled or unprofitable).",
+	"tupelo_core_pool_ops":                   "Candidate-operator applications submitted to the worker pool.",
+	"tupelo_core_pool_width_max":             "Largest expansion fan-out the worker pool has seen.",
+	"tupelo_core_succmemo_hits":              "Expansions answered from the successor memo without re-running operators.",
+	"tupelo_core_succmemo_misses":            "Expansions that ran the operator pipeline.",
+	"tupelo_core_ops_proposed":               "Candidate moves proposed, per operator.",
+	"tupelo_core_ops_applied":                "Candidate moves successfully applied, per operator.",
+	"tupelo_core_op_apply_seconds":           "Latency of candidate-operator applications, per operator (sampled on memo misses).",
+	"tupelo_heuristic_cache_hits":            "Heuristic-cache hits, per cache.",
+	"tupelo_heuristic_cache_misses":          "Heuristic-cache misses, per cache.",
+	"tupelo_heuristic_cache_entries":         "Heuristic-cache resident entries, per cache.",
+	"tupelo_heuristic_eval_seconds":          "Latency of heuristic evaluations (cache misses), per heuristic.",
+	"tupelo_portfolio_member_duration":       "Wall-clock duration of portfolio members, per member configuration.",
+	"tupelo_portfolio_wins":                  "Races won, per member configuration.",
+	"tupelo_portfolio_retries":               "Member restarts after a panic or failure, per member configuration.",
+	"tupelo_portfolio_partial":               "Best-effort partial results adopted after every member lost, per member configuration.",
+}
+
+// helpFamily maps an emitted family name to its promHelp key: derived timer
+// families (_count, _seconds_total, _max_seconds) share their base timer's
+// entry.
+func helpFamily(base string) string {
+	for _, suffix := range [...]string{"_count", "_seconds_total", "_max_seconds"} {
+		if trimmed, ok := strings.CutSuffix(base, suffix); ok {
+			if _, known := promHelp[trimmed]; known {
+				return trimmed
+			}
+		}
+	}
+	return base
+}
+
 // WritePrometheus writes the Prometheus text exposition format (version
-// 0.0.4): one "# TYPE" line per metric family followed by its samples,
-// dotted base names rewritten to a tupelo_-prefixed underscore form with
-// any {label="value"} block preserved. Labeled series of one family sort
+// 0.0.4): one "# HELP" (for the families the engine documents) and one
+// "# TYPE" line per metric family followed by its samples, dotted base
+// names rewritten to a tupelo_-prefixed underscore form with any
+// {label="value"} block preserved. Labeled series of one family sort
 // adjacently (labels follow the base name lexically), so emitting the
 // header on each base-name change yields exactly one per family. Timers
 // emit _count and _seconds_total samples as the counter pair of a
@@ -340,6 +392,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	typeHeader := func(last *string, base, kind string) {
 		if base != *last {
+			if help, ok := promHelp[helpFamily(base)]; ok {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, help)
+			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
 			*last = base
 		}

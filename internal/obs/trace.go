@@ -60,6 +60,13 @@ const (
 	// pipeline and its result was considered for memoization. Same
 	// transcript treatment as EvMemoHit.
 	EvMemoMiss
+	// EvShardSample is a periodic shard-backpressure sample from a parallel
+	// single-search worker (every wallCheckInterval examined states): Label
+	// is the shard id, N the shard's inbox depth, Depth its outbox length,
+	// Seq the global examined ordinal at the sample. Moderate-frequency;
+	// omitted from transcripts, consumed by the run-report builder for the
+	// inbox-depth timeline.
+	EvShardSample
 )
 
 // String names the kind for transcripts and debugging.
@@ -95,6 +102,8 @@ func (k EventKind) String() string {
 		return "memo-hit"
 	case EvMemoMiss:
 		return "memo-miss"
+	case EvShardSample:
+		return "shard-sample"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -195,7 +204,7 @@ func (t *WriterTracer) Event(e Event) {
 		fmt.Fprintf(t.w, "member %s: cancelled (%s)\n", e.Label, e.Elapsed)
 	case EvPanic:
 		fmt.Fprintf(t.w, "panic in %s: %v\n", e.Label, e.Err)
-	case EvCacheHit, EvCacheMiss, EvOpApply, EvMemoHit, EvMemoMiss:
+	case EvCacheHit, EvCacheMiss, EvOpApply, EvMemoHit, EvMemoMiss, EvShardSample:
 		// Omitted: one line per heuristic evaluation, operator apply, or
 		// memoized expansion would drown the transcript. Counters and
 		// histograms carry the aggregate; Collector, JSONTracer, or

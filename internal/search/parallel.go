@@ -44,10 +44,11 @@ func shardOf(key string, n int) int {
 	return int(h % uint32(n))
 }
 
-// shardInboxCap is the per-shard inbound channel capacity. Full channels are
-// never blocked on while a worker holds expandable nodes: sends that would
-// block fall back to a per-worker outbox (counted as deferred) and are
-// flushed opportunistically, so routing cannot deadlock.
+// shardInboxCap is the default per-shard inbound channel capacity
+// (Limits.ShardInboxCap overrides it). Full channels are never blocked on
+// while a worker holds expandable nodes: sends that would block fall back to
+// a per-worker outbox (counted as deferred) and are flushed
+// opportunistically, so routing cannot deadlock.
 const shardInboxCap = 1024
 
 // incumbent is the best goal found so far, shared by all shards. Once set,
@@ -134,6 +135,13 @@ type parRun struct {
 	inc  *incumbent
 	c    *counter // run-level events, instruments, best-effort tracker
 	seqs atomic.Int64
+
+	// shardExamined holds every shard's examined counter so any worker can
+	// compute the live imbalance gauge on its sampling cadence; nil without
+	// metrics. gImbalance is the run-wide imbalance gauge (permille, since
+	// gauges are integers: 1000 = perfectly balanced).
+	shardExamined []*obs.Counter
+	gImbalance    *obs.Gauge
 }
 
 // runStop carries the first failure that stopped the run; a nil-error stop
@@ -183,6 +191,11 @@ type parWorker struct {
 	mExamined *obs.Counter
 	mRouted   *obs.Counter
 	mDeferred *obs.Counter
+	gInbox    *obs.Gauge
+
+	// ring is this shard's flight-recorder ring (nil without a recorder);
+	// written only from the worker's own goroutine.
+	ring *obs.FlightRing
 }
 
 // ParallelAStar is A* over a hash-sharded frontier: the open list and the
@@ -238,8 +251,12 @@ func parallelBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, 
 		inc:   newIncumbent(),
 		c:     c,
 	}
+	inboxCap := lim.ShardInboxCap
+	if inboxCap <= 0 {
+		inboxCap = shardInboxCap
+	}
 	for i := range r.inbox {
-		r.inbox[i] = make(chan *node, shardInboxCap)
+		r.inbox[i] = make(chan *node, inboxCap)
 	}
 
 	start := p.Start()
@@ -257,9 +274,17 @@ func parallelBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits, 
 				w.mExamined = m.Counter(obs.Name("search.shard.examined", "algo", parallelAlgoName, "shard", shard))
 				w.mRouted = m.Counter(obs.Name("search.shard.routed", "algo", parallelAlgoName, "shard", shard))
 				w.mDeferred = m.Counter(obs.Name("search.shard.deferred", "algo", parallelAlgoName, "shard", shard))
+				w.gInbox = m.Gauge(obs.Name("search.shard.inbox.depth", "algo", parallelAlgoName, "shard", shard))
+				r.shardExamined = append(r.shardExamined, w.mExamined)
 			}
 		}
+		// The ring is allocated here but written only from the worker's own
+		// goroutine (the goroutine-start edge orders this handoff).
+		w.ring = c.o.Flight.Ring("shard-" + strconv.Itoa(i))
 		ws[i] = w
+	}
+	if m := c.o.Metrics; m != nil {
+		r.gImbalance = m.Gauge(obs.Name("search.shard.imbalance.permille", "algo", parallelAlgoName))
 	}
 
 	// Root credit before the root is enqueued; the inbox has capacity, so
@@ -492,9 +517,11 @@ func (w *parWorker) deliver(n *node) {
 	select {
 	case r.inbox[dst] <- n:
 		w.mRouted.Inc()
+		w.ring.Record(obs.FKRoute, 0, int32(dst), 0)
 	default:
 		w.outbox = append(w.outbox, routedNode{dst: dst, n: n})
 		w.mDeferred.Inc()
+		w.ring.Record(obs.FKDefer, 0, int32(dst), int32(len(w.outbox)))
 	}
 }
 
@@ -524,8 +551,41 @@ func (w *parWorker) examineState() error {
 		if r.lim.MaxHeapBytes > 0 && heapLiveBytes() > r.lim.MaxHeapBytes {
 			return errHeapBudget
 		}
+		w.sampleShard(n)
 	}
 	return nil
+}
+
+// sampleShard publishes this shard's backpressure on the wall-check cadence:
+// the inbox-depth gauge, a flight record, an EvShardSample trace event, and —
+// reading every shard's examined counter — the run-wide imbalance gauge
+// (permille of the mean; 1000 = perfectly balanced, 2000 = the busiest shard
+// examined twice its fair share). n is the global examined ordinal.
+func (w *parWorker) sampleShard(n int64) {
+	r := w.r
+	depth := len(r.inbox[w.id])
+	w.ring.Record(obs.FKInbox, uint32(n), int32(depth), int32(len(w.outbox)))
+	if !r.c.o.Enabled() {
+		return
+	}
+	w.gInbox.Set(int64(depth))
+	r.c.o.Tracer().Event(obs.Event{
+		Kind: obs.EvShardSample, Label: strconv.Itoa(w.id),
+		Seq: int(n), N: depth, Depth: len(w.outbox),
+	})
+	if r.gImbalance != nil && len(r.shardExamined) > 0 {
+		var sum, max int64
+		for _, c := range r.shardExamined {
+			v := c.Value()
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if sum > 0 {
+			r.gImbalance.Set(max * 1000 * int64(len(r.shardExamined)) / sum)
+		}
+	}
 }
 
 // isGoal mirrors counter.isGoal with an explicit sequence number (the global
@@ -533,11 +593,14 @@ func (w *parWorker) examineState() error {
 func (w *parWorker) isGoal(s State, g, seq int) bool {
 	c := w.r.c
 	if !c.o.Enabled() {
-		return w.r.p.IsGoal(s)
+		goal := w.r.p.IsGoal(s)
+		w.ring.Record(obs.FKExamine, uint32(seq), int32(g), flightBool(goal))
+		return goal
 	}
 	start := time.Now()
 	goal := w.r.p.IsGoal(s)
 	c.hGoalTest.Observe(time.Since(start))
+	w.ring.Record(obs.FKExamine, uint32(seq), int32(g), flightBool(goal))
 	c.o.Tracer().Event(obs.Event{Kind: obs.EvGoalTest, Seq: seq, Depth: g, Goal: goal})
 	return goal
 }
@@ -554,6 +617,7 @@ func (w *parWorker) expand(n *node, seq int) ([]Move, error) {
 		}
 		w.generated += len(moves)
 		c.mGenerated.Add(int64(len(moves)))
+		w.ring.Record(obs.FKExpand, uint32(seq), int32(n.g), int32(len(moves)))
 		return moves, nil
 	}
 	start := time.Now()
@@ -567,6 +631,7 @@ func (w *parWorker) expand(n *node, seq int) ([]Move, error) {
 	}
 	w.generated += len(moves)
 	c.mGenerated.Add(int64(len(moves)))
+	w.ring.Record(obs.FKExpand, uint32(seq), int32(n.g), int32(len(moves)))
 	tr.Event(obs.Event{Kind: obs.EvExpand, Seq: seq, Depth: n.g, N: len(moves), Elapsed: elapsed})
 	for _, m := range moves {
 		tr.Event(obs.Event{Kind: obs.EvMove, Label: m.Label, Depth: n.g})

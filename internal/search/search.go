@@ -106,6 +106,12 @@ type Limits struct {
 	// search leaves it unset and pays nothing for scheduling points it does
 	// not need (pinned by BenchmarkExamine).
 	Cooperative bool
+	// ShardInboxCap overrides the per-shard inbound channel capacity of the
+	// parallel single-searches (default shardInboxCap, 1024). Smaller caps
+	// force more outbox deferrals, larger caps buffer more routed nodes;
+	// the option exists for what-if runs driven by the tupelo-trace shard
+	// analyzer. Ignored by the sequential algorithms. Zero means default.
+	ShardInboxCap int
 	// BestEffort makes an aborted run (budget, deadline, or cancellation)
 	// carry the frontier state with the lowest heuristic value seen on
 	// Error.Partial, so callers can degrade to an approximate partial
@@ -382,6 +388,13 @@ type counter struct {
 	// check when the feature is off.
 	best *bestSeen
 
+	// ring is this run's flight-recorder ring; nil (Record is a nil check)
+	// when the context carries no FlightRecorder. The sequential algorithms
+	// run on one goroutine, so the counter's ring respects the recorder's
+	// single-writer discipline; the parallel engines give each shard worker
+	// its own ring instead.
+	ring *obs.FlightRing
+
 	// Pre-resolved instruments; nil (and therefore no-ops) without metrics.
 	mExamined  *obs.Counter
 	mGenerated *obs.Counter
@@ -398,6 +411,8 @@ func newCounter(ctx context.Context, algo string, lim Limits) *counter {
 	if lim.BestEffort {
 		c.best = &bestSeen{}
 	}
+	c.ring = c.o.Flight.Ring(algo)
+	c.ring.Record(obs.FKRunStart, 0, 0, 0)
 	if c.o.Enabled() {
 		c.start = time.Now()
 		if m := c.o.Metrics; m != nil {
@@ -532,13 +547,24 @@ func (c *counter) generated(n int) {
 // un-instrumented run takes the first branch and pays one bool check.
 func (c *counter) isGoal(p Problem, s State, g int) bool {
 	if !c.o.Enabled() {
-		return p.IsGoal(s)
+		goal := p.IsGoal(s)
+		c.ring.Record(obs.FKExamine, uint32(c.stats.Examined), int32(g), flightBool(goal))
+		return goal
 	}
 	start := time.Now()
 	goal := p.IsGoal(s)
 	c.hGoalTest.Observe(time.Since(start))
+	c.ring.Record(obs.FKExamine, uint32(c.stats.Examined), int32(g), flightBool(goal))
 	c.o.Tracer().Event(obs.Event{Kind: obs.EvGoalTest, Seq: c.stats.Examined, Depth: g, Goal: goal})
 	return goal
+}
+
+// flightBool encodes a bool into a flight-record payload field.
+func flightBool(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // expand produces the successors of s at search depth g, timing the
@@ -551,6 +577,7 @@ func (c *counter) expand(p Problem, s State, g int) ([]Move, error) {
 			return nil, err
 		}
 		c.generated(len(moves))
+		c.ring.Record(obs.FKExpand, uint32(c.stats.Examined), int32(g), int32(len(moves)))
 		return moves, nil
 	}
 	start := time.Now()
@@ -563,6 +590,7 @@ func (c *counter) expand(p Problem, s State, g int) ([]Move, error) {
 		return nil, err
 	}
 	c.generated(len(moves))
+	c.ring.Record(obs.FKExpand, uint32(c.stats.Examined), int32(g), int32(len(moves)))
 	tr.Event(obs.Event{Kind: obs.EvExpand, Seq: c.stats.Examined, Depth: g, N: len(moves), Elapsed: elapsed})
 	for _, m := range moves {
 		tr.Event(obs.Event{Kind: obs.EvMove, Label: m.Label, Depth: g})
@@ -591,6 +619,16 @@ func (c *counter) fail(err error) error {
 	if c.best != nil {
 		e.Partial = c.best.take()
 	}
+	cause := e.Cause()
+	c.ring.Record(obs.FKAbort, uint32(c.stats.Examined), causeCode(cause), 0)
+	switch cause {
+	case "panic", "memory", "deadline":
+		// The run died rather than merely losing a race or exhausting its
+		// space: mark the flight recorder for an automatic dump. Only the
+		// mark happens here (other goroutines may still be recording); the
+		// engine flushes once its workers are joined.
+		c.o.Flight.RequestDump(cause)
+	}
 	if c.o.Enabled() {
 		if m := c.o.Metrics; m != nil {
 			m.Counter(obs.Name("search.aborts", "algo", c.algo, "cause", e.Cause())).Inc()
@@ -603,11 +641,33 @@ func (c *counter) fail(err error) error {
 	return e
 }
 
+// causeCode maps the Error.Cause vocabulary to the stable numeric codes
+// carried in FKAbort flight records (the A payload).
+func causeCode(cause string) int32 {
+	switch cause {
+	case "panic":
+		return 1
+	case "deadline":
+		return 2
+	case "canceled":
+		return 3
+	case "memory":
+		return 4
+	case "limit":
+		return 5
+	case "exhausted":
+		return 6
+	default:
+		return 0
+	}
+}
+
 // finish stamps the final statistics on a successful result and emits the
 // run-finish event.
 func (c *counter) finish(res *Result) *Result {
 	res.Stats = c.stats
 	res.Stats.Depth = len(res.Path)
+	c.ring.Record(obs.FKRunFinish, uint32(res.Stats.Examined), 1, int32(res.Stats.Depth))
 	if c.o.Enabled() {
 		c.o.Tracer().Event(obs.Event{
 			Kind: obs.EvRunFinish, Label: c.algo, Goal: true,

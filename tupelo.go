@@ -258,6 +258,19 @@ type (
 	// latencies, and a states/sec timeline. Render it with WriteReport
 	// (text) or WriteChromeTrace (chrome://tracing / Perfetto JSON).
 	Profile = obs.Profile
+	// FlightRecorder is the always-on forensic event log: per-goroutine
+	// ring buffers of compact binary records, dumped as a tupelo-flight/v1
+	// JSONL stream when a run dies (panic, memory abort, deadline). Attach
+	// one through Options.Flight.
+	FlightRecorder = obs.FlightRecorder
+	// RunReport is the tupelo-report/v1 forensic run report: span tree,
+	// heuristic-quality profile, effective branching factor, cache hit
+	// rates, and shard balance. Assemble one with BuildReport.
+	RunReport = obs.RunReport
+	// ReportBuilder is a Tracer that captures the structural skeleton of a
+	// run (spans, shard samples, cache traffic) for BuildReport. Attach it
+	// through Options.Tracer (compose with MultiTracer to keep others).
+	ReportBuilder = obs.ReportBuilder
 )
 
 // Trace event kinds emitted during discovery and portfolio races.
@@ -313,6 +326,26 @@ func NewProfile() *Profile { return obs.NewProfile() }
 // expansions, moves, operator applies, cache traffic) to t, passing
 // structural run/portfolio events through unchanged. n <= 1 returns t.
 func SampleTracer(t Tracer, n int) Tracer { return obs.Sample(t, n) }
+
+// NewFlightRecorder returns a flight recorder whose rings hold ringSize
+// records each (<= 0 selects the default of 4096); direct its automatic
+// crash dumps with SetAutoDump.
+func NewFlightRecorder(ringSize int) *FlightRecorder { return obs.NewFlightRecorder(ringSize) }
+
+// NewReportBuilder returns a report builder whose root span starts now.
+func NewReportBuilder() *ReportBuilder { return obs.NewReportBuilder() }
+
+// BuildReport assembles the tupelo-report/v1 run report for one discovery:
+// pass the Result and error exactly as DiscoverContext returned them, the
+// instances and options of the run, and the ReportBuilder that traced it
+// (nil for a report without a span tree). For the shard section to sum
+// exactly, Options.Metrics must be a registry private to the run.
+func BuildReport(res *Result, runErr error, source, target *Database, opts Options, rb *ReportBuilder) (*RunReport, error) {
+	return core.BuildReport(res, runErr, source, target, opts, rb)
+}
+
+// WriteRunReport writes a run report as indented JSON.
+func WriteRunReport(w io.Writer, r *RunReport) error { return obs.WriteRunReport(w, r) }
 
 // Verify checks the discovery contract: evaluating expr on source yields a
 // database containing target.
