@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -72,10 +73,18 @@ type PortfolioOptions struct {
 	// space, budget and deadline aborts) and cancellations are never
 	// retried. 0 disables retries.
 	MaxRetries int
-	// RetryBackoff is the delay before a member's first restart, doubling
-	// with each further restart of the same slot and capped at 100ms so a
-	// crashy member cannot stall the race. 0 means 5ms.
+	// RetryBackoff scales the delay before a member's restarts: the delay
+	// ceiling doubles with each further restart of the same slot, capped at
+	// 100ms so a crashy member cannot stall the race, and the actual delay
+	// is drawn uniformly from [0, ceiling] (full jitter) so hedged retries
+	// across slots — or across a fleet of processes replaying the same
+	// failure — do not synchronize. 0 means a 5ms initial ceiling.
 	RetryBackoff time.Duration
+	// RetrySeed seeds the jitter's deterministic random source, so a fixed
+	// seed reproduces the exact restart schedule under test. 0 means seed 1;
+	// callers wanting decorrelated schedules across processes (the serve
+	// daemon) pass their own per-process seed.
+	RetrySeed int64
 }
 
 // PortfolioRun reports one member slot's outcome.
@@ -292,6 +301,12 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 	if retryDelay <= 0 {
 		retryDelay = defaultRetryBackoff
 	}
+	seed := popts.RetrySeed
+	if seed == 0 {
+		seed = 1
+	}
+	// Drawn only from the collector loop below, so the source needs no lock.
+	retryRNG := rand.New(rand.NewSource(seed))
 
 	runs := make([]PortfolioRun, len(members))
 	partials := make([]*Result, len(members))
@@ -331,7 +346,7 @@ func DiscoverPortfolio(ctx context.Context, source, target *relation.Database, p
 					}
 				}
 				base.Metrics.Counter(obs.Name("portfolio.retries", "member", next.cfg.String())).Inc()
-				launch(o.idx, o.attempt+1, next, retryBackoff(retryDelay, o.attempt))
+				launch(o.idx, o.attempt+1, next, retryBackoff(retryRNG, retryDelay, o.attempt))
 				continue // outstanding unchanged: the slot runs again
 			}
 			if errors.Is(fail, context.Canceled) {
@@ -400,16 +415,19 @@ const (
 )
 
 // retryBackoff is the delay before relaunching a slot whose attempt-th run
-// (0-based) just failed: base doubled per prior attempt, capped.
-func retryBackoff(base time.Duration, attempt int) time.Duration {
-	if attempt >= 10 {
-		return maxRetryBackoff
+// (0-based) just failed: full jitter over a capped exponential ceiling —
+// uniform in [0, min(base<<attempt, maxRetryBackoff)]. The ceiling keeps a
+// crashy member from stalling the race; the jitter keeps simultaneous
+// failures (several slots, or several processes replaying one fault) from
+// relaunching in lockstep.
+func retryBackoff(rng *rand.Rand, base time.Duration, attempt int) time.Duration {
+	ceiling := maxRetryBackoff
+	if attempt < 10 {
+		if d := base << attempt; d > 0 && d < maxRetryBackoff {
+			ceiling = d
+		}
 	}
-	d := base << attempt
-	if d > maxRetryBackoff || d <= 0 {
-		d = maxRetryBackoff
-	}
-	return d
+	return time.Duration(rng.Int63n(int64(ceiling) + 1))
 }
 
 // isPanicErr reports whether the member failure is a recovered panic.

@@ -38,6 +38,12 @@ const (
 	// SiteOpApply fires on candidate-operator applications in the successor
 	// worker pool. The label is the operator's textual form.
 	SiteOpApply
+	// SiteRepoWrite fires inside the mapping repository's commit path, after
+	// the entry's bytes have been partially written to the temp file but
+	// before the atomic rename. The label is the entry's repository key. A
+	// Panic fault here simulates a process crash mid-write: the torn temp
+	// file is left behind for the startup recovery scan to quarantine.
+	SiteRepoWrite
 )
 
 // String names the site for error messages and panic values.
@@ -47,6 +53,8 @@ func (s Site) String() string {
 		return "heuristic-eval"
 	case SiteOpApply:
 		return "op-apply"
+	case SiteRepoWrite:
+		return "repo-write"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}

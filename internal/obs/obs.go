@@ -360,6 +360,26 @@ var promHelp = map[string]string{
 	"tupelo_portfolio_wins":                  "Races won, per member configuration.",
 	"tupelo_portfolio_retries":               "Member restarts after a panic or failure, per member configuration.",
 	"tupelo_portfolio_partial":               "Best-effort partial results adopted after every member lost, per member configuration.",
+	"tupelo_repo_entries":                    "Committed mapping entries resident in the repository index.",
+	"tupelo_repo_hits":                       "Repository lookups answered by a committed entry.",
+	"tupelo_repo_misses":                     "Repository lookups with no committed entry for the fingerprint pair.",
+	"tupelo_repo_puts":                       "Entries committed to the repository (atomic temp+rename writes).",
+	"tupelo_repo_quarantined":                "Corrupt or torn repository files moved to quarantine/ during recovery.",
+	"tupelo_server_jobs_admitted":            "Jobs admitted past quota, breaker, and queue checks.",
+	"tupelo_server_jobs_rejected":            "Jobs rejected at admission, per reason (queue-full, tenant-quota, breaker-open, draining, bad-request, abandoned).",
+	"tupelo_server_jobs_completed":           "Jobs that ran to a response, per outcome (solved, partial).",
+	"tupelo_server_jobs_failed":              "Jobs that ran and failed, per abort cause.",
+	"tupelo_server_jobs_running":             "Jobs currently holding an execution slot.",
+	"tupelo_server_queue_depth":              "Admitted jobs waiting for an execution slot.",
+	"tupelo_server_job_duration":             "Wall-clock duration of job execution, queue wait excluded.",
+	"tupelo_server_repo_hits":                "Job submissions answered from the mapping repository without a search.",
+	"tupelo_server_repo_misses":              "Job submissions that required a fresh search.",
+	"tupelo_server_repo_put_errors":          "Solved mappings that failed to commit to the repository.",
+	"tupelo_server_breaker_opens":            "Per-tenant circuit-breaker opens after consecutive fatal verdicts, per tenant.",
+	"tupelo_server_drains":                   "Graceful drains started (SIGTERM/Shutdown).",
+	"tupelo_server_drain_cancelled":          "In-flight jobs cancelled at the drain deadline (best-effort partials persisted).",
+	"tupelo_server_forensics_dumps":          "Flight-recorder dumps persisted for failed jobs.",
+	"tupelo_server_forensics_reports":        "Run reports persisted to the forensics directory.",
 }
 
 // helpFamily maps an emitted family name to its promHelp key: derived timer

@@ -1,0 +1,54 @@
+package repo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzEntryDecode asserts the two load-bearing decoder properties: DecodeEntry
+// never panics on arbitrary bytes, and any input it accepts re-encodes to a
+// byte-identical file (the on-disk form is canonical), which in turn decodes
+// to an identical entry.
+func FuzzEntryDecode(f *testing.F) {
+	good, err := EncodeEntry(&Entry{
+		Schema:    Schema,
+		Key:       strings.Repeat("ab", 32),
+		SourceKey: strings.Repeat("ab", 16),
+		TargetKey: strings.Repeat("ab", 16),
+		Expr:      "rename_rel[Emp->Employee]",
+		Algorithm: "rbfs",
+		Heuristic: "cosine",
+		K:         1000,
+		Examined:  7,
+		Tenant:    "acme",
+		CreatedAt: time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(""))
+	f.Add([]byte("{}\ncrc32c:00000000\n"))
+	f.Add([]byte("not json\ncrc32c:deadbeef"))
+	f.Add(bytes.Repeat([]byte("\n"), 10))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeEntry(e)
+		if err != nil {
+			t.Fatalf("decoded entry does not re-encode: %v", err)
+		}
+		e2, err := DecodeEntry(re)
+		if err != nil {
+			t.Fatalf("re-encoded entry does not decode: %v", err)
+		}
+		if *e2 != *e {
+			t.Fatalf("round trip mutated entry:\n got %+v\nwant %+v", e2, e)
+		}
+	})
+}

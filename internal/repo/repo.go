@@ -1,0 +1,369 @@
+// Package repo is a crash-safe on-disk repository of discovered mapping
+// expressions, keyed by the 16-byte Database.Key() fingerprints of the
+// (source, target) critical-instance pair. It is the persistence layer of
+// the tupelo-serve daemon: repeat discovery requests over the same pair are
+// repository hits, not searches.
+//
+// Durability model: one entry per file, written as temp-file + fsync +
+// atomic rename, so a committed entry is either fully present or absent —
+// never torn. Every entry carries a CRC-32C checksum of its payload; the
+// startup recovery scan verifies it and moves anything unreadable (torn
+// temp files from a crash mid-write, truncated or bit-rotted entries,
+// entries whose embedded key disagrees with their filename) into a
+// quarantine/ subdirectory instead of serving it or deleting evidence.
+package repo
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tupelo/internal/faults"
+	"tupelo/internal/obs"
+	"tupelo/internal/relation"
+)
+
+// Schema identifies the entry encoding; bump on incompatible change.
+const Schema = "tupelo-mapping/v1"
+
+// Entry is one stored mapping: the discovered expression for a (source,
+// target) fingerprint pair plus the provenance a server needs to answer a
+// repeat request without re-searching.
+type Entry struct {
+	// Schema is always the package Schema constant.
+	Schema string `json:"schema"`
+	// Key is the repository key: hex of the source fingerprint followed by
+	// hex of the target fingerprint (64 hex digits). See PairKey.
+	Key string `json:"key"`
+	// SourceKey and TargetKey are the hex-encoded 16-byte Database.Key()
+	// fingerprints of the pair, individually, for hub/composition indexing.
+	SourceKey string `json:"source_key"`
+	TargetKey string `json:"target_key"`
+	// Expr is the discovered mapping in fira's canonical textual form (one
+	// operator per line); fira.Parse reads it back.
+	Expr string `json:"expr"`
+	// Partial marks a best-effort prefix persisted by a draining server. A
+	// partial entry never satisfies a lookup for a complete mapping; it is
+	// upgraded in place when a later search completes.
+	Partial bool `json:"partial,omitempty"`
+	// Algorithm, Heuristic, K and Examined record how the mapping was found.
+	Algorithm string  `json:"algorithm,omitempty"`
+	Heuristic string  `json:"heuristic,omitempty"`
+	K         float64 `json:"k,omitempty"`
+	Examined  int     `json:"examined,omitempty"`
+	// Tenant is the submitting tenant, for provenance only — the repository
+	// is content-addressed, so tenants share identical mappings.
+	Tenant string `json:"tenant,omitempty"`
+	// CreatedAt is the commit time (UTC).
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// PairKey returns the repository key for a (source, target) pair: the two
+// 16-byte Database.Key() fingerprints hex-encoded and concatenated. The
+// fingerprints are fixed-width, so the concatenation is unambiguous, and
+// the key is filesystem- and URL-safe (64 lowercase hex digits).
+func PairKey(source, target *relation.Database) string {
+	return hex.EncodeToString([]byte(source.Key())) + hex.EncodeToString([]byte(target.Key()))
+}
+
+// keyLen is the exact length of a valid repository key.
+const keyLen = 64
+
+// ValidKey reports whether s is a well-formed repository key. Keys name
+// files, so anything else must be rejected before it reaches the
+// filesystem layer.
+func ValidKey(s string) bool {
+	if len(s) != keyLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// crcTable is the Castagnoli polynomial table used for entry checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeEntry renders an entry in the on-disk format: the JSON payload on
+// one line, then a trailer line "crc32c:HEX" over the payload bytes. The
+// trailer doubles as a commit marker — a torn write that lost the trailer
+// (or any suffix of it) fails DecodeEntry.
+func EncodeEntry(e *Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("repo: encode entry: %w", err)
+	}
+	var b bytes.Buffer
+	b.Write(payload)
+	fmt.Fprintf(&b, "\ncrc32c:%08x\n", crc32.Checksum(payload, crcTable))
+	return b.Bytes(), nil
+}
+
+// DecodeEntry parses and verifies the on-disk entry format. It never
+// panics on arbitrary input (fuzzed); any structural defect — missing
+// trailer, checksum mismatch, malformed JSON, wrong schema, bad key —
+// returns an error.
+func DecodeEntry(data []byte) (*Entry, error) {
+	payload, trailer, ok := bytes.Cut(data, []byte("\n"))
+	if !ok {
+		return nil, fmt.Errorf("repo: entry has no checksum trailer")
+	}
+	trailer = bytes.TrimSuffix(trailer, []byte("\n"))
+	hexSum, found := strings.CutPrefix(string(trailer), "crc32c:")
+	if !found || len(hexSum) != 8 {
+		return nil, fmt.Errorf("repo: malformed checksum trailer %q", trailer)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(hexSum, "%08x", &want); err != nil {
+		return nil, fmt.Errorf("repo: malformed checksum %q", hexSum)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("repo: checksum mismatch: entry says %08x, payload is %08x", want, got)
+	}
+	var e Entry
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("repo: decode entry: %w", err)
+	}
+	if e.Schema != Schema {
+		return nil, fmt.Errorf("repo: unknown entry schema %q (want %q)", e.Schema, Schema)
+	}
+	if !ValidKey(e.Key) {
+		return nil, fmt.Errorf("repo: invalid entry key %q", e.Key)
+	}
+	return &e, nil
+}
+
+// Options configures Open.
+type Options struct {
+	// Metrics, when non-nil, receives repo.* counters and gauges
+	// (entries, puts, hits, misses, quarantined).
+	Metrics *obs.Registry
+	// FaultHook, when non-nil, fires at faults.SiteRepoWrite inside the
+	// commit path (after a partial temp-file write, before the rename),
+	// labelled with the entry key. Test-only, like core.Options.FaultHook.
+	FaultHook func(faults.Site, string)
+}
+
+// Stats reports the outcome of the last recovery scan plus live counts.
+type Stats struct {
+	// Entries is the number of committed, readable entries.
+	Entries int
+	// Quarantined is how many files the recovery scan moved aside:
+	// torn temp files plus undecodable or misnamed entries.
+	Quarantined int
+}
+
+// Repo is an open repository. Safe for concurrent use: lookups take a
+// read lock on the in-memory index, commits serialize on a write lock
+// around the temp-write + rename sequence.
+type Repo struct {
+	dir   string
+	opts  Options
+	mu    sync.RWMutex
+	index map[string]*Entry
+	quar  int
+}
+
+// quarantineDir is the subdirectory that collects files the recovery scan
+// refused to serve.
+const quarantineDir = "quarantine"
+
+// Open opens (creating if necessary) a repository rooted at dir and runs
+// the recovery scan: leftover temp files and undecodable entries are moved
+// into dir/quarantine, every surviving entry is loaded into the in-memory
+// index. Opening never fails because of a corrupt entry — corruption is
+// quarantined, not fatal — only on I/O errors touching the directory
+// itself.
+func Open(dir string, opts Options) (*Repo, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("repo: open %s: %w", dir, err)
+	}
+	r := &Repo{dir: dir, opts: opts, index: make(map[string]*Entry)}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repo: open %s: %w", dir, err)
+	}
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		path := filepath.Join(dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			// A temp file can only survive a crash between its creation and
+			// the rename that would have committed it: a torn write.
+			r.quarantine(path, "torn temp file")
+			continue
+		}
+		key, isEntry := strings.CutSuffix(name, ".json")
+		if !isEntry {
+			continue // foreign file; leave it alone
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			r.quarantine(path, rerr.Error())
+			continue
+		}
+		e, derr := DecodeEntry(data)
+		if derr != nil {
+			r.quarantine(path, derr.Error())
+			continue
+		}
+		if e.Key != key {
+			// An entry that decodes but lives under the wrong name would be
+			// served for the wrong pair; that is corruption too.
+			r.quarantine(path, fmt.Sprintf("entry key %s under filename %s", e.Key, name))
+			continue
+		}
+		r.index[e.Key] = e
+	}
+	r.gauge("repo.entries").Set(int64(len(r.index)))
+	return r, nil
+}
+
+// quarantine moves a suspect file into the quarantine subdirectory,
+// suffixing the name on collision so repeated crashes never overwrite
+// earlier evidence. Failures to move are not fatal — the file is simply
+// skipped this run — but are counted.
+func (r *Repo) quarantine(path, reason string) {
+	base := filepath.Base(path)
+	dst := filepath.Join(r.dir, quarantineDir, base)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(r.dir, quarantineDir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dst); err == nil {
+		// Best-effort breadcrumb for the operator: why the file was pulled.
+		_ = os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	}
+	r.quar++
+	r.counter("repo.quarantined").Inc()
+}
+
+// Dir returns the repository root directory.
+func (r *Repo) Dir() string { return r.dir }
+
+// Stats returns live repository statistics.
+func (r *Repo) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Stats{Entries: len(r.index), Quarantined: r.quar}
+}
+
+// Get returns the committed entry for key, if any. Served from the
+// in-memory index — the recovery scan already paid for the disk reads.
+func (r *Repo) Get(key string) (*Entry, bool) {
+	r.mu.RLock()
+	e, ok := r.index[key]
+	r.mu.RUnlock()
+	if ok {
+		r.counter("repo.hits").Inc()
+	} else {
+		r.counter("repo.misses").Inc()
+	}
+	return e, ok
+}
+
+// Keys returns the committed keys in sorted order.
+func (r *Repo) Keys() []string {
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.index))
+	for k := range r.index {
+		keys = append(keys, k)
+	}
+	r.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Put commits an entry: atomic temp-file write + rename keyed by
+// e.Key, then index update. An existing complete entry is never
+// downgraded — a partial Put against a committed complete mapping is a
+// no-op (the complete answer is strictly better) — while a complete Put
+// upgrades a partial entry in place.
+func (r *Repo) Put(e *Entry) error {
+	if e == nil {
+		return fmt.Errorf("repo: nil entry")
+	}
+	if !ValidKey(e.Key) {
+		return fmt.Errorf("repo: invalid entry key %q", e.Key)
+	}
+	stamped := *e
+	stamped.Schema = Schema
+	if stamped.CreatedAt.IsZero() {
+		stamped.CreatedAt = time.Now().UTC()
+	}
+	data, err := EncodeEntry(&stamped)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.index[stamped.Key]; ok && stamped.Partial && !prev.Partial {
+		return nil
+	}
+	if err := r.commit(&stamped, data); err != nil {
+		return err
+	}
+	r.index[stamped.Key] = &stamped
+	r.counter("repo.puts").Inc()
+	r.gauge("repo.entries").Set(int64(len(r.index)))
+	return nil
+}
+
+// commit writes data for e under the write lock: temp file in the same
+// directory (rename must not cross filesystems), fsync, atomic rename.
+// The fault hook fires after a deliberately partial first write — a panic
+// there leaves exactly the torn temp file a real crash would.
+func (r *Repo) commit(e *Entry, data []byte) error {
+	final := filepath.Join(r.dir, e.Key+".json")
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repo: put %s: %w", e.Key, err)
+	}
+	// Written in two halves so the injected crash point sits mid-entry:
+	// the torn file is neither empty nor decodable.
+	half := len(data) / 2
+	if _, err := f.Write(data[:half]); err != nil {
+		f.Close()
+		return fmt.Errorf("repo: put %s: %w", e.Key, err)
+	}
+	if r.opts.FaultHook != nil {
+		r.opts.FaultHook(faults.SiteRepoWrite, e.Key)
+	}
+	if _, err := f.Write(data[half:]); err != nil {
+		f.Close()
+		return fmt.Errorf("repo: put %s: %w", e.Key, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repo: put %s: sync: %w", e.Key, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repo: put %s: close: %w", e.Key, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("repo: put %s: commit: %w", e.Key, err)
+	}
+	return nil
+}
+
+func (r *Repo) counter(name string) *obs.Counter { return r.opts.Metrics.Counter(name) }
+func (r *Repo) gauge(name string) *obs.Gauge     { return r.opts.Metrics.Gauge(name) }

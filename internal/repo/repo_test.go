@@ -1,0 +1,315 @@
+package repo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tupelo/internal/faults"
+	"tupelo/internal/relation"
+)
+
+func testPair(t *testing.T) (src, tgt *relation.Database) {
+	t.Helper()
+	src = relation.MustDatabase(relation.MustNew("Emp", []string{"nm", "dept"},
+		relation.Tuple{"Alice", "Sales"}, relation.Tuple{"Bob", "Dev"}))
+	tgt = relation.MustDatabase(relation.MustNew("Employee", []string{"Name", "Dept"},
+		relation.Tuple{"Alice", "Sales"}, relation.Tuple{"Bob", "Dev"}))
+	return src, tgt
+}
+
+func testEntry(key string) *Entry {
+	return &Entry{
+		Schema:    Schema,
+		Key:       key,
+		SourceKey: key[:32],
+		TargetKey: key[32:],
+		Expr:      "rename_rel[Emp->Employee]\nrename_att[Employee.nm->Name]",
+		Algorithm: "rbfs",
+		Heuristic: "cosine",
+		K:         1000,
+		Examined:  42,
+		Tenant:    "acme",
+		CreatedAt: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestPairKeyShape(t *testing.T) {
+	src, tgt := testPair(t)
+	key := PairKey(src, tgt)
+	if !ValidKey(key) {
+		t.Fatalf("PairKey produced invalid key %q", key)
+	}
+	if rev := PairKey(tgt, src); rev == key {
+		t.Fatalf("PairKey must be direction-sensitive, got %q both ways", key)
+	}
+	if again := PairKey(src, tgt); again != key {
+		t.Fatalf("PairKey not deterministic: %q vs %q", key, again)
+	}
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	src, tgt := testPair(t)
+	key := PairKey(src, tgt)
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(key); ok {
+		t.Fatal("Get on empty repo reported a hit")
+	}
+	if err := r.Put(testEntry(key)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get(key)
+	if !ok || got.Expr != testEntry(key).Expr {
+		t.Fatalf("Get after Put = %+v, %v", got, ok)
+	}
+
+	// A fresh Open over the same directory must serve the committed entry.
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := r2.Get(key)
+	if !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if got2.Expr != got.Expr || got2.Tenant != got.Tenant || !got2.CreatedAt.Equal(got.CreatedAt) {
+		t.Fatalf("entry mutated across reopen: %+v vs %+v", got2, got)
+	}
+	if st := r2.Stats(); st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("Stats after clean reopen = %+v", st)
+	}
+}
+
+func TestPartialNeverDowngradesComplete(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	complete := testEntry(key)
+	if err := r.Put(complete); err != nil {
+		t.Fatal(err)
+	}
+	partial := testEntry(key)
+	partial.Partial = true
+	partial.Expr = "rename_rel[Emp->Employee]"
+	if err := r.Put(partial); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Get(key)
+	if got.Partial || got.Expr != complete.Expr {
+		t.Fatalf("partial Put downgraded a complete entry: %+v", got)
+	}
+
+	// The reverse direction must upgrade in place.
+	key2 := strings.Repeat("cd", 32)
+	p2 := testEntry(key2)
+	p2.Partial = true
+	if err := r.Put(p2); err != nil {
+		t.Fatal(err)
+	}
+	c2 := testEntry(key2)
+	if err := r.Put(c2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Get(key2); got.Partial {
+		t.Fatalf("complete Put failed to upgrade a partial entry: %+v", got)
+	}
+}
+
+func TestRejectsInvalidKeys(t *testing.T) {
+	r, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), strings.Repeat("A", 64), "../" + strings.Repeat("a", 61)} {
+		e := testEntry(strings.Repeat("ab", 32))
+		e.Key = bad
+		if err := r.Put(e); err == nil {
+			t.Errorf("Put accepted invalid key %q", bad)
+		}
+	}
+}
+
+// TestConcurrentSameKey drives concurrent reads and writes of one
+// fingerprint key under -race: the index and commit path must be
+// race-free and the entry must never be observed torn.
+func TestConcurrentSameKey(t *testing.T) {
+	r, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("0f", 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				e := testEntry(key)
+				e.Examined = w*100 + i
+				if err := r.Put(e); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if e, ok := r.Get(key); ok {
+					if e.Key != key || e.Expr == "" {
+						t.Errorf("torn read: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Entries != 1 {
+		t.Fatalf("Stats after concurrent same-key writes = %+v", st)
+	}
+	// The file on disk must decode cleanly after the dust settles.
+	data, err := os.ReadFile(filepath.Join(r.Dir(), key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEntry(data); err != nil {
+		t.Fatalf("committed file undecodable: %v", err)
+	}
+}
+
+// TestCrashRecoveryMidWrite kills the commit path mid-write with an
+// injected panic (a process crash in miniature), restarts the repository,
+// and asserts the torn write is quarantined while every previously
+// committed mapping is still served.
+func TestCrashRecoveryMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	committed := strings.Repeat("aa", 32)
+	victim := strings.Repeat("bb", 32)
+
+	inj := faults.NewInjector(1, faults.Fault{Site: faults.SiteRepoWrite, Match: victim})
+	r, err := Open(dir, Options{FaultHook: inj.Hit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Put(testEntry(committed)); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected crash did not fire")
+			}
+		}()
+		_ = r.Put(testEntry(victim))
+	}()
+	if _, err := os.Stat(filepath.Join(dir, victim+".json.tmp")); err != nil {
+		t.Fatalf("crash mid-write left no torn temp file: %v", err)
+	}
+
+	// Restart: the torn temp file is quarantined, the committed entry lives.
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Entries != 1 || st.Quarantined != 1 {
+		t.Fatalf("recovery Stats = %+v, want 1 entry + 1 quarantined", st)
+	}
+	if _, ok := r2.Get(committed); !ok {
+		t.Fatal("committed entry lost after crash recovery")
+	}
+	if _, ok := r2.Get(victim); ok {
+		t.Fatal("torn entry served after crash recovery")
+	}
+	qfiles, err := filepath.Glob(filepath.Join(dir, quarantineDir, victim+".json.tmp*"))
+	if err != nil || len(qfiles) == 0 {
+		t.Fatalf("torn temp file not quarantined: %v %v", qfiles, err)
+	}
+	// The victim pair is still writable after recovery.
+	if err := r2.Put(testEntry(victim)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.Get(victim); !ok {
+		t.Fatal("victim key unwritable after recovery")
+	}
+}
+
+// TestRecoveryQuarantinesCorruptEntries covers committed-then-corrupted
+// files: truncation, bit flips in the payload, and a decodable entry
+// renamed under the wrong key.
+func TestRecoveryQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = strings.Repeat(fmt.Sprintf("%02x", 0xa0+i), 32)
+		if err := r.Put(testEntry(keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keys[0] stays good; truncate keys[1]; flip a byte in keys[2]; move
+	// keys[3]'s file under a wrong (but valid) key name.
+	path := func(k string) string { return filepath.Join(dir, k+".json") }
+	data, _ := os.ReadFile(path(keys[1]))
+	if err := os.WriteFile(path(keys[1]), data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path(keys[2]))
+	data[2] ^= 0xff
+	if err := os.WriteFile(path(keys[2]), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrong := strings.Repeat("ff", 32)
+	if err := os.Rename(path(keys[3]), path(wrong)); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r2.Stats()
+	if st.Entries != 1 || st.Quarantined != 3 {
+		t.Fatalf("recovery Stats = %+v, want 1 entry + 3 quarantined", st)
+	}
+	if _, ok := r2.Get(keys[0]); !ok {
+		t.Fatal("pristine entry lost in recovery")
+	}
+	for _, k := range []string{keys[1], keys[2], keys[3], wrong} {
+		if _, ok := r2.Get(k); ok {
+			t.Errorf("corrupt entry %s served after recovery", k[:8])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := testEntry(strings.Repeat("ab", 32))
+	e.Partial = true
+	data, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *e {
+		t.Fatalf("round trip mutated entry:\n got %+v\nwant %+v", got, e)
+	}
+}

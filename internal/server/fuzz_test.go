@@ -1,0 +1,41 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzJobRequest asserts parseJob never panics on arbitrary bytes, and
+// that any accepted request survives a marshal/parse round trip with the
+// same validated meaning (same request fields, same repository key).
+func FuzzJobRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant":"acme","source":"relation R\n  a\n  1\n","target":"relation S\n  a\n  1\n"}`))
+	f.Add([]byte(`{"tenant":"t","source":"relation R\n  a b\n  x y\n","target":"relation R\n  a b\n  x y\n","portfolio":["rbfs/h1","astar/cosine/1000"],"timeout_ms":50,"max_states":10,"no_cache":true,"report":true}`))
+	f.Add([]byte(`{"tenant":"BAD TENANT","source":"","target":""}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"tenant":"a","source":"relation R\n  a\n  1\n","target":"relation S\n  a\n  1\n","unknown":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := parseJob(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: re-encoding the validated request must parse to
+		// the same job.
+		out, merr := json.Marshal(j.req)
+		if merr != nil {
+			t.Fatalf("accepted request does not marshal: %v", merr)
+		}
+		j2, perr := parseJob(out)
+		if perr != nil {
+			t.Fatalf("round-tripped request rejected: %v\nrequest: %s", perr, out)
+		}
+		if !reflect.DeepEqual(j.req, j2.req) {
+			t.Fatalf("request fields changed across round trip:\n%+v\n%+v", j.req, j2.req)
+		}
+		if j.key != j2.key {
+			t.Fatalf("repository key changed across round trip: %q vs %q", j.key, j2.key)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tupelo/internal/obs"
+	"tupelo/internal/repo"
+)
+
+// maxBodyBytes bounds a job-request body; the per-instance bound inside
+// parseJob is tighter, this one stops a hostile stream before decoding.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs          submit a discovery job and wait for its result
+//	GET  /v1/mappings/{key} look up a repository entry by fingerprint key
+//	GET  /v1/mappings      list committed repository keys
+//	GET  /v1/stats         server and repository statistics
+//	GET  /healthz          liveness (200 while the process serves)
+//	GET  /readyz           readiness (503 once draining)
+//	GET  /metrics          Prometheus metrics (?format=json for JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/mappings/{key}", s.handleMapping)
+	mux.HandleFunc("GET /v1/mappings", s.handleMappings)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	return mux
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a structured error response, mirroring retry hints
+// into the Retry-After header.
+func writeError(w http.ResponseWriter, status int, cause, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, status, &ErrorResponse{
+		Error:        msg,
+		Cause:        cause,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// handleJob is the submission path: parse, repository lookup, admission
+// control, queue, execute, persist, respond. The request blocks until its
+// job finishes (or is rejected); backpressure is visible as 429/503.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "bad-request", fmt.Sprintf("reading body: %v", err), 0)
+		return
+	}
+	j, err := parseJob(body)
+	if err != nil {
+		s.counter(obs.Name("server.jobs.rejected", "reason", "bad-request")).Inc()
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+		return
+	}
+
+	// Repository fast path: a committed complete mapping answers without
+	// consuming quota, queue, or an execution slot — this is the entire
+	// point of the fingerprint-keyed store. Partial entries don't satisfy
+	// a discovery request; a fresh search may complete them.
+	if !j.req.NoCache {
+		if e, ok := s.cfg.Repo.Get(j.key); ok && !e.Partial {
+			s.counter("server.repo.hits").Inc()
+			writeJSON(w, http.StatusOK, entryResponse(e, msSince(started)))
+			return
+		}
+		s.counter("server.repo.misses").Inc()
+	}
+
+	id := s.jobSeq.Add(1)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	release, rej := s.admit(j.req.Tenant, id, cancel)
+	if rej != nil {
+		s.counter(obs.Name("server.jobs.rejected", "reason", rej.cause)).Inc()
+		writeError(w, rej.status, rej.cause, rej.msg, rej.retryAfter)
+		return
+	}
+	defer release()
+
+	if err := s.acquireSlot(ctx); err != nil {
+		// The client went away (or the drain deadline cancelled us) while
+		// queued; nothing ran.
+		s.counter(obs.Name("server.jobs.rejected", "reason", "abandoned")).Inc()
+		writeError(w, http.StatusServiceUnavailable, "canceled", "job cancelled while queued", 0)
+		return
+	}
+	defer s.releaseSlot()
+
+	out := s.runJob(ctx, j, id)
+	s.recordVerdict(j.req.Tenant, out.verdict)
+	if out.errRsp != nil {
+		writeJSON(w, out.status, out.errRsp)
+		return
+	}
+	out.resp.ElapsedMS = msSince(started)
+	writeJSON(w, out.status, out.resp)
+}
+
+// handleMapping serves one repository entry by key.
+func (s *Server) handleMapping(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !repo.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("malformed repository key %q", key), 0)
+		return
+	}
+	e, ok := s.cfg.Repo.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not-found", "no mapping committed for that fingerprint pair", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// handleMappings lists committed keys.
+func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
+	keys := s.cfg.Repo.Keys()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(keys),
+		"keys":  keys,
+	})
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Draining       bool    `json:"draining"`
+	Queued         int     `json:"queued"`
+	Running        int     `json:"running"`
+	Tenants        int     `json:"tenants"`
+	RepoEntries    int     `json:"repo_entries"`
+	RepoQuarantine int     `json:"repo_quarantined"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rs := s.cfg.Repo.Stats()
+	s.mu.Lock()
+	resp := StatsResponse{
+		Draining:       s.draining,
+		Queued:         s.queued,
+		Running:        s.running,
+		Tenants:        len(s.tenants),
+		RepoEntries:    rs.Entries,
+		RepoQuarantine: rs.Quarantined,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
