@@ -51,6 +51,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot (counters, gauges, timers) to FILE when done")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP at HOST:PORT (/metrics; ?format=json) while running")
 	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark report (schema "+experiments.BenchSchema+") to FILE when done")
+	benchHistory := flag.String("bench-history", "", "append a one-line "+experiments.BenchSchema+" summary of this run to FILE (JSONL trajectory); with -check-bench, compare the report against the best prior entry instead")
 	checkBench := flag.String("check-bench", "", "validate FILE as a benchmark report and exit (used by CI)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof at HOST:PORT (/debug/pprof/) while running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -59,14 +60,28 @@ func main() {
 
 	if *checkBench != "" {
 		data, err := os.ReadFile(*checkBench)
+		var report *experiments.BenchReport
 		if err == nil {
-			err = experiments.ValidateBenchReport(data)
+			report, err = experiments.ParseBenchReport(data)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid %s report\n", *checkBench, experiments.BenchSchema)
+		if *benchHistory != "" {
+			hist, herr := os.ReadFile(*benchHistory)
+			if herr != nil {
+				fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", herr)
+				os.Exit(1)
+			}
+			entries, herr := experiments.ParseHistory(hist)
+			if herr != nil {
+				fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", herr)
+				os.Exit(1)
+			}
+			fmt.Println(experiments.RegressionReport(report.Summary(), entries))
+		}
 		return
 	}
 
@@ -81,14 +96,14 @@ func main() {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
-	if *metricsOut != "" || *metricsAddr != "" || *benchOut != "" {
+	if *metricsOut != "" || *metricsAddr != "" || *benchOut != "" || *benchHistory != "" {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	var (
 		collectMu sync.Mutex
 		collected []experiments.Measurement
 	)
-	if *benchOut != "" {
+	if *benchOut != "" || *benchHistory != "" {
 		cfg.Collect = func(m experiments.Measurement) {
 			collectMu.Lock()
 			collected = append(collected, m)
@@ -184,13 +199,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *benchOut != "" {
+	if *benchOut != "" || *benchHistory != "" {
 		collectMu.Lock()
 		ms := collected
 		collectMu.Unlock()
-		if werr := writeBenchFile(*benchOut, *exp, cfg, ms); werr != nil {
-			fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", werr)
-			os.Exit(1)
+		r := experiments.NewBenchReport(*exp, cfg, ms)
+		r.AttachMetrics(cfg.Metrics)
+		if *benchOut != "" {
+			if werr := writeBenchFile(*benchOut, r); werr != nil {
+				fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", werr)
+				os.Exit(1)
+			}
+		}
+		if *benchHistory != "" {
+			if werr := experiments.AppendHistory(*benchHistory, r.Summary()); werr != nil {
+				fmt.Fprintf(os.Stderr, "tupelo-bench: %v\n", werr)
+				os.Exit(1)
+			}
 		}
 	}
 	if err != nil {
@@ -199,10 +224,8 @@ func main() {
 	}
 }
 
-// writeBenchFile assembles and writes the machine-readable benchmark report.
-func writeBenchFile(path, exp string, cfg experiments.Config, ms []experiments.Measurement) error {
-	r := experiments.NewBenchReport(exp, cfg, ms)
-	r.AttachMetrics(cfg.Metrics)
+// writeBenchFile writes the machine-readable benchmark report.
+func writeBenchFile(path string, r *experiments.BenchReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -97,6 +97,7 @@ func run(args []string) error {
 		BreakerCooldown:  *breakerCool,
 		Metrics:          metrics,
 		RetrySeed:        time.Now().UnixNano(),
+		Debugf:           log.Printf,
 	})
 	if err != nil {
 		return err

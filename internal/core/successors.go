@@ -35,11 +35,19 @@ type mappingProblem struct {
 	tRels        map[string]bool
 	tRelsSorted  []string
 	tVals        map[string]bool
-	// tAttrVals maps each target attribute to the set of values the target
-	// holds under it (across relations); tRelVals likewise per relation.
-	// They power the value-evidence pruning of rename candidates.
-	tAttrVals map[string]map[string]bool
-	tRelVals  map[string]map[string]bool
+	// Symbol-space mirrors of the target token sets, keyed by interned
+	// symbol instead of string. Move generators probe these against raw
+	// column symbols — interning is canonical, so symbol equality is string
+	// equality — which keeps the per-expansion pruning scans free of
+	// per-cell decoding.
+	tAttrSymSet map[relation.Symbol]bool
+	tRelSymSet  map[relation.Symbol]bool
+	tValSymSet  map[relation.Symbol]bool
+	// tAttrValSyms maps each target attribute to the set of value symbols
+	// the target holds under it (across relations); tRelValSyms likewise per
+	// relation. They power the value-evidence pruning of rename candidates.
+	tAttrValSyms map[string]map[relation.Symbol]bool
+	tRelValSyms  map[string]map[relation.Symbol]bool
 
 	// goalIx is the precomputed containment index over the target critical
 	// instance: the goal test runs once per examined state, and the indexed
@@ -113,22 +121,22 @@ const succMemoMax = 1 << 20
 
 func newProblem(source, target *relation.Database, opts Options) *mappingProblem {
 	p := &mappingProblem{
-		source:    source,
-		target:    target,
-		reg:       opts.Registry,
-		corrs:     opts.Correspondences,
-		prune:     !opts.DisablePruning,
-		workers:   opts.Workers,
-		tRels:     target.RelationNames(),
-		tAttrs:    target.AttrNames(),
-		tVals:     target.ValueSet(),
-		tAttrVals: make(map[string]map[string]bool),
-		tRelVals:  make(map[string]map[string]bool),
-		met:       newOpMetrics(opts.Metrics),
-		tracer:    opts.Tracer,
-		fault:     opts.FaultHook,
-		hLabel:    cacheLabel(opts),
-		goalIx:    relation.NewContainmentIndex(target),
+		source:       source,
+		target:       target,
+		reg:          opts.Registry,
+		corrs:        opts.Correspondences,
+		prune:        !opts.DisablePruning,
+		workers:      opts.Workers,
+		tRels:        target.RelationNames(),
+		tAttrs:       target.AttrNames(),
+		tVals:        target.ValueSet(),
+		tAttrValSyms: make(map[string]map[relation.Symbol]bool),
+		tRelValSyms:  make(map[string]map[relation.Symbol]bool),
+		met:          newOpMetrics(opts.Metrics),
+		tracer:       opts.Tracer,
+		fault:        opts.FaultHook,
+		hLabel:       cacheLabel(opts),
+		goalIx:       relation.NewContainmentIndex(target),
 	}
 	p.tAttrsSorted = sortedKeys(p.tAttrs)
 	p.tRelsSorted = sortedKeys(p.tRels)
@@ -141,26 +149,39 @@ func newProblem(source, target *relation.Database, opts Options) *mappingProblem
 		// through EvMemoHit/EvMemoMiss.
 		p.succMemo = make(map[string][]search.Move)
 	}
+	// The target's token sets double as symbol sets: every name and value in
+	// them is (re-)interned here, once, so state columns can be probed by
+	// symbol. Any string a state can ever hold under these sets is already
+	// interned — FIRA operators move existing strings around, they never
+	// synthesize new ones.
+	p.tAttrSymSet = internSet(p.tAttrs)
+	p.tRelSymSet = internSet(p.tRels)
+	p.tValSymSet = internSet(p.tVals)
 	for _, r := range target.Relations() {
-		rv := make(map[string]bool)
-		for _, a := range r.Attrs() {
-			av := p.tAttrVals[a]
+		rv := make(map[relation.Symbol]bool)
+		for j, a := range r.Attrs() {
+			av := p.tAttrValSyms[a]
 			if av == nil {
-				av = make(map[string]bool)
-				p.tAttrVals[a] = av
+				av = make(map[relation.Symbol]bool)
+				p.tAttrValSyms[a] = av
 			}
-			vals, err := r.ValuesOf(a)
-			if err != nil {
-				continue
-			}
-			for _, v := range vals {
-				av[v] = true
-				rv[v] = true
+			for _, s := range r.DistinctSymbols(j) {
+				av[s] = true
+				rv[s] = true
 			}
 		}
-		p.tRelVals[r.Name()] = rv
+		p.tRelValSyms[r.Name()] = rv
 	}
 	return p
+}
+
+// internSet interns every member of a string set into a symbol set.
+func internSet(set map[string]bool) map[relation.Symbol]bool {
+	out := make(map[relation.Symbol]bool, len(set))
+	for k := range set {
+		out[relation.Intern(k)] = true
+	}
+	return out
 }
 
 // Start implements search.Problem.
@@ -506,13 +527,13 @@ func (p *mappingProblem) renameRelMoves(x *expCtx) []fira.Op {
 // rename R→N is supported when R shares at least one data value with the
 // target relation N, or either side is empty of values.
 func (p *mappingProblem) relRenameEvidence(r *relation.Relation, to string) bool {
-	tv := p.tRelVals[to]
+	tv := p.tRelValSyms[to]
 	if len(tv) == 0 || r.Len() == 0 {
 		return true
 	}
-	for i := 0; i < r.Len(); i++ {
-		for _, v := range r.Row(i) {
-			if tv[v] {
+	for j := 0; j < r.Arity(); j++ {
+		for _, s := range r.Column(j) {
+			if tv[s] {
 				return true
 			}
 		}
@@ -554,7 +575,7 @@ func (p *mappingProblem) renameAttMoves(x *expCtx) []fira.Op {
 // into exploring all n! assignments — the Rosetta Stone principle (§2.2)
 // says the example values are exactly the evidence that disambiguates.
 func (p *mappingProblem) renameEvidence(r *relation.Relation, a, to string) bool {
-	tv := p.tAttrVals[to]
+	tv := p.tAttrValSyms[to]
 	if len(tv) == 0 || r.Len() == 0 {
 		return true
 	}
@@ -562,11 +583,10 @@ func (p *mappingProblem) renameEvidence(r *relation.Relation, a, to string) bool
 	if j < 0 {
 		return false
 	}
-	// Existence check over the column: scan rows directly rather than
-	// materializing the sorted distinct-value set — this runs once per
+	// Existence check over the raw symbol column: this runs once per
 	// (column, missing-attribute) pair on every expanded state.
-	for i := 0; i < r.Len(); i++ {
-		if tv[r.Row(i)[j]] {
+	for _, s := range r.Column(j) {
+		if tv[s] {
 			return true
 		}
 	}
@@ -598,15 +618,15 @@ func (p *mappingProblem) promoteMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
 	for _, r := range x.rels {
 		attrs := r.Attrs()
-		for _, nameAttr := range attrs {
-			if p.prune && !p.columnFeedsTargetAttrs(r, nameAttr) {
+		for nj, nameAttr := range attrs {
+			if p.prune && !p.columnFeedsTargetAttrs(r, nj) {
 				continue
 			}
-			for _, valAttr := range attrs {
-				if valAttr == nameAttr {
+			for vj, valAttr := range attrs {
+				if vj == nj {
 					continue
 				}
-				if p.prune && !p.columnFeedsTargetValues(r, valAttr) {
+				if p.prune && !p.columnFeedsTargetValues(r, vj) {
 					continue
 				}
 				ops = append(ops, fira.Promote{Rel: r.Name(), NameAttr: nameAttr, ValueAttr: valAttr})
@@ -619,9 +639,9 @@ func (p *mappingProblem) promoteMoves(x *expCtx) []fira.Op {
 // columnFeedsTargetAttrs reports whether some value of the column is a
 // target attribute name not already an attribute of r (so promotion could
 // create a useful column).
-func (p *mappingProblem) columnFeedsTargetAttrs(r *relation.Relation, col string) bool {
-	for _, v := range r.DistinctValues(col) {
-		if p.tAttrs[v] && !r.HasAttr(v) {
+func (p *mappingProblem) columnFeedsTargetAttrs(r *relation.Relation, j int) bool {
+	for _, s := range r.DistinctSymbols(j) {
+		if p.tAttrSymSet[s] && !r.HasAttrSymbol(s) {
 			return true
 		}
 	}
@@ -630,9 +650,9 @@ func (p *mappingProblem) columnFeedsTargetAttrs(r *relation.Relation, col string
 
 // columnFeedsTargetValues reports whether some value of the column occurs
 // among the target's data values.
-func (p *mappingProblem) columnFeedsTargetValues(r *relation.Relation, col string) bool {
-	for _, v := range r.DistinctValues(col) {
-		if p.tVals[v] {
+func (p *mappingProblem) columnFeedsTargetValues(r *relation.Relation, j int) bool {
+	for _, s := range r.DistinctSymbols(j) {
+		if p.tValSymSet[s] {
 			return true
 		}
 	}
@@ -670,14 +690,14 @@ func (p *mappingProblem) demoteMoves(x *expCtx) []fira.Op {
 func (p *mappingProblem) derefMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
 	for _, r := range x.rels {
-		for _, ptr := range r.Attrs() {
-			vals := r.DistinctValues(ptr)
+		for pj, ptr := range r.Attrs() {
+			vals := r.DistinctSymbols(pj)
 			if len(vals) == 0 {
 				continue
 			}
 			allAttrs := true
-			for _, v := range vals {
-				if !r.HasAttr(v) {
+			for _, s := range vals {
+				if !r.HasAttrSymbol(s) {
 					allAttrs = false
 					break
 				}
@@ -707,12 +727,11 @@ func (p *mappingProblem) derefMoves(x *expCtx) []fira.Op {
 func (p *mappingProblem) partitionMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
 	for _, r := range x.rels {
-		for _, a := range r.Attrs() {
+		for j, a := range r.Attrs() {
 			if p.prune {
-				vals := r.DistinctValues(a)
 				useful := false
-				for _, v := range vals {
-					if p.tRels[v] {
+				for _, s := range r.DistinctSymbols(j) {
+					if p.tRelSymSet[s] {
 						useful = true
 						break
 					}
@@ -824,7 +843,7 @@ func sameAttrSet(l, r *relation.Relation) bool {
 func (p *mappingProblem) mergeMoves(x *expCtx) []fira.Op {
 	var ops []fira.Op
 	for _, r := range x.rels {
-		if p.prune && !hasEmptyCell(r) {
+		if p.prune && !r.HasEmptyCell() {
 			continue
 		}
 		for _, a := range r.Attrs() {
@@ -832,17 +851,6 @@ func (p *mappingProblem) mergeMoves(x *expCtx) []fira.Op {
 		}
 	}
 	return ops
-}
-
-func hasEmptyCell(r *relation.Relation) bool {
-	for i := 0; i < r.Len(); i++ {
-		for _, v := range r.Row(i) {
-			if v == "" {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // applyMoves proposes λ for each user-indicated correspondence applicable

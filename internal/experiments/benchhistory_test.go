@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// historySummary builds a valid summary line with the given throughput and
+// config knobs.
+func historySummary(exp string, budget int, sps float64, day int) BenchSummary {
+	return BenchSummary{
+		Schema:      BenchSchema,
+		Experiment:  exp,
+		GeneratedAt: time.Date(2026, 8, day, 12, 0, 0, 0, time.UTC),
+		Env:         BenchEnv{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1},
+		Config:      BenchConfig{Budget: budget, Seed: 2006},
+		Aggregate: BenchAggregate{
+			Measurements: 10, Solved: 9, Censored: 1,
+			TotalStates: 1000, TotalElapsedNS: 1e9, StatesPerSec: sps,
+		},
+	}
+}
+
+// TestHistoryAppendParseRoundTrip: AppendHistory lines must parse back
+// identically, and appends must accumulate.
+func TestHistoryAppendParseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	want := []BenchSummary{
+		historySummary("1", 50000, 1000, 1),
+		historySummary("1", 50000, 2000, 2),
+		historySummary("2", 50000, 3000, 3),
+	}
+	for _, s := range want {
+		if err := AppendHistory(path, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHistory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistoryAppendRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	bad := historySummary("1", 50000, 1000, 1)
+	bad.Schema = "wrong/v0"
+	if err := AppendHistory(path, bad); err == nil {
+		t.Fatal("AppendHistory accepted a summary with the wrong schema")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("rejected append still created the history file")
+	}
+}
+
+func TestHistoryParseRejectsMalformedLine(t *testing.T) {
+	if _, err := ParseHistory([]byte("{not json\n")); err == nil {
+		t.Fatal("ParseHistory accepted malformed JSONL")
+	}
+	valid := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := AppendHistory(valid, historySummary("1", 50000, 1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseHistory(append(data, []byte(`{"schema":"tupelo-bench/v1"}`+"\n")...)); err == nil {
+		t.Fatal("ParseHistory accepted an incomplete trailing line")
+	}
+}
+
+// TestRegressionReportVerdicts covers the three verdicts: no comparable
+// prior, improvement, and regression — and that non-comparable configs
+// (different budget) never match.
+func TestRegressionReportVerdicts(t *testing.T) {
+	hist := []BenchSummary{
+		historySummary("1", 50000, 1000, 1),
+		historySummary("1", 50000, 3000, 2),
+		historySummary("1", 10000, 9999, 3), // different budget: not comparable
+		historySummary("2", 50000, 8888, 4), // different experiment: not comparable
+		historySummary("1", 50000, 7777, 5), // cur's own line: not prior
+		historySummary("1", 50000, 6666, 6), // later than cur: not prior
+	}
+
+	cur := historySummary("1", 50000, 1500, 5)
+	if best := BestPrior(hist, cur); best == nil || best.Aggregate.StatesPerSec != 3000 {
+		t.Fatalf("BestPrior = %+v, want the 3000 entry", best)
+	}
+	if rep := RegressionReport(cur, hist); !strings.Contains(rep, "REGRESSION") || !strings.Contains(rep, "50.0%") {
+		t.Fatalf("regression verdict = %q", rep)
+	}
+
+	cur.Aggregate.StatesPerSec = 4500
+	if rep := RegressionReport(cur, hist); !strings.Contains(rep, "ok:") || !strings.Contains(rep, "50.0%") {
+		t.Fatalf("improvement verdict = %q", rep)
+	}
+
+	cur.Config.Budget = 77777
+	if rep := RegressionReport(cur, hist); !strings.Contains(rep, "no prior entry comparable") {
+		t.Fatalf("no-prior verdict = %q", rep)
+	}
+}
+
+// TestCommittedHistoryParses pins the repo's own BENCH_history.jsonl to the
+// parser: the committed trajectory must stay loadable.
+func TestCommittedHistoryParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_history.jsonl"))
+	if err != nil {
+		t.Skipf("no committed history: %v", err)
+	}
+	hist, err := ParseHistory(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) == 0 {
+		t.Fatal("committed history is empty")
+	}
+	for i, s := range hist {
+		if s.Experiment == "" {
+			t.Fatalf("entry %d missing experiment", i)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -203,6 +205,147 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// BenchSummary is one line of the repo's BENCH_history.jsonl trajectory: a
+// report stripped to its identity and aggregate. Full reports are large (the
+// measurement list plus a metrics snapshot) and the committed BENCH_*.json
+// files keep only the latest one per experiment; the history file appends one
+// summary line per recorded run, so the throughput trajectory across commits
+// survives even though each report overwrites the last.
+type BenchSummary struct {
+	Schema      string         `json:"schema"`
+	Experiment  string         `json:"experiment"`
+	GeneratedAt time.Time      `json:"generated_at"`
+	Env         BenchEnv       `json:"env"`
+	Config      BenchConfig    `json:"config"`
+	Aggregate   BenchAggregate `json:"aggregate"`
+}
+
+// Summary reduces the report to its history line.
+func (r *BenchReport) Summary() BenchSummary {
+	return BenchSummary{
+		Schema:      r.Schema,
+		Experiment:  r.Experiment,
+		GeneratedAt: r.GeneratedAt,
+		Env:         r.Env,
+		Config:      r.Config,
+		Aggregate:   r.Aggregate,
+	}
+}
+
+// validateSummary checks one history line for internal consistency. It is
+// deliberately looser than ValidateBenchReport — summaries carry no
+// measurement list or metrics snapshot to cross-check.
+func validateSummary(s BenchSummary) error {
+	if s.Schema != BenchSchema {
+		return fmt.Errorf("schema %q, want %q", s.Schema, BenchSchema)
+	}
+	if s.Experiment == "" {
+		return fmt.Errorf("missing experiment id")
+	}
+	if s.GeneratedAt.IsZero() {
+		return fmt.Errorf("missing generated_at")
+	}
+	if s.Env.GoVersion == "" || s.Env.GOMAXPROCS <= 0 {
+		return fmt.Errorf("incomplete env: %+v", s.Env)
+	}
+	a := s.Aggregate
+	if a.Measurements <= 0 || a.TotalStates < 0 || a.TotalElapsedNS < 0 || a.StatesPerSec < 0 {
+		return fmt.Errorf("inconsistent aggregate: %+v", a)
+	}
+	if a.Solved+a.Censored != a.Measurements {
+		return fmt.Errorf("aggregate solved %d + censored %d != measurements %d", a.Solved, a.Censored, a.Measurements)
+	}
+	return nil
+}
+
+// AppendHistory appends the summary as one JSON line to the history file at
+// path, creating it if absent. The file is JSONL: independent lines, append
+// only, so concurrent benchmark invocations at worst interleave whole lines.
+func AppendHistory(path string, s BenchSummary) error {
+	if err := validateSummary(s); err != nil {
+		return fmt.Errorf("bench history: %w", err)
+	}
+	line, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseHistory parses JSONL history data, validating every line. Blank lines
+// are ignored; a malformed line fails the whole parse (the file is committed
+// and machine-written — damage means the trajectory can no longer be
+// trusted).
+func ParseHistory(data []byte) ([]BenchSummary, error) {
+	var out []BenchSummary
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for lineNo := 1; ; lineNo++ {
+		var s BenchSummary
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("bench history: entry %d: %w", lineNo, err)
+		}
+		if err := validateSummary(s); err != nil {
+			return nil, fmt.Errorf("bench history: entry %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// comparable reports whether a history entry measures the same workload as s:
+// identical experiment and resolved configuration. Throughput across
+// different budgets, seeds, or worker counts is not comparable.
+func (s BenchSummary) comparable(o BenchSummary) bool {
+	return s.Experiment == o.Experiment && s.Config == o.Config
+}
+
+// BestPrior returns the comparable history entry with the highest states/sec,
+// or nil if none is comparable. Only entries generated strictly before s
+// count as prior: the history normally already holds s's own line (append
+// runs before the check), and a run must not be its own baseline.
+func BestPrior(hist []BenchSummary, s BenchSummary) *BenchSummary {
+	var best *BenchSummary
+	for i := range hist {
+		h := &hist[i]
+		if !s.comparable(*h) || !h.GeneratedAt.Before(s.GeneratedAt) {
+			continue
+		}
+		if best == nil || h.Aggregate.StatesPerSec > best.Aggregate.StatesPerSec {
+			best = h
+		}
+	}
+	return best
+}
+
+// RegressionReport renders a one-line verdict comparing the summary's
+// throughput against the best comparable entry in the history: the perf
+// trajectory check behind tupelo-bench -check-bench -bench-history. The
+// verdict is informational — CI machines vary too much for an exit-code
+// gate — but a regression line in the log is what a reviewer greps for.
+func RegressionReport(s BenchSummary, hist []BenchSummary) string {
+	best := BestPrior(hist, s)
+	if best == nil {
+		return fmt.Sprintf("bench history: no prior entry comparable to experiment %q %+v", s.Experiment, s.Config)
+	}
+	delta := 100 * (s.Aggregate.StatesPerSec - best.Aggregate.StatesPerSec) / best.Aggregate.StatesPerSec
+	if delta < 0 {
+		return fmt.Sprintf("bench history: REGRESSION: %.0f states/sec is %.1f%% below best prior %.0f (%s)",
+			s.Aggregate.StatesPerSec, -delta, best.Aggregate.StatesPerSec, best.GeneratedAt.Format("2006-01-02"))
+	}
+	return fmt.Sprintf("bench history: ok: %.0f states/sec, %.1f%% above best prior %.0f (%s)",
+		s.Aggregate.StatesPerSec, delta, best.Aggregate.StatesPerSec, best.GeneratedAt.Format("2006-01-02"))
+}
+
 // ValidateBenchReport checks that data is a schema-valid BenchReport: the
 // schema tag matches, the environment and experiment id are present, every
 // measurement names its configuration, the aggregate is consistent with the
@@ -211,38 +354,46 @@ func (r *BenchReport) WriteJSON(w io.Writer) error {
 // without instrumentation). It is the check behind tupelo-bench
 // -check-bench and the CI benchmark-smoke step.
 func ValidateBenchReport(data []byte) error {
+	_, err := ParseBenchReport(data)
+	return err
+}
+
+// ParseBenchReport validates data exactly as ValidateBenchReport does and
+// returns the decoded report, for callers that go on to use it (the history
+// regression check needs the report's summary).
+func ParseBenchReport(data []byte) (*BenchReport, error) {
 	var r BenchReport
 	if err := json.Unmarshal(data, &r); err != nil {
-		return fmt.Errorf("bench report: not valid JSON: %w", err)
+		return nil, fmt.Errorf("bench report: not valid JSON: %w", err)
 	}
 	if r.Schema != BenchSchema {
-		return fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
+		return nil, fmt.Errorf("bench report: schema %q, want %q", r.Schema, BenchSchema)
 	}
 	if r.Experiment == "" {
-		return fmt.Errorf("bench report: missing experiment id")
+		return nil, fmt.Errorf("bench report: missing experiment id")
 	}
 	if r.GeneratedAt.IsZero() {
-		return fmt.Errorf("bench report: missing generated_at")
+		return nil, fmt.Errorf("bench report: missing generated_at")
 	}
 	if r.Env.GoVersion == "" || r.Env.GOMAXPROCS <= 0 {
-		return fmt.Errorf("bench report: incomplete env: %+v", r.Env)
+		return nil, fmt.Errorf("bench report: incomplete env: %+v", r.Env)
 	}
 	if len(r.Measurements) == 0 {
-		return fmt.Errorf("bench report: no measurements")
+		return nil, fmt.Errorf("bench report: no measurements")
 	}
 	var states, elapsed int64
 	for i, m := range r.Measurements {
 		if m.Algorithm == "" || m.Heuristic == "" {
-			return fmt.Errorf("bench report: measurement %d missing algorithm/heuristic", i)
+			return nil, fmt.Errorf("bench report: measurement %d missing algorithm/heuristic", i)
 		}
 		if m.States < 0 || m.ElapsedNS < 0 {
-			return fmt.Errorf("bench report: measurement %d has negative states/elapsed", i)
+			return nil, fmt.Errorf("bench report: measurement %d has negative states/elapsed", i)
 		}
 		if m.Solved == m.Censored {
-			return fmt.Errorf("bench report: measurement %d: solved and censored must disagree", i)
+			return nil, fmt.Errorf("bench report: measurement %d: solved and censored must disagree", i)
 		}
 		if m.HAccuracy < 0 || m.HAccuracy > 1 {
-			return fmt.Errorf("bench report: measurement %d: h_accuracy %g outside [0,1]", i, m.HAccuracy)
+			return nil, fmt.Errorf("bench report: measurement %d: h_accuracy %g outside [0,1]", i, m.HAccuracy)
 		}
 		states += int64(m.States)
 		elapsed += m.ElapsedNS
@@ -253,29 +404,29 @@ func ValidateBenchReport(data []byte) error {
 		runs := 0
 		for i, q := range r.Quality {
 			if q.Heuristic == "" || q.Runs <= 0 || q.Solved < 0 || q.Solved > q.Runs {
-				return fmt.Errorf("bench report: quality row %d inconsistent: %+v", i, q)
+				return nil, fmt.Errorf("bench report: quality row %d inconsistent: %+v", i, q)
 			}
 			if q.MeanAccuracy < 0 || q.MeanAccuracy > 1 {
-				return fmt.Errorf("bench report: quality row %d: mean_accuracy %g outside [0,1]", i, q.MeanAccuracy)
+				return nil, fmt.Errorf("bench report: quality row %d: mean_accuracy %g outside [0,1]", i, q.MeanAccuracy)
 			}
 			runs += q.Runs
 		}
 		if runs != len(r.Measurements) {
-			return fmt.Errorf("bench report: quality rows cover %d runs, measurements list %d", runs, len(r.Measurements))
+			return nil, fmt.Errorf("bench report: quality rows cover %d runs, measurements list %d", runs, len(r.Measurements))
 		}
 	}
 	if r.Aggregate.Measurements != len(r.Measurements) {
-		return fmt.Errorf("bench report: aggregate counts %d measurements, found %d",
+		return nil, fmt.Errorf("bench report: aggregate counts %d measurements, found %d",
 			r.Aggregate.Measurements, len(r.Measurements))
 	}
 	if r.Aggregate.TotalStates != states || r.Aggregate.TotalElapsedNS != elapsed {
-		return fmt.Errorf("bench report: aggregate totals disagree with measurements")
+		return nil, fmt.Errorf("bench report: aggregate totals disagree with measurements")
 	}
 	if r.Metrics == nil {
-		return fmt.Errorf("bench report: missing metrics snapshot")
+		return nil, fmt.Errorf("bench report: missing metrics snapshot")
 	}
 	if len(r.Metrics.Histograms) == 0 {
-		return fmt.Errorf("bench report: metrics snapshot has no histograms")
+		return nil, fmt.Errorf("bench report: metrics snapshot has no histograms")
 	}
-	return nil
+	return &r, nil
 }

@@ -160,16 +160,28 @@ func (o Promote) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Dat
 			return nil, fmt.Errorf("fira: promote: value %q collides with an existing attribute of %s", n, o.Rel)
 		}
 	}
+	// The new columns are gathers over the name and value symbol columns:
+	// row i of column n carries the value cell where the name cell equals n,
+	// the absent marker elsewhere. Attribute creation stays in sorted string
+	// order (names above), so schema order is unchanged from the string path.
+	nameCol := r.Column(r.AttrIndex(o.NameAttr))
+	valCol := r.Column(r.AttrIndex(o.ValueAttr))
+	empty := relation.EmptySymbol()
 	out := r
 	for _, n := range names {
-		col := make([]string, r.Len())
-		for i := 0; i < r.Len(); i++ {
-			nameV, _ := r.Value(i, o.NameAttr)
-			if nameV == n {
-				col[i], _ = r.Value(i, o.ValueAttr)
+		nSym, ok := relation.LookupSymbol(n)
+		if !ok {
+			return nil, fmt.Errorf("fira: promote: value %q vanished from the dictionary", n)
+		}
+		col := make([]relation.Symbol, len(nameCol))
+		for i, s := range nameCol {
+			if s == nSym {
+				col[i] = valCol[i]
+			} else {
+				col[i] = empty
 			}
 		}
-		out, err = out.WithColumn(n, col)
+		out, err = out.WithColumnSyms(n, col)
 		if err != nil {
 			return nil, fmt.Errorf("fira: promote: %v", err)
 		}
@@ -212,23 +224,40 @@ func (o Demote) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Data
 	if r.Arity() == 0 {
 		return nil, fmt.Errorf("fira: demote: %s has no attributes", o.Rel)
 	}
-	attrs := r.Attrs()
-	out, err := relation.NewBuilder(o.Rel, append(r.Attrs(), DemoteRelCol, DemoteAttCol))
+	// Column splice: output row (i, k) is input row i extended with
+	// (o.Rel, attrs[k]), in the same (row-major, then attribute) order the
+	// row-at-a-time construction produced. Distinct input rows extended with
+	// distinct attribute tags cannot collide, so no deduplication runs.
+	arity, n := r.Arity(), r.Len()
+	total := n * arity
+	attrSyms := r.AttrSymbols()
+	cols := make([][]relation.Symbol, arity+2)
+	for j := 0; j < arity; j++ {
+		src := r.Column(j)
+		c := make([]relation.Symbol, 0, total)
+		for i := 0; i < n; i++ {
+			v := src[i]
+			for k := 0; k < arity; k++ {
+				c = append(c, v)
+			}
+		}
+		cols[j] = c
+	}
+	relSym := r.NameSymbol()
+	relCol := make([]relation.Symbol, total)
+	for i := range relCol {
+		relCol[i] = relSym
+	}
+	attCol := make([]relation.Symbol, 0, total)
+	for i := 0; i < n; i++ {
+		attCol = append(attCol, attrSyms...)
+	}
+	cols[arity], cols[arity+1] = relCol, attCol
+	out, err := relation.NewFromColumns(o.Rel, append(r.Attrs(), DemoteRelCol, DemoteAttCol), cols, total)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < r.Len(); i++ {
-		row := r.Row(i)
-		for _, a := range attrs {
-			ext := make(relation.Tuple, 0, len(row)+2)
-			ext = append(ext, row...)
-			ext = append(ext, o.Rel, a)
-			if err := out.Add(ext); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db.WithRelation(out.Relation()), nil
+	return db.WithRelation(out), nil
 }
 
 func (o Demote) String() string { return fmt.Sprintf("demote[%s]", o.Rel) }
@@ -249,19 +278,30 @@ func (o Deref) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 	if err != nil {
 		return nil, err
 	}
-	if !r.HasAttr(o.PtrAttr) {
+	pj := r.AttrIndex(o.PtrAttr)
+	if pj < 0 {
 		return nil, fmt.Errorf("fira: deref: %s has no attribute %q", o.Rel, o.PtrAttr)
 	}
-	col := make([]string, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		ptr, _ := r.Value(i, o.PtrAttr)
-		v, ok := r.Value(i, ptr)
-		if !ok {
-			return nil, fmt.Errorf("fira: deref: tuple %d of %s points at %q, which is not an attribute", i, o.Rel, ptr)
+	// A pointer cell names an attribute iff its symbol equals that
+	// attribute's symbol (equal strings intern identically), so the
+	// indirection resolves in symbol space.
+	ptrCol := r.Column(pj)
+	attrSyms := r.AttrSymbols()
+	col := make([]relation.Symbol, r.Len())
+	for i, p := range ptrCol {
+		aj := -1
+		for j, a := range attrSyms {
+			if a == p {
+				aj = j
+				break
+			}
 		}
-		col[i] = v
+		if aj < 0 {
+			return nil, fmt.Errorf("fira: deref: tuple %d of %s points at %q, which is not an attribute", i, o.Rel, p.String())
+		}
+		col[i] = r.Column(aj)[i]
 	}
-	out, err := r.WithColumn(o.NewAttr, col)
+	out, err := r.WithColumnSyms(o.NewAttr, col)
 	if err != nil {
 		return nil, fmt.Errorf("fira: deref: %v", err)
 	}
@@ -297,7 +337,6 @@ func (o Partition) Apply(db *relation.Database, _ *lambda.Registry) (*relation.D
 		return nil, fmt.Errorf("fira: partition: %s is empty", o.Rel)
 	}
 	rest := db.WithoutRelation(o.Rel)
-	parts := make(map[string]*relation.Builder, len(values))
 	for _, v := range values {
 		if v == "" {
 			return nil, fmt.Errorf("fira: partition: empty value in column %q", o.Attr)
@@ -305,23 +344,38 @@ func (o Partition) Apply(db *relation.Database, _ *lambda.Registry) (*relation.D
 		if _, clash := rest.Relation(v); clash {
 			return nil, fmt.Errorf("fira: partition: relation %q already exists", v)
 		}
-		part, err := relation.NewBuilder(v, r.Attrs())
+	}
+	// One pass over the partition column groups the row indices; each part
+	// is then an index-gather over the symbol columns — subsets of distinct
+	// rows stay distinct, so no deduplication runs. Parts are created in
+	// sorted value order, as the string path did.
+	keyCol := r.Column(r.AttrIndex(o.Attr))
+	bySym := make(map[relation.Symbol][]int, len(values))
+	for i, s := range keyCol {
+		bySym[s] = append(bySym[s], i)
+	}
+	attrs := r.Attrs()
+	arity := r.Arity()
+	for _, v := range values {
+		sym, ok := relation.LookupSymbol(v)
+		if !ok {
+			return nil, fmt.Errorf("fira: partition: value %q vanished from the dictionary", v)
+		}
+		idxs := bySym[sym]
+		cols := make([][]relation.Symbol, arity)
+		for j := 0; j < arity; j++ {
+			src := r.Column(j)
+			c := make([]relation.Symbol, len(idxs))
+			for k, i := range idxs {
+				c[k] = src[i]
+			}
+			cols[j] = c
+		}
+		part, err := relation.NewFromColumns(v, attrs, cols, len(idxs))
 		if err != nil {
 			return nil, err
 		}
-		parts[v] = part
-	}
-	// One pass over the input assigns every tuple to its partition; the
-	// builders make the whole operator linear in the relation size instead of
-	// one copy-on-write insert (full clone) per tuple.
-	for i := 0; i < r.Len(); i++ {
-		v, _ := r.Value(i, o.Attr)
-		if err := parts[v].Add(r.Row(i)); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range values {
-		rest = rest.WithRelation(parts[v].Relation())
+		rest = rest.WithRelation(part)
 	}
 	return rest, nil
 }
@@ -354,21 +408,39 @@ func (o Product) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Dat
 			return nil, fmt.Errorf("fira: product: attribute %q appears in both %s and %s", a, o.Left, o.Right)
 		}
 	}
-	out, err := relation.NewBuilder(o.Left, append(l.Attrs(), r.Attrs()...))
+	// Column splice in (left row, right row) order: left columns repeat each
+	// value |r| times, right columns tile |l| times. Distinct × distinct
+	// pairs concatenate to distinct rows, so no deduplication runs. (The
+	// degenerate zero-arity × zero-arity case stays within that invariant:
+	// such relations hold at most one empty tuple each.)
+	ln, rn := l.Len(), r.Len()
+	total := ln * rn
+	la, ra := l.Arity(), r.Arity()
+	cols := make([][]relation.Symbol, la+ra)
+	for j := 0; j < la; j++ {
+		src := l.Column(j)
+		c := make([]relation.Symbol, 0, total)
+		for i := 0; i < ln; i++ {
+			v := src[i]
+			for k := 0; k < rn; k++ {
+				c = append(c, v)
+			}
+		}
+		cols[j] = c
+	}
+	for j := 0; j < ra; j++ {
+		src := r.Column(j)
+		c := make([]relation.Symbol, 0, total)
+		for i := 0; i < ln; i++ {
+			c = append(c, src...)
+		}
+		cols[la+j] = c
+	}
+	out, err := relation.NewFromColumns(o.Left, append(l.Attrs(), r.Attrs()...), cols, total)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < l.Len(); i++ {
-		for j := 0; j < r.Len(); j++ {
-			row := make(relation.Tuple, 0, l.Arity()+r.Arity())
-			row = append(row, l.Row(i)...)
-			row = append(row, r.Row(j)...)
-			if err := out.Add(row); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db.WithRelation(out.Relation()), nil
+	return db.WithRelation(out), nil
 }
 
 func (o Product) String() string { return fmt.Sprintf("product[%s,%s]", o.Left, o.Right) }
@@ -394,28 +466,51 @@ func (o Merge) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 	if j < 0 {
 		return nil, fmt.Errorf("fira: merge: %s has no attribute %q", o.Rel, o.Attr)
 	}
-	// Group rows by the merge attribute, canonical order within groups.
-	groups := make(map[string][]relation.Tuple)
-	var keys []string
+	// Group symbol rows by the merge attribute. Group ordering and the
+	// canonical order within groups both compare decoded strings — symbol
+	// numbering depends on interning order, so sorting symbols directly
+	// would make the fixpoint's result run-dependent. Each row decodes
+	// exactly once.
+	type mergeRow struct {
+		syms []relation.Symbol
+		strs []string
+	}
+	groups := make(map[relation.Symbol][]mergeRow)
+	var keys []relation.Symbol
 	for i := 0; i < r.Len(); i++ {
-		row := r.Row(i)
-		k := row[j]
+		syms := make([]relation.Symbol, r.Arity())
+		for jj := 0; jj < r.Arity(); jj++ {
+			syms[jj] = r.Column(jj)[i]
+		}
+		k := syms[j]
 		if _, seen := groups[k]; !seen {
 			keys = append(keys, k)
 		}
-		groups[k] = append(groups[k], row.Clone())
+		groups[k] = append(groups[k], mergeRow{syms: syms, strs: relation.SymbolStrings(syms)})
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(a, b int) bool { return keys[a].String() < keys[b].String() })
 	out, err := relation.NewBuilder(o.Rel, r.Attrs())
 	if err != nil {
 		return nil, err
 	}
+	empty := relation.EmptySymbol()
 	for _, k := range keys {
 		rows := groups[k]
-		sortTuples(rows)
-		merged := mergeGroup(rows)
-		for _, row := range merged {
-			if err := out.Add(row); err != nil {
+		sort.Slice(rows, func(a, b int) bool {
+			ra, rb := rows[a].strs, rows[b].strs
+			for i := range ra {
+				if ra[i] != rb[i] {
+					return ra[i] < rb[i]
+				}
+			}
+			return false
+		})
+		syms := make([][]relation.Symbol, len(rows))
+		for i, row := range rows {
+			syms[i] = row.syms
+		}
+		for _, row := range mergeGroup(syms, empty) {
+			if err := out.AddSymbols(row); err != nil {
 				return nil, err
 			}
 		}
@@ -423,28 +518,15 @@ func (o Merge) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 	return db.WithRelation(out.Relation()), nil
 }
 
-// sortTuples orders tuples lexicographically for determinism.
-func sortTuples(rows []relation.Tuple) {
-	sort.Slice(rows, func(a, b int) bool {
-		ra, rb := rows[a], rows[b]
-		for i := range ra {
-			if ra[i] != rb[i] {
-				return ra[i] < rb[i]
-			}
-		}
-		return false
-	})
-}
-
 // mergeGroup coalesces compatible tuples within one merge group to fixpoint.
-func mergeGroup(rows []relation.Tuple) []relation.Tuple {
+func mergeGroup(rows [][]relation.Symbol, empty relation.Symbol) [][]relation.Symbol {
 	changed := true
 	for changed {
 		changed = false
 	outer:
 		for i := 0; i < len(rows); i++ {
 			for k := i + 1; k < len(rows); k++ {
-				if m, ok := coalesce(rows[i], rows[k]); ok {
+				if m, ok := coalesce(rows[i], rows[k], empty); ok {
 					rows[i] = m
 					rows = append(rows[:k], rows[k+1:]...)
 					changed = true
@@ -457,16 +539,16 @@ func mergeGroup(rows []relation.Tuple) []relation.Tuple {
 }
 
 // coalesce merges two tuples if they are compatible: at every position the
-// values are equal or at least one is empty.
-func coalesce(a, b relation.Tuple) (relation.Tuple, bool) {
-	out := make(relation.Tuple, len(a))
+// values are equal or at least one is absent (the empty-string symbol).
+func coalesce(a, b []relation.Symbol, empty relation.Symbol) ([]relation.Symbol, bool) {
+	out := make([]relation.Symbol, len(a))
 	for i := range a {
 		switch {
 		case a[i] == b[i]:
 			out[i] = a[i]
-		case a[i] == "":
+		case a[i] == empty:
 			out[i] = b[i]
-		case b[i] == "":
+		case b[i] == empty:
 			out[i] = a[i]
 		default:
 			return nil, false

@@ -44,24 +44,38 @@ func (o Union) Apply(db *relation.Database, _ *lambda.Registry) (*relation.Datab
 	if err != nil {
 		return nil, err
 	}
-	pad := func(src *relation.Relation, i int) relation.Tuple {
-		row := make(relation.Tuple, len(attrs))
+	// Pad in symbol space: per output attribute, the source column when the
+	// operand has it, the absent marker otherwise. Left rows first, then
+	// right, first occurrence winning in the builder's dedupe — the same
+	// order and set semantics as the string path.
+	empty := relation.EmptySymbol()
+	row := make([]relation.Symbol, len(attrs))
+	emit := func(src *relation.Relation) error {
+		cols := make([][]relation.Symbol, len(attrs))
 		for j, a := range attrs {
-			if v, ok := src.Value(i, a); ok {
-				row[j] = v
+			if k := src.AttrIndex(a); k >= 0 {
+				cols[j] = src.Column(k)
 			}
 		}
-		return row
-	}
-	for i := 0; i < l.Len(); i++ {
-		if err := out.Add(pad(l, i)); err != nil {
-			return nil, err
+		for i := 0; i < src.Len(); i++ {
+			for j := range attrs {
+				if cols[j] != nil {
+					row[j] = cols[j][i]
+				} else {
+					row[j] = empty
+				}
+			}
+			if err := out.AddSymbols(row); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	for i := 0; i < r.Len(); i++ {
-		if err := out.Add(pad(r, i)); err != nil {
-			return nil, err
-		}
+	if err := emit(l); err != nil {
+		return nil, err
+	}
+	if err := emit(r); err != nil {
+		return nil, err
 	}
 	return db.WithoutRelation(o.Right).WithRelation(out.Relation()), nil
 }

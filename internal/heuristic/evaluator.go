@@ -155,9 +155,9 @@ func canonicalString(db *relation.Database) string {
 	var parts []string
 	n := 0
 	for _, r := range db.Relations() {
-		f := r.TNFFragment()
-		parts = append(parts, f.Parts...)
-		for _, p := range f.Parts {
+		fp := r.TNFFragment().Parts()
+		parts = append(parts, fp...)
+		for _, p := range fp {
 			n += len(p)
 		}
 	}

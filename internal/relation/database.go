@@ -294,10 +294,13 @@ func (db *Database) ValueSet() map[string]bool {
 	m := db.memo
 	m.valsOnce.Do(func() {
 		out := make(map[string]bool)
+		strs := strsSnapshot()
 		for _, r := range db.rels {
-			for _, row := range r.rows {
-				for _, v := range row {
-					out[v] = true
+			for j := range r.cols {
+				// Decode each distinct symbol once per column instead of
+				// walking every cell string.
+				for _, s := range r.distinctSymbols()[j] {
+					out[strs[s]] = true
 				}
 			}
 		}

@@ -51,6 +51,11 @@ func digest128(b []byte) [16]byte {
 	return out
 }
 
+// leUint64 and putLeUint64 are local aliases so digest consumers don't
+// re-import encoding/binary.
+func leUint64(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
+func putLeUint64(b []byte, x uint64) { binary.LittleEndian.PutUint64(b, x) }
+
 // mix64 is the splitmix64 finalizer: a full-avalanche bijection on uint64.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30

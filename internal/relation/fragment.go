@@ -1,6 +1,9 @@
 package relation
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Triple is an interned (REL, ATT, VALUE) TNF triple — one dimension of the
 // term-vector space of §3 of the paper, with the three tokens replaced by
@@ -10,9 +13,8 @@ type Triple [3]Symbol
 
 // Fragment is the per-relation piece of the database's TNF encoding, reduced
 // to the multiset counters the heuristics consume: the projection multisets
-// of the ATT and VALUE columns, the term-vector triple counts, and the
-// sorted REL⊙ATT⊙VALUE renderings that concatenate into the canonical
-// string. A database's TNF-derived views are exact merges of its relations'
+// of the ATT and VALUE columns and the term-vector triple counts. A
+// database's TNF-derived views are exact merges of its relations'
 // fragments, and a successor that replaced one relation copy-on-write is the
 // parent's merge minus the old fragment plus the new one — the delta-merge
 // the incremental heuristic evaluators exploit.
@@ -23,7 +25,8 @@ type Triple [3]Symbol
 // are disjoint; Atts and Vals may overlap across fragments and must be
 // summed before set-membership questions are asked.
 //
-// A Fragment is immutable after construction and shared freely.
+// A Fragment is immutable after construction and shared freely (always by
+// pointer: the lazy Parts memo embeds a sync.Once).
 type Fragment struct {
 	// Rel is the interned relation name; its multiplicity in the REL
 	// projection is RowCount.
@@ -46,10 +49,36 @@ type Fragment struct {
 	// squared Euclidean norm of the database's term vector (triple keys are
 	// disjoint across relations, so norms add per fragment).
 	VecSq int64
-	// Parts are the REL⊙ATT⊙VALUE strings of the fragment's TNF rows in
-	// sorted order, with repetitions; merging the Parts of all fragments in
-	// sorted order yields tnf.Table.CanonicalString.
-	Parts []string
+
+	// Lazily decoded Parts (see the Parts method). Only the
+	// string-canonical Levenshtein path reads them; every other consumer
+	// stays in symbol space, so the strings are never built for it.
+	partsOnce sync.Once
+	parts     []string
+}
+
+// Parts returns the REL⊙ATT⊙VALUE strings of the fragment's TNF rows in
+// sorted order, with repetitions; merging the Parts of all fragments in
+// sorted order yields tnf.Table.CanonicalString. The rendering is
+// reconstructed from Vec — each triple with count c contributes c copies of
+// its concatenation, the same multiset the per-cell construction produced —
+// decoded lazily exactly once and memoized, so searches that never consult
+// the string-edit-distance heuristic never pay for a single Part string.
+// The returned slice is shared: callers must treat it as read-only.
+func (f *Fragment) Parts() []string {
+	f.partsOnce.Do(func() {
+		strs := strsSnapshot()
+		out := make([]string, 0, f.RowCount)
+		for t, c := range f.Vec {
+			s := strs[t[0]] + strs[t[1]] + strs[t[2]]
+			for ; c > 0; c-- {
+				out = append(out, s)
+			}
+		}
+		sort.Strings(out)
+		f.parts = out
+	})
+	return f.parts
 }
 
 // TNFFragment returns the relation's TNF fragment, computed lazily exactly
@@ -64,53 +93,53 @@ func (r *Relation) TNFFragment() *Fragment {
 	return m.frag
 }
 
-// computeFragment builds the fragment from scratch, reproducing the exact
-// row semantics of tnf.Encode: zero-arity relations contribute a single
-// (rel, ε, ε) row, empty relations one (rel, att, ε) row per attribute, and
-// populated relations one (rel, att, value) row per (tuple, attribute) pair.
+// computeFragment builds the fragment straight from the symbol columns,
+// reproducing the exact row semantics of tnf.Encode: zero-arity relations
+// contribute a single (rel, ε, ε) row, empty relations one (rel, att, ε)
+// row per attribute, and populated relations one (rel, att, value) row per
+// (tuple, attribute) pair. The column-major walk touches each int32 cell
+// once and builds no strings.
 func (r *Relation) computeFragment() *Fragment {
-	r.internSyms()
-	m := r.memo
+	// Presize by the TNF row count: distinct triples (and values) are bounded
+	// by the rows contributed, and the relations of the paper's instances are
+	// small, so the bound lands within one map growth step of the final size.
+	cells := r.nrows * len(r.attrs)
 	f := &Fragment{
-		Rel:    m.nameSym,
+		Rel:    r.nameSym,
 		Arity:  len(r.attrs),
-		Tuples: len(r.rows),
+		Tuples: r.nrows,
 		Atts:   make(map[Symbol]int, len(r.attrs)),
-		Vals:   make(map[Symbol]int),
-		Vec:    make(map[Triple]int),
+		Vals:   make(map[Symbol]int, cells),
+		Vec:    make(map[Triple]int, max(cells, len(r.attrs))),
 	}
 	switch {
 	case len(r.attrs) == 0:
 		f.RowCount = 1
-		f.Vec[Triple{m.nameSym, emptySym, emptySym}] = 1
-		f.Parts = []string{r.name}
-	case len(r.rows) == 0:
+		f.Vec[Triple{r.nameSym, emptySym, emptySym}] = 1
+	case r.nrows == 0:
 		f.RowCount = len(r.attrs)
-		f.Parts = make([]string, len(r.attrs))
-		for j, a := range r.attrs {
-			f.Atts[m.attrSyms[j]]++
-			f.Vec[Triple{m.nameSym, m.attrSyms[j], emptySym}]++
-			f.Parts[j] = r.name + a
+		for j := range r.attrs {
+			f.Atts[r.attrSyms[j]]++
+			f.Vec[Triple{r.nameSym, r.attrSyms[j], emptySym}]++
 		}
 	default:
-		f.RowCount = len(r.rows) * len(r.attrs)
-		f.Parts = make([]string, 0, f.RowCount)
-		for i, row := range r.rows {
-			for j, a := range r.attrs {
-				f.Atts[m.attrSyms[j]]++
-				v := m.rowSyms[i][j]
+		f.RowCount = r.nrows * len(r.attrs)
+		for j, col := range r.cols {
+			a := r.attrSyms[j]
+			// Attribute names are unique, so this column owns its Atts key:
+			// one store instead of nrows increments.
+			f.Atts[a] += r.nrows
+			for _, v := range col {
 				if v != emptySym {
 					f.Vals[v]++
 				}
-				f.Vec[Triple{m.nameSym, m.attrSyms[j], v}]++
-				f.Parts = append(f.Parts, r.name+a+row[j])
+				f.Vec[Triple{r.nameSym, a, v}]++
 			}
 		}
 	}
 	for _, c := range f.Vec {
 		f.VecSq += int64(c) * int64(c)
 	}
-	sort.Strings(f.Parts)
 	return f
 }
 
@@ -118,29 +147,6 @@ func (r *Relation) computeFragment() *Fragment {
 // schema-only TNF rows. Interned at init so the constant is available
 // without a dictionary lookup.
 var emptySym = Intern("")
-
-// internSyms resolves the relation's name, attributes, and cell values to
-// dictionary symbols, exactly once; Hash and TNFFragment both build on the
-// interned form, so a relation pays for dictionary lookups once no matter
-// how many consumers identify it.
-func (r *Relation) internSyms() {
-	m := r.memo
-	m.symsOnce.Do(func() {
-		m.nameSym = Intern(r.name)
-		m.attrSyms = make([]Symbol, len(r.attrs))
-		for j, a := range r.attrs {
-			m.attrSyms[j] = Intern(a)
-		}
-		m.rowSyms = make([][]Symbol, len(r.rows))
-		for i, row := range r.rows {
-			rs := make([]Symbol, len(row))
-			for j, v := range row {
-				rs[j] = Intern(v)
-			}
-			m.rowSyms[i] = rs
-		}
-	})
-}
 
 // Diff compares two databases slot-by-slot by pointer identity and returns
 // the relations of parent absent from child (removed) and those of child

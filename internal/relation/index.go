@@ -5,12 +5,13 @@ package relation
 // · arity) per target relation — on every examined state. The target is
 // fixed for the lifetime of a mapping problem, so the index encodes each
 // target relation's rows into a hash set once; testing a state then costs a
-// single pass over the state's rows with O(1) lookups.
+// single pass over the state's symbol columns with O(1) lookups.
 //
-// The index answers exactly what Database.Contains answers — tests
-// cross-check the two on randomized databases — and is safe for concurrent
-// use: it is immutable after construction, and Contains keeps all scratch
-// state on the stack.
+// Keys are the fixed-width symbol encodings of the projected rows — symbol
+// equality is string equality within a process, so the verdicts match the
+// string-path scan exactly (tests cross-check the two on randomized
+// databases). The index is safe for concurrent use: it is immutable after
+// construction, and Contains keeps all scratch state on the stack.
 type ContainmentIndex struct {
 	targets []indexedRelation
 }
@@ -19,21 +20,23 @@ type ContainmentIndex struct {
 type indexedRelation struct {
 	name  string
 	attrs []string        // target attribute list, projection order
-	rows  map[string]bool // rowKey encodings of the target's tuples
+	rows  map[string]bool // symbol-key encodings of the target's tuples
 }
 
 // NewContainmentIndex preprocesses the target database for repeated
 // containment tests.
 func NewContainmentIndex(target *Database) *ContainmentIndex {
 	ix := &ContainmentIndex{targets: make([]indexedRelation, 0, target.Len())}
-	for _, t := range target.Relations() {
+	for _, t := range target.rels {
 		ir := indexedRelation{
 			name:  t.name,
 			attrs: append([]string(nil), t.attrs...),
-			rows:  make(map[string]bool, len(t.rows)),
+			rows:  make(map[string]bool, t.nrows),
 		}
-		for _, row := range t.rows {
-			ir.rows[rowKey(row)] = true
+		buf := make([]byte, 0, 4*len(t.cols))
+		for i := 0; i < t.nrows; i++ {
+			buf = t.appendRowKey(buf[:0], i)
+			ir.rows[string(buf)] = true
 		}
 		ix.targets = append(ix.targets, ir)
 	}
@@ -56,29 +59,42 @@ func (ix *ContainmentIndex) Contains(db *Database) bool {
 }
 
 // contains is the per-relation half: a single pass over r's rows, encoding
-// each projection onto the target attributes and counting how many distinct
-// target rows it hits.
+// each projection onto the target attributes from the symbol columns and
+// counting how many distinct target rows it hits.
 func (t *indexedRelation) contains(r *Relation) bool {
-	idx := make([]int, len(t.attrs))
-	for i, a := range t.attrs {
+	// Per-call stack scratch: the goal test runs once per examined state (and
+	// concurrently under the sharded search), so the projection slices live in
+	// fixed-size local arrays for the paper's single-digit arities, with a
+	// heap fallback for wider schemas. Locals keep the concurrency guarantee:
+	// no shared mutable scratch.
+	var colsArr [attrScanMax][]Symbol
+	cols := colsArr[:0]
+	if len(t.attrs) > attrScanMax {
+		cols = make([][]Symbol, 0, len(t.attrs))
+	}
+	for _, a := range t.attrs {
 		j := r.lookup(a)
 		if j < 0 {
 			return false
 		}
-		idx[i] = j
+		cols = append(cols, r.cols[j])
 	}
 	need := len(t.rows)
 	if need == 0 {
 		return true
 	}
-	buf := make([]byte, 0, 64)
+	var bufArr [4 * attrScanMax]byte
+	buf := bufArr[:0]
+	if len(cols) > attrScanMax {
+		buf = make([]byte, 0, 4*len(cols))
+	}
 	if need == 1 {
 		// Single-row targets (e.g. the paper's one-tuple critical instances)
 		// skip the distinct-hit bookkeeping: any projection match decides.
-		for _, row := range r.rows {
+		for i := 0; i < r.nrows; i++ {
 			buf = buf[:0]
-			for _, j := range idx {
-				buf = appendValueKey(buf, row[j])
+			for _, c := range cols {
+				buf = appendSymKey(buf, c[i])
 			}
 			// string(buf) in a map index expression does not allocate.
 			if t.rows[string(buf)] {
@@ -89,10 +105,10 @@ func (t *indexedRelation) contains(r *Relation) bool {
 	}
 	found := 0
 	seen := make(map[string]bool, need)
-	for _, row := range r.rows {
+	for i := 0; i < r.nrows; i++ {
 		buf = buf[:0]
-		for _, j := range idx {
-			buf = appendValueKey(buf, row[j])
+		for _, c := range cols {
+			buf = appendSymKey(buf, c[i])
 		}
 		if t.rows[string(buf)] && !seen[string(buf)] {
 			seen[string(buf)] = true

@@ -11,7 +11,19 @@ import "sync"
 //
 // Symbols are process-scoped and assignment order depends on interning
 // order, so they must never be persisted or compared across processes.
+// Identities that must survive a process boundary (Relation.Hash,
+// Database.Key) are built from the per-symbol content signatures instead,
+// which depend only on the string's bytes.
 type Symbol int32
+
+// sigPair is the 128-bit content signature of an interned string: digest128
+// of its bytes, computed once at interning time. Relation.Hash mixes cell
+// signatures instead of re-walking cell bytes, which keeps the hash
+// content-based (stable across processes, independent of interning order)
+// while the hot path touches only fixed-width words.
+type sigPair struct {
+	lo, hi uint64
+}
 
 // interner is the run-wide concurrent string dictionary. The table only
 // grows: tokens come from the source and target critical instances plus the
@@ -20,11 +32,15 @@ type Symbol int32
 // the process — see DESIGN.md, "Incremental heuristics and interning".
 //
 // Reads vastly outnumber writes once a search is warm, so lookups take an
-// RLock; the write lock is only held while inserting a new token.
+// RLock; the write lock is only held while inserting a new token. The strs
+// and sigs slices are append-only: a snapshot of either slice header taken
+// under RLock stays valid for every symbol issued before the snapshot, even
+// while concurrent inserts grow (and possibly reallocate) the live slice.
 type interner struct {
 	mu   sync.RWMutex
 	ids  map[string]Symbol
 	strs []string
+	sigs []sigPair
 }
 
 var globalIntern = &interner{ids: make(map[string]Symbol, 256)}
@@ -45,7 +61,12 @@ func Intern(s string) Symbol {
 		return sym
 	}
 	sym = Symbol(len(in.strs))
+	d := digest128([]byte(s))
 	in.strs = append(in.strs, s)
+	in.sigs = append(in.sigs, sigPair{
+		lo: leUint64(d[0:8]),
+		hi: leUint64(d[8:16]),
+	})
 	in.ids[s] = sym
 	return sym
 }
@@ -70,6 +91,43 @@ func (s Symbol) String() string {
 	in.mu.RUnlock()
 	return str
 }
+
+// strsSnapshot returns the dictionary's string table under a single RLock.
+// The returned slice must be treated as read-only; it covers every symbol
+// issued before the call (append-only growth never invalidates old
+// entries). Bulk decoders use it to pay one lock acquisition per relation
+// instead of one per cell.
+func strsSnapshot() []string {
+	in := globalIntern
+	in.mu.RLock()
+	s := in.strs
+	in.mu.RUnlock()
+	return s
+}
+
+// sigSnapshot is strsSnapshot's counterpart for the content signatures.
+func sigSnapshot() []sigPair {
+	in := globalIntern
+	in.mu.RLock()
+	s := in.sigs
+	in.mu.RUnlock()
+	return s
+}
+
+// SymbolStrings decodes a symbol slice to its strings in one pass, under a
+// single dictionary lock acquisition. The result is the caller's to keep.
+func SymbolStrings(syms []Symbol) []string {
+	strs := strsSnapshot()
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = strs[s]
+	}
+	return out
+}
+
+// EmptySymbol returns the interned empty string — the absent-value marker
+// the FIRA restructuring operators use (DESIGN.md §12).
+func EmptySymbol() Symbol { return emptySym }
 
 // InternedCount returns the number of distinct strings interned so far;
 // exposed for tests and capacity diagnostics.

@@ -10,11 +10,12 @@ import (
 func (r *Relation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s:\n", r.name)
+	rows := r.Rows()
 	widths := make([]int, len(r.attrs))
 	for i, a := range r.attrs {
 		widths[i] = len(a)
 	}
-	for _, row := range r.rows {
+	for _, row := range rows {
 		for i, v := range row {
 			if len(v) > widths[i] {
 				widths[i] = len(v)
@@ -37,7 +38,7 @@ func (r *Relation) String() string {
 		rule[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(rule)
-	for _, row := range r.rows {
+	for _, row := range rows {
 		writeRow(row)
 	}
 	return b.String()

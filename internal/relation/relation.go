@@ -6,6 +6,13 @@
 // attribute names, and a database is a named collection of relations.
 // All operations are copy-on-write so that values of these types can be used
 // as immutable search states.
+//
+// Storage is columnar and interned (DESIGN.md §12): a Relation holds one
+// dense []Symbol slice per attribute, resolved through the run-wide intern
+// dictionary. The string-facing API (Tuple, Rows, ValuesOf, Value) is a
+// decode layer over the columns; the hot search path — hashing, fragment
+// construction, containment probes, operator application — reads the int32
+// columns directly and never materializes a string.
 package relation
 
 import (
@@ -43,17 +50,25 @@ func (t Tuple) Equal(u Tuple) bool {
 // The zero value is not useful; construct relations with New or MustNew.
 // Tuples are held with set semantics: exact duplicates are removed on
 // construction and insertion.
+//
+// Cells are stored as per-attribute symbol columns: cols[j][i] is the
+// interned value of attribute j in row i, and every column has length
+// nrows. Name and attributes are kept both as strings (the API's currency)
+// and as their symbols (the hot path's).
 type Relation struct {
-	name  string
-	attrs []string
-	rows  []Tuple
+	name     string
+	nameSym  Symbol
+	attrs    []string
+	attrSyms []Symbol
+	cols     [][]Symbol
+	nrows    int
 
-	// memo caches every lazily derived identity of the relation — interned
-	// symbols, 128-bit hash, canonical fingerprint, TNF fragment, distinct
-	// column values — each computed exactly once. Relations are immutable
-	// once published — every constructor in this package finishes mutating
-	// rows before the value escapes — so the memoization is sound, and the
-	// sync.Onces make the lazy computations safe when parallel successor
+	// memo caches every lazily derived identity of the relation — 128-bit
+	// hash, canonical fingerprint, TNF fragment, distinct column values, row
+	// key set — each computed exactly once. Relations are immutable once
+	// published — every constructor in this package finishes mutating
+	// columns before the value escapes — so the memoization is sound, and
+	// the sync.Onces make the lazy computations safe when parallel successor
 	// workers race to identify states that share a relation. The memo is
 	// held by pointer so a fresh one is allocated wherever a new Relation is
 	// built (New, Clone) and never copied along with in-progress state.
@@ -62,23 +77,18 @@ type Relation struct {
 
 // canonMemo holds the lazily computed derived forms of a relation. The
 // fields group into independent sync.Once-guarded families so each consumer
-// pays only for what it uses: the hot search path needs syms + hash +
-// fragment and never renders the string fingerprint; diagnostic paths
-// (Fingerprint, Equal) render the canonical strings on demand.
+// pays only for what it uses: the hot search path needs hash + fragment and
+// never renders the string fingerprint; diagnostic paths (Fingerprint,
+// Equal) render the canonical strings on demand.
 type canonMemo struct {
-	// Interned form: the relation's tokens as dictionary symbols, in schema
-	// order. Input to the TNF fragment.
-	symsOnce sync.Once
-	nameSym  Symbol
-	attrSyms []Symbol
-	rowSyms  [][]Symbol
-
-	// Compact identity: digest128 over the canonical byte encoding.
-	// Content-based, so stable across processes.
+	// Compact identity: two 64-bit lanes mixed over the per-symbol content
+	// signatures. Content-based, so stable across processes.
 	hashOnce sync.Once
 	hash     [16]byte
 
 	// Canonical string form: sorted-attr row renderings and fingerprint.
+	// This is the retained string-path reference the differential tests
+	// cross-check the columnar identities against.
 	canonOnce sync.Once
 	rows      []string // canonical rows: sorted-attr rendering, sorted
 	fp        string   // full canonical fingerprint string
@@ -87,9 +97,20 @@ type canonMemo struct {
 	fragOnce sync.Once
 	frag     *Fragment
 
-	// Distinct values per column, sorted; indexed like attrs.
+	// Distinct symbols per column, first-occurrence order; indexed like
+	// attrs. Input to the move generators' membership scans.
+	symColsOnce sync.Once
+	symCols     [][]Symbol
+
+	// Distinct values per column, decoded and sorted; indexed like attrs.
 	colsOnce sync.Once
 	cols     [][]string
+
+	// Symbol row keys of every row, built on first Insert against this
+	// relation; shared semantics with Builder.seen. Turns the duplicate
+	// check of copy-on-write insertion into one map lookup.
+	rowSetOnce sync.Once
+	rowSet     map[string]bool
 
 	// Attribute name → position, built on first lookup over a wide schema.
 	// Narrow schemas — the common case — resolve attributes by linear scan
@@ -128,27 +149,52 @@ func (r *Relation) lookup(a string) int {
 	return -1
 }
 
+// validateSchema checks the constructor invariants shared by every way of
+// building a relation: non-empty name, non-empty unique attribute names.
+func validateSchema(name string, attrs []string) error {
+	if name == "" {
+		return fmt.Errorf("relation: empty relation name")
+	}
+	for i, a := range attrs {
+		if a == "" {
+			return fmt.Errorf("relation %s: empty attribute name at position %d", name, i)
+		}
+		for _, prev := range attrs[:i] {
+			if prev == a {
+				return fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// newEmpty builds a rowless relation with an owned copy of the schema and
+// its interned form.
+func newEmpty(name string, attrs []string) (*Relation, error) {
+	if err := validateSchema(name, attrs); err != nil {
+		return nil, err
+	}
+	r := &Relation{
+		name:     name,
+		nameSym:  Intern(name),
+		attrs:    append([]string(nil), attrs...),
+		attrSyms: make([]Symbol, len(attrs)),
+		cols:     make([][]Symbol, len(attrs)),
+		memo:     &canonMemo{},
+	}
+	for j, a := range r.attrs {
+		r.attrSyms[j] = Intern(a)
+	}
+	return r, nil
+}
+
 // New creates a relation. It fails if the name or any attribute is empty,
 // attributes are duplicated, or a row's arity differs from the schema.
 // Duplicate rows are silently dropped (set semantics).
 func New(name string, attrs []string, rows ...Tuple) (*Relation, error) {
-	if name == "" {
-		return nil, fmt.Errorf("relation: empty relation name")
-	}
-	r := &Relation{
-		name:  name,
-		attrs: append([]string(nil), attrs...),
-		memo:  &canonMemo{},
-	}
-	for i, a := range attrs {
-		if a == "" {
-			return nil, fmt.Errorf("relation %s: empty attribute name at position %d", name, i)
-		}
-		for _, prev := range attrs[:i] {
-			if prev == a {
-				return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
-			}
-		}
+	r, err := newEmpty(name, attrs)
+	if err != nil {
+		return nil, err
 	}
 	switch len(rows) {
 	case 0:
@@ -159,13 +205,32 @@ func New(name string, attrs []string, rows ...Tuple) (*Relation, error) {
 		if len(rows[0]) != len(r.attrs) {
 			return nil, fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(rows[0]), len(r.attrs))
 		}
-		r.rows = append(r.rows, rows[0].Clone())
+		backing := make([]Symbol, len(rows[0]))
+		for j, v := range rows[0] {
+			backing[j] = Intern(v)
+			r.cols[j] = backing[j : j+1 : j+1]
+		}
+		r.nrows = 1
 	default:
 		seen := make(map[string]bool, len(rows))
+		syms := make([]Symbol, len(attrs))
+		buf := make([]byte, 0, 4*len(attrs))
 		for _, row := range rows {
-			if err := r.appendOwned(row.Clone(), seen); err != nil {
-				return nil, err
+			if len(row) != len(r.attrs) {
+				return nil, fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), len(r.attrs))
 			}
+			for j, v := range row {
+				syms[j] = Intern(v)
+			}
+			buf = buf[:0]
+			for _, s := range syms {
+				buf = appendSymKey(buf, s)
+			}
+			if seen[string(buf)] {
+				continue
+			}
+			seen[string(buf)] = true
+			r.appendRowSyms(syms)
 		}
 	}
 	return r, nil
@@ -181,98 +246,158 @@ func MustNew(name string, attrs []string, rows ...Tuple) *Relation {
 	return r
 }
 
-// insert adds a row, enforcing arity and set semantics.
-func (r *Relation) insert(row Tuple) error {
-	if len(row) != len(r.attrs) {
-		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), len(r.attrs))
+// NewFromColumns constructs a relation directly from interned symbol
+// columns, taking ownership of cols (callers must not retain or modify the
+// slices). nrows is the explicit row count — it carries the information
+// when arity is zero and is validated against every column otherwise. No
+// duplicate detection is performed: callers guarantee the rows are
+// distinct, which the column-splicing FIRA operators (demote, product,
+// partition) can prove structurally. This is the zero-decode construction
+// path of the search hot loop.
+func NewFromColumns(name string, attrs []string, cols [][]Symbol, nrows int) (*Relation, error) {
+	if err := validateSchema(name, attrs); err != nil {
+		return nil, err
 	}
-	for _, existing := range r.rows {
-		if existing.Equal(row) {
-			return nil
+	if len(cols) != len(attrs) {
+		return nil, fmt.Errorf("relation %s: %d columns for %d attributes", name, len(cols), len(attrs))
+	}
+	if nrows < 0 || (len(attrs) == 0 && nrows > 1) {
+		return nil, fmt.Errorf("relation %s: invalid row count %d", name, nrows)
+	}
+	for j, c := range cols {
+		if len(c) != nrows {
+			return nil, fmt.Errorf("relation %s: column %q has %d values for %d rows", name, attrs[j], len(c), nrows)
 		}
 	}
-	r.rows = append(r.rows, row.Clone())
-	return nil
+	r := &Relation{
+		name:     name,
+		nameSym:  Intern(name),
+		attrs:    append([]string(nil), attrs...),
+		attrSyms: make([]Symbol, len(attrs)),
+		cols:     cols,
+		nrows:    nrows,
+		memo:     &canonMemo{},
+	}
+	for j, a := range r.attrs {
+		r.attrSyms[j] = Intern(a)
+	}
+	return r, nil
+}
+
+// appendRowSyms appends one row given as symbols, copying the values into
+// the columns. Callers have already checked arity and duplicates.
+func (r *Relation) appendRowSyms(syms []Symbol) {
+	for j, s := range syms {
+		r.cols[j] = append(r.cols[j], s)
+	}
+	r.nrows++
+}
+
+// appendSymKey appends the 4-byte little-endian encoding of a symbol.
+// Concatenated symbol keys of one schema are injective: fixed width, so two
+// rows have equal keys iff they are symbol-wise (hence string-wise) equal.
+func appendSymKey(buf []byte, s Symbol) []byte {
+	return append(buf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+}
+
+// appendRowKey appends row i's symbol key across all columns.
+func (r *Relation) appendRowKey(buf []byte, i int) []byte {
+	for j := range r.cols {
+		buf = appendSymKey(buf, r.cols[j][i])
+	}
+	return buf
+}
+
+// rowSet returns the memoized symbol-key set of the relation's rows,
+// building it on first use: Insert's duplicate check is then one map
+// lookup, so a chain of n copy-on-write inserts costs O(n·arity) key
+// encodings instead of the O(n²) tuple scans it once did.
+func (r *Relation) rowSet() map[string]bool {
+	m := r.memo
+	m.rowSetOnce.Do(func() {
+		set := make(map[string]bool, r.nrows)
+		buf := make([]byte, 0, 4*len(r.cols))
+		for i := 0; i < r.nrows; i++ {
+			buf = r.appendRowKey(buf[:0], i)
+			set[string(buf)] = true
+		}
+		m.rowSet = set
+	})
+	return m.rowSet
 }
 
 // appendValueKey appends v to buf with a length prefix, so concatenated
 // encodings decode unambiguously whatever bytes the values contain —
-// exact tuple equality, unlike separator-joined renderings.
+// exact tuple equality, unlike separator-joined renderings. This is the
+// string-path encoding behind the canonical fingerprint.
 func appendValueKey(buf []byte, v string) []byte {
 	buf = strconv.AppendInt(buf, int64(len(v)), 10)
 	buf = append(buf, ':')
 	return append(buf, v...)
 }
 
-// rowKey returns the unambiguous encoding of a tuple, used for O(1)
-// duplicate detection in batch construction and for the containment index.
-// Two tuples of the same arity have equal rowKeys iff they are Equal.
-func rowKey(row Tuple) string {
-	buf := make([]byte, 0, 16*len(row))
-	for _, v := range row {
-		buf = appendValueKey(buf, v)
-	}
-	return string(buf)
-}
-
-// appendOwned appends a row the relation takes ownership of, enforcing
-// arity, deduplicating in O(1) via the seen set (keyed by rowKey). It is
-// the batch counterpart of insert: callers constructing many rows use it so
-// that building an n-row relation costs O(n), not the O(n²) of per-row
-// linear duplicate scans. A nil seen set skips deduplication entirely; it
-// is only passed by callers that can prove no duplicate can arise.
-func (r *Relation) appendOwned(row Tuple, seen map[string]bool) error {
-	if len(row) != len(r.attrs) {
-		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), len(r.attrs))
-	}
-	if seen != nil {
-		k := rowKey(row)
-		if seen[k] {
-			return nil
-		}
-		seen[k] = true
-	}
-	r.rows = append(r.rows, row)
-	return nil
-}
-
-// dedupeSet returns the seen set for a rebuild of n source rows, or nil when
-// n ≤ 1: a single row cannot duplicate anything, so the rebuild skips the
-// rowKey encodings and map entirely. Search successors over the paper's
-// single-tuple critical instances take this path on every expansion.
-func dedupeSet(n int) map[string]bool {
-	if n <= 1 {
-		return nil
-	}
-	return make(map[string]bool, n)
-}
-
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
+// NameSymbol returns the interned relation name.
+func (r *Relation) NameSymbol() Symbol { return r.nameSym }
+
 // Attrs returns a copy of the ordered attribute list.
 func (r *Relation) Attrs() []string { return append([]string(nil), r.attrs...) }
+
+// AttrSymbols returns the interned attribute names in schema order, shared:
+// callers must treat the slice as read-only.
+func (r *Relation) AttrSymbols() []Symbol { return r.attrSyms }
+
+// Column returns attribute j's value column, shared: callers must treat the
+// slice as read-only. It is the move generators' and operators' direct view
+// of the storage.
+func (r *Relation) Column(j int) []Symbol { return r.cols[j] }
 
 // Arity returns the number of attributes.
 func (r *Relation) Arity() int { return len(r.attrs) }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.nrows }
 
 // HasAttr reports whether the relation has an attribute with the given name.
 func (r *Relation) HasAttr(a string) bool { return r.lookup(a) >= 0 }
 
+// HasAttrSymbol reports whether the interned name s is one of the
+// relation's attributes.
+func (r *Relation) HasAttrSymbol(s Symbol) bool {
+	for _, a := range r.attrSyms {
+		if a == s {
+			return true
+		}
+	}
+	return false
+}
+
 // AttrIndex returns the position of attribute a, or -1 if absent.
 func (r *Relation) AttrIndex(a string) int { return r.lookup(a) }
 
-// Row returns the i-th tuple. The returned tuple must not be modified.
-func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+// Row returns the i-th tuple, decoded from the columns. The tuple is the
+// caller's to keep.
+func (r *Relation) Row(i int) Tuple {
+	strs := strsSnapshot()
+	out := make(Tuple, len(r.cols))
+	for j := range r.cols {
+		out[j] = strs[r.cols[j][i]]
+	}
+	return out
+}
 
-// Rows returns a deep copy of all tuples.
+// Rows returns all tuples, decoded from the columns.
 func (r *Relation) Rows() []Tuple {
-	out := make([]Tuple, len(r.rows))
-	for i, row := range r.rows {
-		out[i] = row.Clone()
+	strs := strsSnapshot()
+	out := make([]Tuple, r.nrows)
+	for i := 0; i < r.nrows; i++ {
+		row := make(Tuple, len(r.cols))
+		for j := range r.cols {
+			row[j] = strs[r.cols[j][i]]
+		}
+		out[i] = row
 	}
 	return out
 }
@@ -284,36 +409,71 @@ func (r *Relation) Value(i int, a string) (string, bool) {
 	if j < 0 {
 		return "", false
 	}
-	return r.rows[i][j], true
+	return r.cols[j][i].String(), true
+}
+
+// HasEmptyCell reports whether any cell holds the absent value (the empty
+// string) — the precondition for µ (merge) to change anything.
+func (r *Relation) HasEmptyCell() bool {
+	for _, c := range r.cols {
+		for _, s := range c {
+			if s == emptySym {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Clone returns a deep copy of the relation.
 func (r *Relation) Clone() *Relation {
-	out := &Relation{
-		name:  r.name,
-		attrs: append([]string(nil), r.attrs...),
-		rows:  make([]Tuple, len(r.rows)),
-		memo:  &canonMemo{}, // fresh: the copy may be mutated before publication
+	cols := make([][]Symbol, len(r.cols))
+	for j, c := range r.cols {
+		cols[j] = append([]Symbol(nil), c...)
 	}
-	for i, row := range r.rows {
-		out.rows[i] = row.Clone()
+	return &Relation{
+		name:     r.name,
+		nameSym:  r.nameSym,
+		attrs:    append([]string(nil), r.attrs...),
+		attrSyms: append([]Symbol(nil), r.attrSyms...),
+		cols:     cols,
+		nrows:    r.nrows,
+		memo:     &canonMemo{}, // fresh: the copy may be mutated before publication
 	}
+}
+
+// shallowClone copies the relation's schema (name, attrs) and shares its
+// column storage. Columns are immutable after publication and never mutated
+// by this package, so sharing is safe; the full-capacity slice expressions
+// keep an append on the copy (Insert) from aliasing into the original's
+// backing arrays. Constructors that only touch schema — the rename
+// operators of the search hot path — use this instead of Clone to avoid
+// re-copying every cell of the relation.
+func (r *Relation) shallowClone() *Relation {
+	out := r.shallowCloneSharedSchema()
+	out.attrs = append([]string(nil), r.attrs...)
+	out.attrSyms = append([]Symbol(nil), r.attrSyms...)
 	return out
 }
 
-// shallowClone copies the relation's schema (name, attrs) and shares its row
-// storage. Tuples are immutable after publication and never mutated by this
-// package, so sharing is safe; the full-capacity slice expression keeps an
-// append on the copy (Insert) from aliasing into the original's backing
-// array. Constructors that only touch schema — the rename operators of the
-// search hot path — use this instead of Clone to avoid re-copying every cell
-// of the relation.
-func (r *Relation) shallowClone() *Relation {
+// shallowCloneSharedSchema is shallowClone without the attribute copies: the
+// attrs and attrSyms slices are shared with the receiver. Only safe for
+// callers that never write into them (WithName, Insert); a later rename on
+// the clone goes through shallowClone again and copies before mutating, so
+// the sharing never propagates a write.
+func (r *Relation) shallowCloneSharedSchema() *Relation {
+	cols := make([][]Symbol, len(r.cols))
+	for j, c := range r.cols {
+		cols[j] = c[:len(c):len(c)]
+	}
 	return &Relation{
-		name:  r.name,
-		attrs: append([]string(nil), r.attrs...),
-		rows:  r.rows[:len(r.rows):len(r.rows)],
-		memo:  &canonMemo{},
+		name:     r.name,
+		nameSym:  r.nameSym,
+		attrs:    r.attrs,
+		attrSyms: r.attrSyms,
+		cols:     cols,
+		nrows:    r.nrows,
+		memo:     &canonMemo{},
 	}
 }
 
@@ -322,8 +482,9 @@ func (r *Relation) WithName(name string) (*Relation, error) {
 	if name == "" {
 		return nil, fmt.Errorf("relation: empty relation name")
 	}
-	out := r.shallowClone()
+	out := r.shallowCloneSharedSchema()
 	out.name = name
+	out.nameSym = Intern(name)
 	return out, nil
 }
 
@@ -341,33 +502,109 @@ func (r *Relation) WithAttrRenamed(old, new string) (*Relation, error) {
 	}
 	out := r.shallowClone()
 	out.attrs[i] = new
+	out.attrSyms[i] = Intern(new)
 	return out, nil
 }
 
-// WithColumn returns a copy with a new attribute appended. values[i] becomes
-// the value of the new attribute in row i; len(values) must equal Len().
-func (r *Relation) WithColumn(attr string, values []string) (*Relation, error) {
+// withColumnSyms is the engine behind WithColumn and WithColumnSyms: append
+// a new attribute whose column is the given symbol slice (ownership
+// transferred). Extending distinct rows with a new column cannot create
+// duplicates — if two extended rows were equal, their prefixes, the
+// original already-distinct rows, would be too — so no deduplication runs.
+func (r *Relation) withColumnSyms(attr string, col []Symbol) (*Relation, error) {
 	if attr == "" {
 		return nil, fmt.Errorf("relation %s: empty attribute name", r.name)
 	}
 	if r.lookup(attr) >= 0 {
 		return nil, fmt.Errorf("relation %s: attribute %q already exists", r.name, attr)
 	}
-	if len(values) != len(r.rows) {
-		return nil, fmt.Errorf("relation %s: %d column values for %d rows", r.name, len(values), len(r.rows))
+	if len(col) != r.nrows {
+		return nil, fmt.Errorf("relation %s: %d column values for %d rows", r.name, len(col), r.nrows)
 	}
-	out, err := New(r.name, append(r.Attrs(), attr))
+	cols := make([][]Symbol, len(r.cols)+1)
+	for j, c := range r.cols {
+		cols[j] = c[:len(c):len(c)]
+	}
+	cols[len(r.cols)] = col
+	return &Relation{
+		name:     r.name,
+		nameSym:  r.nameSym,
+		attrs:    append(r.Attrs(), attr),
+		attrSyms: append(append([]Symbol(nil), r.attrSyms...), Intern(attr)),
+		cols:     cols,
+		nrows:    r.nrows,
+		memo:     &canonMemo{},
+	}, nil
+}
+
+// WithColumn returns a copy with a new attribute appended. values[i] becomes
+// the value of the new attribute in row i; len(values) must equal Len().
+func (r *Relation) WithColumn(attr string, values []string) (*Relation, error) {
+	col := make([]Symbol, len(values))
+	for i, v := range values {
+		col[i] = Intern(v)
+	}
+	return r.withColumnSyms(attr, col)
+}
+
+// WithColumnSyms is WithColumn over already-interned values; the column's
+// ownership transfers to the new relation. FIRA operators that compute the
+// new column from existing columns (promote, deref) use it to keep cell
+// movement inside symbol space.
+func (r *Relation) WithColumnSyms(attr string, col []Symbol) (*Relation, error) {
+	return r.withColumnSyms(attr, col)
+}
+
+// projectCols builds a relation from the receiver's rows restricted to the
+// column positions idx (in idx order) under the given schema, collapsing
+// duplicate rows first-wins. When no duplicates arise the projected columns
+// are shared with the receiver capacity-capped; otherwise surviving rows
+// are gathered into fresh columns.
+func (r *Relation) projectCols(attrs []string, idx []int) (*Relation, error) {
+	out, err := newEmpty(r.name, attrs)
 	if err != nil {
 		return nil, err
 	}
-	// Extending distinct rows with a new column cannot create duplicates:
-	// if two extended rows were equal, their prefixes — the original,
-	// already-distinct rows — would be too. So no dedupe set is needed.
-	for i, row := range r.rows {
-		if err := out.appendOwned(append(row.Clone(), values[i]), nil); err != nil {
-			return nil, err
+	if r.nrows <= 1 {
+		// A single row cannot duplicate anything; share the columns.
+		for k, j := range idx {
+			c := r.cols[j]
+			out.cols[k] = c[:len(c):len(c)]
 		}
+		out.nrows = r.nrows
+		return out, nil
 	}
+	seen := make(map[string]bool, r.nrows)
+	keep := make([]int, 0, r.nrows)
+	buf := make([]byte, 0, 4*len(idx))
+	for i := 0; i < r.nrows; i++ {
+		buf = buf[:0]
+		for _, j := range idx {
+			buf = appendSymKey(buf, r.cols[j][i])
+		}
+		if seen[string(buf)] {
+			continue
+		}
+		seen[string(buf)] = true
+		keep = append(keep, i)
+	}
+	if len(keep) == r.nrows {
+		for k, j := range idx {
+			c := r.cols[j]
+			out.cols[k] = c[:len(c):len(c)]
+		}
+		out.nrows = r.nrows
+		return out, nil
+	}
+	for k, j := range idx {
+		src := r.cols[j]
+		c := make([]Symbol, len(keep))
+		for n, i := range keep {
+			c[n] = src[i]
+		}
+		out.cols[k] = c
+	}
+	out.nrows = len(keep)
 	return out, nil
 }
 
@@ -380,28 +617,14 @@ func (r *Relation) WithoutAttr(a string) (*Relation, error) {
 		return nil, fmt.Errorf("relation %s: no attribute %q", r.name, a)
 	}
 	attrs := make([]string, 0, len(r.attrs)-1)
+	idx := make([]int, 0, len(r.attrs)-1)
 	for i, name := range r.attrs {
 		if i != j {
 			attrs = append(attrs, name)
+			idx = append(idx, i)
 		}
 	}
-	out, err := New(r.name, attrs)
-	if err != nil {
-		return nil, err
-	}
-	seen := dedupeSet(len(r.rows))
-	for _, row := range r.rows {
-		nr := make(Tuple, 0, len(row)-1)
-		for i, v := range row {
-			if i != j {
-				nr = append(nr, v)
-			}
-		}
-		if err := out.appendOwned(nr, seen); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return r.projectCols(attrs, idx)
 }
 
 // Project returns a copy containing only the named attributes, in the given
@@ -415,40 +638,55 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 		}
 		idx[i] = j
 	}
-	out, err := New(r.name, attrs)
-	if err != nil {
-		return nil, err
-	}
-	seen := dedupeSet(len(r.rows))
-	for _, row := range r.rows {
-		nr := make(Tuple, len(idx))
-		for i, j := range idx {
-			nr[i] = row[j]
+	return r.projectCols(attrs, idx)
+}
+
+// distinctSymbols computes the per-column distinct symbols exactly once, in
+// first-occurrence order. Move generators ask set-membership questions
+// ("does this column carry a target attribute name?") on every expansion of
+// a state whose relations are mostly shared with its ancestors, so the
+// memoized form turns repeated scans into slice reads over int32s.
+func (r *Relation) distinctSymbols() [][]Symbol {
+	m := r.memo
+	m.symColsOnce.Do(func() {
+		cols := make([][]Symbol, len(r.cols))
+		seen := make(map[Symbol]bool)
+		for j, c := range r.cols {
+			clear(seen)
+			var out []Symbol
+			for _, s := range c {
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+			}
+			cols[j] = out
 		}
-		if err := out.appendOwned(nr, seen); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+		m.symCols = cols
+	})
+	return m.symCols
+}
+
+// DistinctSymbols returns the distinct symbols of column j in
+// first-occurrence order, memoized and shared: callers must treat the slice
+// as read-only. Membership scans over it are order-insensitive; callers
+// that need deterministic value ordering use DistinctValues.
+func (r *Relation) DistinctSymbols(j int) []Symbol {
+	return r.distinctSymbols()[j]
 }
 
 // distinctValues computes the per-column sorted distinct values exactly
-// once. Candidate-move generation asks for column values on every expansion
-// of a state whose relations are mostly shared with its ancestors, so the
-// memoized form turns repeated sort-and-dedupe passes into slice reads.
+// once, decoding the distinct symbol sets.
 func (r *Relation) distinctValues() [][]string {
 	m := r.memo
 	m.colsOnce.Do(func() {
-		cols := make([][]string, len(r.attrs))
-		seen := make(map[string]bool)
-		for j := range r.attrs {
-			clear(seen)
-			var out []string
-			for _, row := range r.rows {
-				if !seen[row[j]] {
-					seen[row[j]] = true
-					out = append(out, row[j])
-				}
+		syms := r.distinctSymbols()
+		strs := strsSnapshot()
+		cols := make([][]string, len(syms))
+		for j, c := range syms {
+			out := make([]string, len(c))
+			for i, s := range c {
+				out[i] = strs[s]
 			}
 			sort.Strings(out)
 			cols[j] = out
@@ -482,13 +720,24 @@ func (r *Relation) ValuesOf(a string) ([]string, error) {
 }
 
 // Insert returns a copy of the relation with the row added. The copy shares
-// the original's row storage; insert's append reallocates, so the original
-// is unaffected.
+// the original's column storage; the appends reallocate, so the original is
+// unaffected. The duplicate check is one lookup in the memoized row-key set
+// — repeated Insert against a growing chain stays linear, not quadratic.
 func (r *Relation) Insert(row Tuple) (*Relation, error) {
-	out := r.shallowClone()
-	if err := out.insert(row); err != nil {
-		return nil, err
+	if len(row) != len(r.attrs) {
+		return nil, fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), len(r.attrs))
 	}
+	syms := make([]Symbol, len(row))
+	buf := make([]byte, 0, 4*len(row))
+	for j, v := range row {
+		syms[j] = Intern(v)
+		buf = appendSymKey(buf, syms[j])
+	}
+	out := r.shallowCloneSharedSchema()
+	if r.rowSet()[string(buf)] {
+		return out, nil
+	}
+	out.appendRowSyms(syms)
 	return out, nil
 }
 
@@ -502,19 +751,21 @@ func (r *Relation) Insert(row Tuple) (*Relation, error) {
 // makes the flat concatenation parse deterministically — no sequence of
 // (name, attrs, rows) collides with a different one. This function is the
 // single source of truth the memo caches; tests call it directly to
-// cross-check memoized values.
+// cross-check memoized values, and the differential suite checks the
+// columnar hash agrees with it on equality.
 func (r *Relation) computeCanonical() (rows []string, fp string) {
+	strs := strsSnapshot()
 	order := r.sortedAttrOrder()
 	names := make([]string, len(order))
 	for i, j := range order {
 		names[i] = r.attrs[j]
 	}
-	rows = make([]string, len(r.rows))
+	rows = make([]string, r.nrows)
 	var buf []byte
-	for i, row := range r.rows {
+	for i := 0; i < r.nrows; i++ {
 		buf = buf[:0]
 		for _, j := range order {
-			buf = appendValueKey(buf, row[j])
+			buf = appendValueKey(buf, strs[r.cols[j][i]])
 		}
 		rows[i] = string(buf)
 	}
@@ -556,7 +807,7 @@ func (r *Relation) Equal(s *Relation) bool {
 	if r == s {
 		return true
 	}
-	if r.name != s.name || len(r.attrs) != len(s.attrs) || len(r.rows) != len(s.rows) {
+	if r.name != s.name || len(r.attrs) != len(s.attrs) || r.nrows != s.nrows {
 		return false
 	}
 	for _, a := range r.attrs {
@@ -576,7 +827,10 @@ func (r *Relation) Equal(s *Relation) bool {
 // Contains reports whether r is a structurally identical superset of s
 // restricted to s's attributes: r has every attribute of s, and every tuple
 // of s agrees with some tuple of r on s's attributes. This is the
-// per-relation half of the paper's goal test (§2.3).
+// per-relation half of the paper's goal test (§2.3), kept as the
+// nested-loop reference implementation the ContainmentIndex is
+// cross-checked against. Symbol comparison is string comparison: equal
+// strings intern to equal symbols.
 func (r *Relation) Contains(s *Relation) bool {
 	idx := make([]int, len(s.attrs))
 	for i, a := range s.attrs {
@@ -586,12 +840,12 @@ func (r *Relation) Contains(s *Relation) bool {
 		}
 		idx[i] = j
 	}
-	for _, srow := range s.rows {
+	for si := 0; si < s.nrows; si++ {
 		found := false
-		for _, rrow := range r.rows {
+		for ri := 0; ri < r.nrows; ri++ {
 			match := true
 			for i, j := range idx {
-				if rrow[j] != srow[i] {
+				if r.cols[j][ri] != s.cols[i][si] {
 					match = false
 					break
 				}
@@ -622,9 +876,14 @@ func (r *Relation) Fingerprint() string {
 // order — the column order every canonical rendering (fingerprint, hash)
 // shares, so projections of both sides of any comparison align.
 func (r *Relation) sortedAttrOrder() []int {
-	order := make([]int, len(r.attrs))
-	for i := range order {
-		order[i] = i
+	return r.appendSortedAttrOrder(make([]int, 0, len(r.attrs)))
+}
+
+// appendSortedAttrOrder appends the sorted attribute positions to order,
+// letting hot callers provide stack-array backing.
+func (r *Relation) appendSortedAttrOrder(order []int) []int {
+	for i := range r.attrs {
+		order = append(order, i)
 	}
 	// Insertion sort: arities are small (the paper's schemas stay in single
 	// digits) and this avoids sort.Slice's closure and reflection overhead
@@ -637,73 +896,102 @@ func (r *Relation) sortedAttrOrder() []int {
 	return order
 }
 
+// hash-lane constants, shared with digest128.
+const (
+	hashK0 = 0x9e3779b97f4a7c15 // golden-ratio odd constant
+	hashK1 = 0xbf58476d1ce4e5b9 // splitmix64 multiplier
+)
+
 // Hash returns a 128-bit digest of the relation's canonical identity,
 // memoized. Equal relations have equal hashes; distinct relations collide
-// with probability ~2⁻¹²⁸ per pair — see the collision argument in
-// DESIGN.md ("State identity").
+// with negligible probability — see the collision argument in DESIGN.md
+// ("State identity" and §12).
 //
-// The digest is computed over a byte encoding equivalent to the string
-// fingerprint — length-prefixed name, sorted attribute names, rows rendered
-// in sorted-attribute order and sorted bytewise, counts prefixed — but
-// assembled directly into one buffer without materializing the intermediate
-// strings. Rows are encoded back to back into that buffer and sorted as
-// offset ranges, so hashing allocates exactly twice (offsets and buffer)
-// regardless of row count. The encoding is injective (length prefixes and
-// count separators make it parse deterministically), so the equality
-// semantics are exactly Fingerprint's at a fraction of the allocation cost.
+// The digest is assembled entirely from fixed-width words: every interned
+// symbol carries a 128-bit content signature (digest128 of its string,
+// computed once at interning time), and the relation hash mixes the name
+// signature, the attribute signatures in sorted-name order, and one
+// signature per row — itself a mix of the row's cell signatures in
+// sorted-attribute order — with row signatures sorted so the result is
+// row-order invariant. Counts are absorbed as their own words, so schema
+// and data cannot alias. Because cell signatures depend only on string
+// content, the hash is deterministic across processes and independent of
+// interning order, exactly like the byte-encoding digest it replaced — but
+// it never touches a string: hashing is ~4 multiply-xor mixes per cell.
 func (r *Relation) Hash() [16]byte {
 	m := r.memo
 	m.hashOnce.Do(func() {
-		order := r.sortedAttrOrder()
-		// Canonicalize row order by sorting indices with a field-wise
-		// comparison in sorted-attribute order. Any deterministic,
-		// permutation-invariant order works (rows are deduplicated, so the
-		// comparator is total); sorting indices first lets the encoding be
-		// a single append pass into one buffer. Insertion sort: successor
-		// states mutate tiny critical instances, so row counts are small.
-		idx := make([]int, len(r.rows))
-		for i := range idx {
-			idx[i] = i
+		sigs := sigSnapshot()
+		// Hash runs once per relation ever created — millions per search —
+		// so the two scratch slices live in stack arrays at the paper's
+		// single-digit arities and tuple counts.
+		var orderArr [attrScanMax]int
+		order := orderArr[:0]
+		if len(r.attrs) > attrScanMax {
+			order = make([]int, 0, len(r.attrs))
 		}
-		for i := 1; i < len(idx); i++ {
-			for j := i; j > 0 && rowLess(r.rows[idx[j]], r.rows[idx[j-1]], order); j-- {
-				idx[j], idx[j-1] = idx[j-1], idx[j]
-			}
+		order = r.appendSortedAttrOrder(order)
+		h0 := mix64(uint64(len(r.attrs)+1) * hashK0)
+		h1 := mix64(uint64(len(r.attrs)+2) * hashK1)
+		absorb := func(x uint64) {
+			h0 = mix64(h0 ^ (x * hashK1))
+			h1 = mix64(h1 ^ (x * hashK0))
 		}
-		n := 32 + 16*len(order)
-		for _, row := range r.rows {
-			for _, v := range row {
-				n += len(v) + 8
-			}
-		}
-		buf := make([]byte, 0, n)
-		buf = appendValueKey(buf, r.name)
-		buf = strconv.AppendInt(buf, int64(len(order)), 10)
-		buf = append(buf, ';')
+		ns := sigs[r.nameSym]
+		absorb(ns.lo)
+		absorb(ns.hi)
 		for _, j := range order {
-			buf = appendValueKey(buf, r.attrs[j])
+			as := sigs[r.attrSyms[j]]
+			absorb(as.lo)
+			absorb(as.hi)
 		}
-		buf = strconv.AppendInt(buf, int64(len(r.rows)), 10)
-		buf = append(buf, ';')
-		for _, i := range idx {
-			row := r.rows[i]
+		absorb(uint64(r.nrows))
+		// One signature per row: chain the cell signatures in sorted-attr
+		// order, then sort the row signatures for permutation invariance
+		// (rows are deduplicated; equal signatures mean — up to a collision
+		// — equal rows, so ordering ties is immaterial). Insertion sort:
+		// successor states mutate tiny critical instances.
+		var rowSigArr [16]sigPair
+		rowSigs := rowSigArr[:0]
+		if r.nrows > len(rowSigArr) {
+			rowSigs = make([]sigPair, 0, r.nrows)
+		}
+		for i := 0; i < r.nrows; i++ {
+			s0 := mix64(uint64(len(order)+1) * hashK0)
+			s1 := mix64(uint64(len(order)+2) * hashK1)
 			for _, j := range order {
-				buf = appendValueKey(buf, row[j])
+				cs := sigs[r.cols[j][i]]
+				s0 = mix64(s0 ^ (cs.lo * hashK1))
+				s1 = mix64(s1 ^ (cs.lo * hashK0))
+				s0 = mix64(s0 ^ (cs.hi * hashK1))
+				s1 = mix64(s1 ^ (cs.hi * hashK0))
 			}
-			buf = append(buf, '\n')
+			rowSigs = append(rowSigs, sigPair{lo: s0, hi: s1})
 		}
-		m.hash = digest128(buf)
+		for i := 1; i < len(rowSigs); i++ {
+			for j := i; j > 0 && sigLess(rowSigs[j], rowSigs[j-1]); j-- {
+				rowSigs[j], rowSigs[j-1] = rowSigs[j-1], rowSigs[j]
+			}
+		}
+		for _, rs := range rowSigs {
+			absorb(rs.lo)
+			absorb(rs.hi)
+		}
+		// Cross the lanes once so each output half depends on every input.
+		h0, h1 = mix64(h0^h1), mix64(h1+h0)
+		var out [16]byte
+		putLeUint64(out[0:8], h0)
+		putLeUint64(out[8:16], h1)
+		m.hash = out
 	})
 	return m.hash
 }
 
-// rowLess orders tuples field-wise in sorted-attribute order; it is the
-// canonical row order behind Hash. Total on distinct tuples of one schema.
-func rowLess(a, b Tuple, order []int) bool {
-	for _, j := range order {
-		if a[j] != b[j] {
-			return a[j] < b[j]
-		}
+// sigLess orders signature pairs lexicographically; the canonical row order
+// behind Hash.
+func sigLess(a, b sigPair) bool {
+	if a.lo != b.lo {
+		return a.lo < b.lo
 	}
-	return false
+	return a.hi < b.hi
 }

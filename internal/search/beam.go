@@ -1,9 +1,10 @@
 package search
 
 import (
+	"cmp"
 	"container/heap"
 	"context"
-	"sort"
+	"slices"
 )
 
 // BeamSearch explores level by level, keeping only the width best states
@@ -90,11 +91,11 @@ func BeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits, width i
 				next = append(next, s)
 			}
 		}
-		sort.SliceStable(next, func(i, j int) bool {
-			if next[i].f != next[j].f {
-				return next[i].f < next[j].f
+		slices.SortStableFunc(next, func(a, b scored) int {
+			if a.f != b.f {
+				return cmp.Compare(a.f, b.f)
 			}
-			return next[i].seq < next[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 		// The full scored candidate buffer was held in memory, so the
 		// frontier gauge records its size before truncation.

@@ -1,20 +1,22 @@
 package search
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 )
 
 // IDAStar runs Iterative Deepening A* (§2.3): a sequence of depth-first
 // probes, each bounded by an f-value limit, iteratively raising the limit to
 // the smallest f-value that exceeded it. Memory use is linear in the depth
-// of the search; states may be re-examined across iterations, which the
-// paper accepts (and counts) in exchange for the memory guarantee. The
-// context is checked at every examined state.
+// of the search plus the bounded move-order cache; states may be re-examined
+// across iterations, which the paper accepts (and counts) in exchange for
+// the memory guarantee. The context is checked at every examined state.
 func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, error) {
 	start := p.Start()
 	c := newCounter(ctx, "IDA", lim)
 	bound := h(start)
+	order := make(map[string][]Move)
 	for {
 		c.stats.Iterations++
 		onPath := map[string]bool{start.Key(): true}
@@ -22,7 +24,7 @@ func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, 
 		// On abort, Stats.Depth stays 0 like every other algorithm:
 		// Stats.Depth documents the length of the solution path found, and
 		// the in-flight probe depth is not one.
-		next, res, err := idaProbe(p, h, c, start, 0, bound, &path, onPath)
+		next, res, err := idaProbe(p, h, c, start, 0, bound, &path, onPath, order)
 		if err != nil {
 			return nil, c.fail(err)
 		}
@@ -36,12 +38,26 @@ func IDAStar(ctx context.Context, p Problem, h Heuristic, lim Limits) (*Result, 
 	}
 }
 
+// idaOrderMax bounds the move-order cache, mirroring the successor memo's
+// backstop: beyond it, expansions sort without recording.
+const idaOrderMax = 1 << 20
+
 // idaProbe performs one bounded depth-first probe. It returns the smallest
 // f-value that exceeded the bound (inf if the subtree is exhausted), or a
 // result if a goal was found on this probe.
-func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[]Move, onPath map[string]bool) (int, *Result, error) {
+//
+// order caches each state's h-sorted move list across probes. The sort key
+// is (f, h) with f = g + cost + h, and g is one constant across all of a
+// state's children, so the order is the same at any depth the state is
+// reached — and IDA revisits states relentlessly (the deepening loop re-walks
+// the whole tree every iteration). A hit skips the per-child heuristic
+// lookups and the sort wholesale; only the examined/expanded counters, which
+// define the paper's performance measure, are still paid per visit.
+func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[]Move, onPath map[string]bool, order map[string][]Move) (int, *Result, error) {
 	f := g + h(s)
-	c.candidate(s, f-g, func() []Move { return append([]Move(nil), *path...) })
+	if c.best != nil {
+		c.candidate(s, f-g, func() []Move { return append([]Move(nil), *path...) })
+	}
 	if f > bound {
 		return f, nil, nil
 	}
@@ -63,20 +79,29 @@ func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[
 	// with the non-monotone heuristics of §3 (f can decrease along good
 	// paths) it is what steers the depth-first probe toward the goal
 	// instead of leaving the order to operator enumeration.
-	kids := make([]idaChild, 0, len(moves))
-	for _, m := range moves {
-		hv := h(m.To)
-		kids = append(kids, idaChild{move: m, h: hv, f: g + m.Cost + hv})
-	}
-	sort.SliceStable(kids, func(i, j int) bool {
-		if kids[i].f != kids[j].f {
-			return kids[i].f < kids[j].f
+	sorted, ok := order[s.Key()]
+	if !ok || len(sorted) != len(moves) {
+		kids := make([]idaChild, 0, len(moves))
+		for _, m := range moves {
+			hv := h(m.To)
+			kids = append(kids, idaChild{move: m, h: hv, f: g + m.Cost + hv})
 		}
-		return kids[i].h < kids[j].h
-	})
+		slices.SortStableFunc(kids, func(a, b idaChild) int {
+			if a.f != b.f {
+				return cmp.Compare(a.f, b.f)
+			}
+			return cmp.Compare(a.h, b.h)
+		})
+		sorted = make([]Move, len(kids))
+		for i, kid := range kids {
+			sorted[i] = kid.move
+		}
+		if len(order) < idaOrderMax {
+			order[s.Key()] = sorted
+		}
+	}
 	min := inf
-	for _, kid := range kids {
-		m := kid.move
+	for _, m := range sorted {
 		k := m.To.Key()
 		if onPath[k] {
 			continue // cycle along the current path
@@ -84,7 +109,7 @@ func idaProbe(p Problem, h Heuristic, c *counter, s State, g, bound int, path *[
 		onPath[k] = true
 		*path = append(*path, m)
 		c.frontier(len(*path))
-		t, res, err := idaProbe(p, h, c, m.To, g+m.Cost, bound, path, onPath)
+		t, res, err := idaProbe(p, h, c, m.To, g+m.Cost, bound, path, onPath, order)
 		if err != nil || res != nil {
 			return t, res, err
 		}

@@ -1,12 +1,13 @@
 package search
 
 import (
+	"cmp"
 	"container/heap"
 	"context"
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -803,11 +804,11 @@ func ParallelBeamSearch(ctx context.Context, p Problem, h Heuristic, lim Limits,
 				next = append(next, s)
 			}
 		}
-		sort.SliceStable(next, func(i, j int) bool {
-			if next[i].f != next[j].f {
-				return next[i].f < next[j].f
+		slices.SortStableFunc(next, func(a, b scored) int {
+			if a.f != b.f {
+				return cmp.Compare(a.f, b.f)
 			}
-			return next[i].seq < next[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 		c.frontier(len(next))
 		if len(next) > width {

@@ -1,8 +1,9 @@
 package search
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 )
 
 // RecursiveBestFirst runs RBFS (Korf 1993; §2.3 of the paper): a localized,
@@ -18,7 +19,8 @@ func RecursiveBestFirst(ctx context.Context, p Problem, h Heuristic, lim Limits)
 	c.candidate(start, hs, func() []Move { return nil })
 	onPath := map[string]bool{start.Key(): true}
 	var path []Move
-	res, _, err := rbfs(p, h, c, start, 0, hs, inf, &path, onPath)
+	hCache := make(map[string][]int)
+	res, _, err := rbfs(p, h, c, start, 0, hs, inf, &path, onPath, hCache, &rbfsScratch{})
 	if err != nil {
 		return nil, c.fail(err)
 	}
@@ -42,7 +44,14 @@ type rbfsChild struct {
 
 // rbfs explores s with the given stored f-value under fLimit. It returns a
 // result if a goal is found, otherwise the revised backed-up f-value of s.
-func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[]Move, onPath map[string]bool) (*Result, int, error) {
+//
+// hCache memoizes each state's per-move heuristic values (aligned with the
+// move list, which deterministic problems return identically on every
+// expansion). RBFS re-generates abandoned subtrees relentlessly; a hit turns
+// the per-child h lookups of a re-expansion into slice reads. The backed-up
+// f-values are NOT cached — they depend on the path's inherited bound and
+// must be rebuilt per visit.
+func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[]Move, onPath map[string]bool, hCache map[string][]int, sc *rbfsScratch) (*Result, int, error) {
 	if err := c.examine(); err != nil {
 		return nil, 0, err
 	}
@@ -56,18 +65,37 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 	if err != nil {
 		return nil, 0, err
 	}
-	children := make([]rbfsChild, 0, len(moves))
-	for _, m := range moves {
+	hs, ok := hCache[s.Key()]
+	if !ok || len(hs) != len(moves) {
+		hs = make([]int, len(moves))
+		for i, m := range moves {
+			hs[i] = h(m.To)
+		}
+		if len(hCache) < idaOrderMax {
+			hCache[s.Key()] = hs
+		}
+	}
+	// Children live in a recycled slice: RBFS re-expands abandoned subtrees
+	// relentlessly, and the backed-up f-values must be rebuilt per visit (they
+	// depend on the inherited bound), so unlike the h-values the slice cannot
+	// be memoized — but its backing array can be reused across visits. The
+	// deferred put runs after the visit's loop is done with the slice on every
+	// exit path.
+	children := sc.get(len(moves))
+	defer func() { sc.put(children) }()
+	for i, m := range moves {
 		if onPath[m.To.Key()] {
 			continue
 		}
 		cg := g + m.Cost
-		ch := h(m.To)
-		c.candidate(m.To, ch, func() []Move {
-			cp := make([]Move, 0, len(*path)+1)
-			cp = append(cp, *path...)
-			return append(cp, m)
-		})
+		ch := hs[i]
+		if c.best != nil {
+			c.candidate(m.To, ch, func() []Move {
+				cp := make([]Move, 0, len(*path)+1)
+				cp = append(cp, *path...)
+				return append(cp, m)
+			})
+		}
 		cf := cg + ch
 		// Inherit the parent's backed-up value: if s was previously
 		// explored and backed up to f, its children cannot do better.
@@ -81,12 +109,13 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 	}
 	for {
 		// Order children by current backed-up f, breaking ties by raw h
-		// (stable for determinism).
-		sort.SliceStable(children, func(i, j int) bool {
-			if children[i].f != children[j].f {
-				return children[i].f < children[j].f
+		// (stable for determinism: ties preserve the order the previous
+		// iteration left, exactly as the sort.SliceStable this replaces).
+		slices.SortStableFunc(children, func(a, b rbfsChild) int {
+			if a.f != b.f {
+				return cmp.Compare(a.f, b.f)
 			}
-			return children[i].h < children[j].h
+			return cmp.Compare(a.h, b.h)
 		})
 		best := &children[0]
 		// best.f >= inf means every child subtree is exhausted (dead ends or
@@ -106,12 +135,34 @@ func rbfs(p Problem, h Heuristic, c *counter, s State, g, f, fLimit int, path *[
 		onPath[k] = true
 		*path = append(*path, best.move)
 		c.frontier(len(*path))
-		res, revised, err := rbfs(p, h, c, best.move.To, best.g, best.f, alt, path, onPath)
+		res, revised, err := rbfs(p, h, c, best.move.To, best.g, best.f, alt, path, onPath, hCache, sc)
 		if err != nil || res != nil {
 			return res, 0, err
 		}
 		*path = (*path)[:len(*path)-1]
 		delete(onPath, k)
 		best.f = revised
+	}
+}
+
+// rbfsScratch is a free-list of children slices for rbfs, reused across
+// visits of one search. A search runs on a single goroutine, so no locking;
+// each visit pops a slice on entry and pushes it back when it returns.
+type rbfsScratch struct {
+	free [][]rbfsChild
+}
+
+func (sc *rbfsScratch) get(n int) []rbfsChild {
+	if k := len(sc.free); k > 0 {
+		s := sc.free[k-1]
+		sc.free = sc.free[:k-1]
+		return s[:0]
+	}
+	return make([]rbfsChild, 0, n)
+}
+
+func (sc *rbfsScratch) put(s []rbfsChild) {
+	if cap(s) > 0 {
+		sc.free = append(sc.free, s[:0])
 	}
 }

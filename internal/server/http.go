@@ -48,23 +48,31 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// writeJSON writes v as the response body with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the response body with the given status. Encode
+// failures cannot be repaired — the status line is already on the wire — but
+// they are not silent either: each one increments
+// tupelo_server_response_write_errors and reaches the debug log, so a client
+// that hangs up mid-body (or a marshal bug) is visible in the exposition
+// instead of vanishing into a discarded error.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.counter("server.response.write_errors").Inc()
+		s.debugf("server: writing %d response: %v", status, err)
+	}
 }
 
 // writeError writes a structured error response, mirroring retry hints
 // into the Retry-After header.
-func writeError(w http.ResponseWriter, status int, cause, msg string, retryAfter time.Duration) {
+func (s *Server) writeError(w http.ResponseWriter, status int, cause, msg string, retryAfter time.Duration) {
 	if retryAfter > 0 {
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
-	writeJSON(w, status, &ErrorResponse{
+	s.writeJSON(w, status, &ErrorResponse{
 		Error:        msg,
 		Cause:        cause,
 		RetryAfterMS: retryAfter.Milliseconds(),
@@ -78,13 +86,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, "bad-request", fmt.Sprintf("reading body: %v", err), 0)
+		s.writeError(w, http.StatusRequestEntityTooLarge, "bad-request", fmt.Sprintf("reading body: %v", err), 0)
 		return
 	}
 	j, err := parseJob(body)
 	if err != nil {
 		s.counter(obs.Name("server.jobs.rejected", "reason", "bad-request")).Inc()
-		writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+		s.writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
 		return
 	}
 
@@ -95,7 +103,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if !j.req.NoCache {
 		if e, ok := s.cfg.Repo.Get(j.key); ok && !e.Partial {
 			s.counter("server.repo.hits").Inc()
-			writeJSON(w, http.StatusOK, entryResponse(e, msSince(started)))
+			s.writeJSON(w, http.StatusOK, entryResponse(e, msSince(started)))
 			return
 		}
 		s.counter("server.repo.misses").Inc()
@@ -107,7 +115,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	release, rej := s.admit(j.req.Tenant, id, cancel)
 	if rej != nil {
 		s.counter(obs.Name("server.jobs.rejected", "reason", rej.cause)).Inc()
-		writeError(w, rej.status, rej.cause, rej.msg, rej.retryAfter)
+		s.writeError(w, rej.status, rej.cause, rej.msg, rej.retryAfter)
 		return
 	}
 	defer release()
@@ -116,7 +124,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		// The client went away (or the drain deadline cancelled us) while
 		// queued; nothing ran.
 		s.counter(obs.Name("server.jobs.rejected", "reason", "abandoned")).Inc()
-		writeError(w, http.StatusServiceUnavailable, "canceled", "job cancelled while queued", 0)
+		s.writeError(w, http.StatusServiceUnavailable, "canceled", "job cancelled while queued", 0)
 		return
 	}
 	defer s.releaseSlot()
@@ -124,32 +132,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	out := s.runJob(ctx, j, id)
 	s.recordVerdict(j.req.Tenant, out.verdict)
 	if out.errRsp != nil {
-		writeJSON(w, out.status, out.errRsp)
+		s.writeJSON(w, out.status, out.errRsp)
 		return
 	}
 	out.resp.ElapsedMS = msSince(started)
-	writeJSON(w, out.status, out.resp)
+	s.writeJSON(w, out.status, out.resp)
 }
 
 // handleMapping serves one repository entry by key.
 func (s *Server) handleMapping(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	if !repo.ValidKey(key) {
-		writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("malformed repository key %q", key), 0)
+		s.writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("malformed repository key %q", key), 0)
 		return
 	}
 	e, ok := s.cfg.Repo.Get(key)
 	if !ok {
-		writeError(w, http.StatusNotFound, "not-found", "no mapping committed for that fingerprint pair", 0)
+		s.writeError(w, http.StatusNotFound, "not-found", "no mapping committed for that fingerprint pair", 0)
 		return
 	}
-	writeJSON(w, http.StatusOK, e)
+	s.writeJSON(w, http.StatusOK, e)
 }
 
 // handleMappings lists committed keys.
 func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
 	keys := s.cfg.Repo.Keys()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"count": len(keys),
 		"keys":  keys,
 	})
@@ -179,7 +187,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func msSince(t time.Time) float64 {

@@ -95,6 +95,10 @@ type Config struct {
 	// job's engine options (core.Options.FaultHook). Must be nil in
 	// production.
 	FaultHook func(faults.Site, string)
+	// Debugf, when non-nil, receives low-volume diagnostic lines (for
+	// example, response-body write failures). Nil discards them; metrics
+	// still count the events either way.
+	Debugf func(format string, args ...any)
 
 	// now is the test clock for circuit-breaker expiry. Nil means
 	// time.Now.
@@ -577,4 +581,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) counter(name string) *obs.Counter { return s.cfg.Metrics.Counter(name) }
-func (s *Server) gauge(name string) *obs.Gauge     { return s.cfg.Metrics.Gauge(name) }
+
+// debugf forwards to the configured debug sink, if any.
+func (s *Server) debugf(format string, args ...any) {
+	if s.cfg.Debugf != nil {
+		s.cfg.Debugf(format, args...)
+	}
+}
+func (s *Server) gauge(name string) *obs.Gauge { return s.cfg.Metrics.Gauge(name) }

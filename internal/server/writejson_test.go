@@ -1,0 +1,88 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// brokenWriter fails every Write — the shape of a client that hung up
+// between the handler's decision and the response body hitting the socket.
+type brokenWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *brokenWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+
+func (w *brokenWriter) WriteHeader(status int) { w.status = status }
+
+func (w *brokenWriter) Write([]byte) (int, error) {
+	return 0, errors.New("connection reset by peer")
+}
+
+// TestWriteJSONErrorCounted pins the serving bugfix: a failed response
+// write must increment server.response.write_errors and reach the debug
+// log, instead of vanishing (the old writeJSON discarded the Encode error).
+func TestWriteJSONErrorCounted(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	env := newEnv(t, func(cfg *Config) {
+		cfg.Debugf = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			logged = append(logged, format)
+		}
+	})
+	ctr := env.srv.counter("server.response.write_errors")
+	before := ctr.Value()
+
+	w := &brokenWriter{}
+	env.srv.writeJSON(w, http.StatusOK, map[string]string{"ok": "yes"})
+
+	if got := ctr.Value(); got != before+1 {
+		t.Fatalf("server.response.write_errors = %d after failed write, want %d", got, before+1)
+	}
+	if w.status != http.StatusOK {
+		t.Fatalf("status written = %d, want %d", w.status, http.StatusOK)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, f := range logged {
+		if strings.Contains(f, "writing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed write did not reach the debug log; logged formats: %q", logged)
+	}
+}
+
+// TestWriteJSONSuccessNotCounted: the happy path must not touch the error
+// counter.
+func TestWriteJSONSuccessNotCounted(t *testing.T) {
+	env := newEnv(t, nil)
+	ctr := env.srv.counter("server.response.write_errors")
+	before := ctr.Value()
+	w := &brokenWriter{}
+	// A writer that succeeds: reuse httptest-free plumbing via a tiny inline type.
+	env.srv.writeError(&okWriter{brokenWriter: w}, http.StatusBadRequest, "bad", "nope", 0)
+	if got := ctr.Value(); got != before {
+		t.Fatalf("server.response.write_errors = %d after successful write, want %d", got, before)
+	}
+}
+
+// okWriter is brokenWriter with Write fixed.
+type okWriter struct {
+	*brokenWriter
+}
+
+func (w *okWriter) Write(p []byte) (int, error) { return len(p), nil }

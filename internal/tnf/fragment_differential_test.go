@@ -1,0 +1,137 @@
+package tnf
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tupelo/internal/relation"
+)
+
+// These properties cross-check the columnar TNF fragments — the symbol-space
+// counters the incremental heuristics consume — against this package's
+// string-path encoding, which remains the reference semantics. Every count
+// the fragment carries must be derivable from Encode's rows.
+
+// fragmentsOf returns the per-relation fragments of db keyed by relation
+// name.
+func fragmentsOf(db *relation.Database) map[string]*relation.Fragment {
+	out := make(map[string]*relation.Fragment)
+	for _, r := range db.Relations() {
+		out[r.Name()] = r.TNFFragment()
+	}
+	return out
+}
+
+// TestPropertyFragmentTriplesMatchEncode: the union of the fragments' Vec
+// multisets must equal the (REL, ATT, VALUE) triple multiset of the string
+// encoding, and each fragment's RowCount and VecSq must agree with it.
+func TestPropertyFragmentTriplesMatchEncode(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDatabase(rand.New(rand.NewSource(seed)))
+		tab := Encode(db)
+
+		want := make(map[[3]string]int)
+		rowsPerRel := make(map[string]int)
+		for _, tr := range tab.Triples() {
+			want[tr]++
+			rowsPerRel[tr[0]]++
+		}
+
+		got := make(map[[3]string]int)
+		for name, frag := range fragmentsOf(db) {
+			if frag.RowCount != rowsPerRel[name] {
+				return false
+			}
+			var sq int64
+			for tr, c := range frag.Vec {
+				got[[3]string{tr[0].String(), tr[1].String(), tr[2].String()}] += c
+				sq += int64(c) * int64(c)
+			}
+			if sq != frag.VecSq {
+				return false
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFragmentSetsMatchEncode: the merged Atts/Vals key sets must
+// equal the encoding's AttSet/ValueSet, and the multiset counts must sum to
+// the number of rows carrying each token.
+func TestPropertyFragmentSetsMatchEncode(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDatabase(rand.New(rand.NewSource(seed)))
+		tab := Encode(db)
+
+		attCount := make(map[string]int)
+		valCount := make(map[string]int)
+		for _, r := range tab.Rows {
+			if r.Att != "" {
+				attCount[r.Att]++
+			}
+			if r.Value != "" {
+				valCount[r.Value]++
+			}
+		}
+
+		gotAtt := make(map[string]int)
+		gotVal := make(map[string]int)
+		for _, frag := range fragmentsOf(db) {
+			for s, c := range frag.Atts {
+				gotAtt[s.String()] += c
+			}
+			for s, c := range frag.Vals {
+				gotVal[s.String()] += c
+			}
+		}
+		if len(gotAtt) != len(tab.AttSet()) || len(gotVal) != len(tab.ValueSet()) {
+			return false
+		}
+		for k, c := range attCount {
+			if gotAtt[k] != c {
+				return false
+			}
+		}
+		for k, c := range valCount {
+			if gotVal[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFragmentPartsMatchCanonicalString: merging the fragments'
+// lazily decoded Parts in sorted order must reproduce CanonicalString — the
+// exact string the Levenshtein heuristic compares.
+func TestPropertyFragmentPartsMatchCanonicalString(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDatabase(rand.New(rand.NewSource(seed)))
+		var parts []string
+		for _, frag := range fragmentsOf(db) {
+			parts = append(parts, frag.Parts()...)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, "") == Encode(db).CanonicalString()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
